@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``test_<table|figure>`` benchmark regenerates one table/figure of the
+paper via its experiment module, asserts every paper-vs-measured claim
+still holds, and prints the rendered report (visible with ``pytest -s`` and
+captured in ``bench_output.txt``).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import ExperimentResult, format_result
+
+
+def run_and_check(benchmark, runner, rounds: int = 1) -> ExperimentResult:
+    """Benchmark one experiment runner and verify its claims."""
+    result = benchmark.pedantic(runner, rounds=rounds, iterations=1)
+    print()
+    print(format_result(result))
+    failed = [claim.description for claim in result.claims if not claim.holds]
+    assert not failed, f"claims failed: {failed}"
+    return result

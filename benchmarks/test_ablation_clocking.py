@@ -1,0 +1,43 @@
+"""Ablation: the clocking burden of binary SFQ vs clockless U-SFQ.
+
+The paper's opening argument: binary RSFQ datapaths are deeply pipelined
+with "almost every cell synchronized with a global clock", paying both
+junctions (the clock splitter tree) and clock pulses (active power) that
+the wave-pipelined unary datapath avoids.  This ablation measures it on
+our gate-level structures: an 8-bit ripple-carry adder and a shift-and-add
+multiplier versus the 56-JJ balancer and the 46-JJ unary multiplier.
+"""
+
+from repro.core.balancer import BALANCER_JJ
+from repro.core.binary_adder import RippleCarryAdder
+from repro.core.binary_multiplier import ShiftAddMultiplier
+from repro.core.multiplier import MULTIPLIER_BIPOLAR_JJ
+
+
+def test_ablation_clock_tree_burden(benchmark):
+    def run():
+        adder = RippleCarryAdder(8)
+        # Exercise the netlist so the numbers describe a working circuit.
+        assert adder.add(200, 55, 1) == 256
+        mult = ShiftAddMultiplier(8)
+        assert mult.multiply(123, 45) == 5_535
+        return adder, mult
+
+    adder, mult = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    datapath = adder.jj_count
+    clock_tree = adder.clock_tree_jj
+    print(
+        f"\n8-bit binary adder: {datapath} datapath JJs + {clock_tree} "
+        f"clock-tree JJs across {adder.clocked_cell_count} clocked cells"
+        f"\n8-bit binary multiplier (sequential): {mult.jj_count:,} JJs"
+        f"\nU-SFQ: balancer {BALANCER_JJ} JJs, multiplier "
+        f"{MULTIPLIER_BIPOLAR_JJ} JJs — zero clocked cells"
+    )
+    # Every binary logic cell is clocked; the clock tree alone outweighs
+    # the entire balancer.
+    assert adder.clocked_cell_count == 5 * 8
+    assert clock_tree > BALANCER_JJ
+    # Gate-level binary blocks vs their unary counterparts.
+    assert datapath + clock_tree > 8 * BALANCER_JJ
+    assert mult.jj_count > 30 * MULTIPLIER_BIPOLAR_JJ

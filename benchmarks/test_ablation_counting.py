@@ -1,0 +1,94 @@
+"""Ablation: design choices the paper (and DESIGN.md) call out.
+
+1. Balancer counting network vs merger tree as the unary adder — the
+   merger is 11x smaller but loses pulses when streams collide, while the
+   balancer is loss-free (section 4.2's motivation).
+2. Exact counting-network arithmetic vs the paper's full-precision-sum
+   accuracy model — the physical cascade costs resolution at low bit
+   counts (the divide-by-L quantisation DESIGN.md documents).
+3. Uniform-rate vs burst (typical-PNM) operand streams — non-uniform
+   spacing hurts multiplication accuracy (Fig 9's motivation).
+"""
+
+import numpy as np
+
+from repro.core.adder import MergerAdder, merger_tree_jj
+from repro.core.counting import CountingNetwork, counting_network_jj
+from repro.core.fir import UnaryFirFilter
+from repro.core.multiplier import UnipolarMultiplier, unipolar_product_count
+from repro.dsp.firdesign import design_lowpass
+from repro.dsp.golden import make_golden_reference
+from repro.dsp.snr import snr_db
+from repro.encoding.epoch import EpochSpec
+from repro.pulsesim.schedule import burst_stream_times, uniform_stream_times
+
+
+def test_ablation_balancer_vs_merger_adder(benchmark):
+    """Same colliding workload: the balancer keeps every pulse."""
+    counts = [9, 9, 9, 9]  # all lanes pulse in the same slots
+    times = [uniform_stream_times(n, 16, 12_000) for n in counts]
+
+    def run():
+        network = CountingNetwork(4)
+        merger = MergerAdder(4)
+        return network.run(times), merger.run(times)
+
+    balanced, merged = benchmark(run)
+    assert balanced == 9  # exact: ceil(36 / 4)
+    assert merged < sum(counts)  # collisions ate pulses
+    # The price of correctness: 56 vs 5 JJs per 2:1 stage.
+    assert counting_network_jj(4) > merger_tree_jj(4)
+    print(
+        f"\nbalancer: {balanced} (exact) @ {counting_network_jj(4)} JJs vs "
+        f"merger: {merged}/{sum(counts)} pulses @ {merger_tree_jj(4)} JJs"
+    )
+
+
+def test_ablation_exact_vs_paper_arithmetic(benchmark):
+    """Physical ceil-cascade vs the paper's Octave accuracy model."""
+    golden = make_golden_reference(n_samples=1_500)
+
+    def run():
+        out = {}
+        for bits in (6, 8, 16):
+            epoch = EpochSpec(bits)
+            exact = UnaryFirFilter(epoch, golden.h, exact_counting=True)
+            paper = UnaryFirFilter(epoch, golden.h, exact_counting=False)
+            out[bits] = (
+                snr_db(golden.target, exact.process(golden.x), skip=golden.skip),
+                snr_db(golden.target, paper.process(golden.x), skip=golden.skip),
+            )
+        return out
+
+    snrs = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nbits  exact-counting SNR  paper-model SNR")
+    for bits, (exact_snr, paper_snr) in snrs.items():
+        print(f"{bits:>4}  {exact_snr:>18.1f}  {paper_snr:>15.1f}")
+    # At 16 bits the divide-by-L cost vanishes; at low bits it dominates.
+    assert abs(snrs[16][0] - snrs[16][1]) < 1.0
+    assert snrs[6][0] < snrs[6][1]
+
+
+def test_ablation_uniform_vs_burst_streams(benchmark):
+    """Burst (typical-PNM) streams skew the RL filtering product."""
+    epoch = EpochSpec(bits=6)
+    mult = UnipolarMultiplier(epoch)
+    n_a, n_max = 32, 64
+
+    def run():
+        uniform_err = burst_err = 0.0
+        for slot_b in range(0, n_max + 1, 4):
+            exact = n_a * slot_b / n_max
+            uniform_err += abs(unipolar_product_count(n_a, slot_b, n_max) - exact)
+            burst_pass = sum(
+                1
+                for t in burst_stream_times(n_a, n_max, epoch.slot_fs)
+                if t < slot_b * epoch.slot_fs
+            )
+            burst_err += abs(burst_pass - exact)
+        return uniform_err, burst_err
+
+    uniform_err, burst_err = benchmark(run)
+    print(f"\nmean |error| pulses: uniform {uniform_err / 17:.2f} vs burst {burst_err / 17:.2f}")
+    assert uniform_err < burst_err
+    assert mult.run_counts(32, 32) == unipolar_product_count(32, 32, 64)

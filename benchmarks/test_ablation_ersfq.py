@@ -1,0 +1,32 @@
+"""Ablation: plain RSFQ vs ERSFQ biasing for the 32-lane DPU (section 5.4.5).
+
+ERSFQ swaps the resistive bias network for JJ limiters: passive power
+disappears, area grows ~1.4x.  For the DPU the passive term dominates by
+orders of magnitude, so the trade is decisively worth it — the design
+choice DESIGN.md carries from the paper's power discussion.
+"""
+
+from repro.models import area, power
+from repro.units import to_mw, to_uw
+
+
+def test_ablation_rsfq_vs_ersfq_dpu(benchmark):
+    length = 32
+
+    def run():
+        rsfq_area = area.dpu_unary_jj(length)
+        rsfq_power = power.dpu_active_w(length) + power.dpu_passive_w(length)
+        ersfq_area = area.ersfq_jj(rsfq_area)
+        ersfq_power = power.ersfq_power_w(power.dpu_active_w(length))
+        return rsfq_area, rsfq_power, ersfq_area, ersfq_power
+
+    rsfq_area, rsfq_power, ersfq_area, ersfq_power = benchmark(run)
+    print(
+        f"\nRSFQ : {rsfq_area:6,.0f} JJs, {to_mw(rsfq_power):7.3f} mW total"
+        f"\nERSFQ: {ersfq_area:6,.0f} JJs, {to_uw(ersfq_power):7.3f} uW total"
+    )
+    assert ersfq_area == rsfq_area * 1.4
+    # Passive power dominates plain RSFQ by ~3 orders of magnitude.
+    assert rsfq_power / ersfq_power > 100
+    # The trade: 40 % more junctions for ~99.8 % less power.
+    assert ersfq_power < 0.01 * rsfq_power

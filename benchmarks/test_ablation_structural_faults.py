@@ -1,0 +1,121 @@
+"""Ablation: physical fault injection on the *structural* datapath.
+
+Fig 19's error study runs on the functional accuracy model; this ablation
+reproduces its qualitative conclusions directly on netlists with
+fault-injection channels spliced into the wires:
+
+* jitter on a balancer input provokes t_BFF transition hazards but never
+  loses pulses (the counting network degrades gracefully);
+* dropping stream pulses shifts counts by exactly the pulses lost (each
+  worth 1/2^B);
+* the same drop rate on a Race-Logic lane corrupts entire operands — the
+  paper's "all the information is concentrated in a single pulse".
+"""
+
+from repro.core.counting import CountingNetwork, counting_network_output_count
+from repro.core.multiplier import SETUP_FS, build_unipolar_multiplier
+from repro.encoding.epoch import EpochSpec
+from repro.pulsesim import Circuit, DropChannel, Simulator
+from repro.pulsesim.schedule import uniform_stream_times
+
+
+def test_ablation_stream_vs_rl_pulse_loss(benchmark):
+    epoch = EpochSpec(bits=5)
+    n_max = epoch.n_max
+    drop_rate = 0.25
+
+    def run():
+        # Stream-side loss: thin the stream feeding a multiplier.
+        circuit = Circuit()
+        mult = build_unipolar_multiplier(circuit, "mul")
+        channel = circuit.add(DropChannel("drop", drop_rate, seed=9))
+        a_element, a_port = mult.input("a")
+        circuit.connect(channel, "q", a_element, a_port)
+        probe = mult.probe_output("out")
+        sim = Simulator(circuit)
+        mult.drive(sim, "epoch", 0)
+        sim.schedule_train(
+            channel, "a",
+            [t + SETUP_FS for t in uniform_stream_times(n_max, n_max, epoch.slot_fs)],
+        )
+        mult.drive(sim, "b", SETUP_FS + epoch.slot_time(n_max // 2))
+        sim.run()
+        stream_loss_count = probe.count()
+
+        # RL-side loss: the same drop rate on the Race-Logic lane either
+        # leaves the operand intact or replaces it with full scale.
+        rl_outcomes = []
+        for seed in range(8):
+            circuit = Circuit()
+            mult = build_unipolar_multiplier(circuit, "mul")
+            channel = circuit.add(DropChannel("drop", drop_rate, seed=seed))
+            b_element, b_port = mult.input("b")
+            circuit.connect(channel, "q", b_element, b_port)
+            probe = mult.probe_output("out")
+            sim = Simulator(circuit)
+            mult.drive(sim, "epoch", 0)
+            mult.drive(
+                sim, "a",
+                [t + SETUP_FS for t in uniform_stream_times(n_max, n_max, epoch.slot_fs)],
+            )
+            sim.schedule_input(channel, "a", SETUP_FS + epoch.slot_time(n_max // 2))
+            sim.run()
+            rl_outcomes.append(probe.count())
+        return stream_loss_count, rl_outcomes
+
+    stream_loss_count, rl_outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    expected = n_max // 2  # full-rate stream gated at half the epoch
+    stream_error = abs(stream_loss_count - expected) / n_max
+    print(
+        f"\n25 % stream loss: count {stream_loss_count} vs {expected} "
+        f"(value error {stream_error:.2f})"
+        f"\n25 % RL-lane loss outcomes over 8 trials: {rl_outcomes} "
+        f"(correct {expected} or full-scale {n_max})"
+    )
+    # Stream loss degrades proportionally; a lost RL pulse is catastrophic.
+    assert stream_error < drop_rate + 0.1
+    assert set(rl_outcomes) <= {expected, n_max}
+    assert n_max in rl_outcomes
+
+
+def test_ablation_counting_network_keeps_pulses_under_jitter(benchmark):
+    from repro.pulsesim import JitterChannel
+
+    epoch = EpochSpec(bits=5)
+    counts = [12, 20, 7, 31]
+
+    def run():
+        circuit = Circuit()
+        from repro.core.counting import build_counting_network
+
+        network = build_counting_network(circuit, "cn", 4)
+        probe = network.probe_output("y")
+        alt = network.probe_output("y_alt")
+        channels = []
+        sim = Simulator(circuit)
+        for lane, n in enumerate(counts):
+            channel = circuit.add(JitterChannel(f"j{lane}", std_fs=4_000, seed=lane))
+            element, port = network.input(f"a{lane}")
+            circuit.connect(channel, "q", element, port)
+            channels.append(channel)
+            sim.schedule_train(
+                channel, "a", uniform_stream_times(n, epoch.n_max, epoch.slot_fs)
+            )
+        sim.run()
+        hazards = sum(
+            e.hazard_events for e in network.elements if hasattr(e, "hazard_events")
+        )
+        return probe.count(), alt.count(), hazards
+
+    y_count, alt_count, hazards = benchmark.pedantic(run, rounds=1, iterations=1)
+    ideal = counting_network_output_count(counts)
+    print(
+        f"\njittered 4:1 network: Y1 {y_count} vs ideal {ideal}, "
+        f"Y2 {alt_count}, hazards {hazards}"
+    )
+    # Hazards misroute pulses between the Y branches but never lose them:
+    # the root's two outputs carry whatever the first level forwarded,
+    # which is half the total give or take the level-1 misroutes.
+    assert hazards > 0  # the jitter really provoked transition hazards
+    assert abs((y_count + alt_count) - sum(counts) / 2) <= hazards
+    assert abs(y_count - ideal) <= max(2, hazards)

@@ -1,0 +1,8 @@
+"""Fig 2: Race-Logic min and CMOS-style pulse-stream multiplication."""
+
+from _util import run_and_check
+from repro.experiments import fig02_primitives
+
+
+def test_fig02_primitives(benchmark):
+    run_and_check(benchmark, fig02_primitives.run)

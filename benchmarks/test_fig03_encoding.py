@@ -1,0 +1,8 @@
+"""Fig 3: U-SFQ encodings and the worked multiplication examples."""
+
+from _util import run_and_check
+from repro.experiments import fig03_encoding
+
+
+def test_fig03_encoding(benchmark):
+    run_and_check(benchmark, fig03_encoding.run)

@@ -1,0 +1,8 @@
+"""Fig 5: merger collisions and the collision-free stagger."""
+
+from _util import run_and_check
+from repro.experiments import fig05_merger
+
+
+def test_fig05_merger(benchmark):
+    run_and_check(benchmark, fig05_merger.run)

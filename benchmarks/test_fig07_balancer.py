@@ -1,0 +1,8 @@
+"""Fig 7: structural balancer waveforms."""
+
+from _util import run_and_check
+from repro.experiments import fig07_balancer
+
+
+def test_fig07_balancer(benchmark):
+    run_and_check(benchmark, fig07_balancer.run)

@@ -1,0 +1,8 @@
+"""Fig 8: unary vs binary adder latency and area."""
+
+from _util import run_and_check
+from repro.experiments import fig08_adder
+
+
+def test_fig08_adder(benchmark):
+    run_and_check(benchmark, fig08_adder.run)

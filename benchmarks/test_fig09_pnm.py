@@ -1,0 +1,8 @@
+"""Fig 9: pulse-number multiplier counts and rate uniformity."""
+
+from _util import run_and_check
+from repro.experiments import fig09_pnm
+
+
+def test_fig09_pnm(benchmark):
+    run_and_check(benchmark, fig09_pnm.run)

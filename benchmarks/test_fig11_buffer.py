@@ -1,0 +1,8 @@
+"""Fig 11: integrator-buffer waveforms."""
+
+from _util import run_and_check
+from repro.experiments import fig11_buffer
+
+
+def test_fig11_buffer(benchmark):
+    run_and_check(benchmark, fig11_buffer.run)

@@ -1,0 +1,8 @@
+"""Fig 12: shift-register area across the four designs."""
+
+from _util import run_and_check
+from repro.experiments import fig12_shiftreg
+
+
+def test_fig12_shiftreg(benchmark):
+    run_and_check(benchmark, fig12_shiftreg.run)

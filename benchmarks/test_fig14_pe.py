@@ -1,0 +1,8 @@
+"""Fig 14: PE latency and iso-throughput area."""
+
+from _util import run_and_check
+from repro.experiments import fig14_pe
+
+
+def test_fig14_pe(benchmark):
+    run_and_check(benchmark, fig14_pe.run)

@@ -1,0 +1,8 @@
+"""Fig 16: DPU area crossover between unary and binary."""
+
+from _util import run_and_check
+from repro.experiments import fig16_dpu
+
+
+def test_fig16_dpu(benchmark):
+    run_and_check(benchmark, fig16_dpu.run)

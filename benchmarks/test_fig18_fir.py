@@ -1,0 +1,8 @@
+"""Fig 18: FIR latency/throughput/area/efficiency panels."""
+
+from _util import run_and_check
+from repro.experiments import fig18_fir
+
+
+def test_fig18_fir(benchmark):
+    run_and_check(benchmark, fig18_fir.run)

@@ -1,0 +1,8 @@
+"""Fig 19: FIR accuracy under error injection (the heaviest experiment)."""
+
+from _util import run_and_check
+from repro.experiments import fig19_accuracy
+
+
+def test_fig19_accuracy(benchmark):
+    run_and_check(benchmark, lambda: fig19_accuracy.run(trials=3))

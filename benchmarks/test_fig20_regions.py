@@ -1,0 +1,8 @@
+"""Fig 20: (taps x bits) savings regions with application overlays."""
+
+from _util import run_and_check
+from repro.experiments import fig20_regions
+
+
+def test_fig20_regions(benchmark):
+    run_and_check(benchmark, fig20_regions.run)

@@ -1,0 +1,8 @@
+"""Fig 21: bipolar multiplier active power vs operands."""
+
+from _util import run_and_check
+from repro.experiments import fig21_power
+
+
+def test_fig21_power(benchmark):
+    run_and_check(benchmark, fig21_power.run)

@@ -1,0 +1,75 @@
+"""Microbenchmarks of the library's hot paths.
+
+Not tied to a specific paper figure; these track the cost of the pulse
+simulator kernel, the structural building blocks, and the vectorised FIR —
+the knobs that determine how large a U-SFQ design this reproduction can
+simulate.
+"""
+
+import numpy as np
+
+from repro.core.counting import CountingNetwork
+from repro.core.dpu import DpuModel
+from repro.core.fir import UnaryFirFilter
+from repro.core.multiplier import UnipolarMultiplier
+from repro.dsp.firdesign import design_lowpass
+from repro.encoding.epoch import EpochSpec
+from repro.pulsesim.schedule import uniform_stream_times
+
+
+def test_pulse_level_multiplier_epoch(benchmark):
+    """One full 8-bit epoch through the structural NDRO multiplier."""
+    mult = UnipolarMultiplier(EpochSpec(bits=8))
+
+    def run():
+        return mult.run_counts(128, 200)
+
+    assert benchmark(run) == 100
+
+
+def test_counting_network_16to1(benchmark):
+    """A 16:1 balancer tree digesting 6-bit streams."""
+    network = CountingNetwork(16)
+    times = [uniform_stream_times(n, 64, 12_000) for n in range(3, 64, 4)]
+
+    def run():
+        return network.run(times)
+
+    assert benchmark(run) > 0
+
+
+def test_dpu_functional_batch(benchmark):
+    """Vectorised 64-lane DPU over a 1k-sample batch."""
+    model = DpuModel(EpochSpec(bits=10), 64, bipolar=True)
+    rng = np.random.default_rng(0)
+    slots = rng.integers(0, 1024, size=(1_000, 64))
+    counts = rng.integers(0, 1024, size=(1_000, 64))
+
+    def run():
+        return model.output_counts_batch(slots, counts)
+
+    out = benchmark(run)
+    assert out.shape == (1_000,)
+
+
+def test_pulse_kernel_scale_12bit_epoch(benchmark):
+    """~8k-event epochs: the kernel-throughput guard for larger designs."""
+    mult = UnipolarMultiplier(EpochSpec(bits=12))
+
+    def run():
+        return mult.run_counts(4_096, 2_048)
+
+    assert benchmark(run) == 2_048
+
+
+def test_unary_fir_256taps_throughput(benchmark):
+    """256-tap, 12-bit unary FIR over 2000 samples (the SDR-scale config)."""
+    h = design_lowpass(256, 3_000.0, 20_000.0)
+    fir = UnaryFirFilter(EpochSpec(bits=12), h, exact_counting=False)
+    x = np.sin(np.linspace(0, 100, 2_000)) * 0.8
+
+    def run():
+        return fir.process(x)
+
+    out = benchmark(run)
+    assert out.shape == x.shape

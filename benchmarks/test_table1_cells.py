@@ -1,0 +1,8 @@
+"""Table 1: the RSFQ gate library, behaviourally verified."""
+
+from _util import run_and_check
+from repro.experiments import table1
+
+
+def test_table1_cells(benchmark):
+    run_and_check(benchmark, table1.run)

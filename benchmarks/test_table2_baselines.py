@@ -1,0 +1,8 @@
+"""Table 2: the binary baseline dataset and its fits."""
+
+from _util import run_and_check
+from repro.experiments import table2
+
+
+def test_table2_baselines(benchmark):
+    run_and_check(benchmark, table2.run)

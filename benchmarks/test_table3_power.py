@@ -1,0 +1,8 @@
+"""Table 3: DPU power breakdown (32 multipliers/adders)."""
+
+from _util import run_and_check
+from repro.experiments import table3
+
+
+def test_table3_power(benchmark):
+    run_and_check(benchmark, table3.run)

@@ -1,0 +1,8 @@
+"""Cross-validation matrix: every structural block vs its functional model."""
+
+from _util import run_and_check
+from repro.experiments import validation
+
+
+def test_validation_matrix(benchmark):
+    run_and_check(benchmark, lambda: validation.run(trials=16))

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Design-space exploration: should *your* FIR be unary or binary?
+
+Interactive use of the Fig 18/20 cost models: give a tap count and bit
+resolution (or sweep the defaults) and get the latency / area / efficiency
+comparison plus a recommendation, echoing the paper's conclusion that
+U-SFQ wins for low-resolution, high-tap, area-constrained designs.
+
+Run:  python examples/design_space_explorer.py [taps bits]
+"""
+
+import sys
+
+from repro.models import area, efficiency, latency, regions
+from repro.units import to_us
+
+
+def compare(taps: int, bits: int) -> None:
+    unary_lat = latency.fir_unary_latency_fs(bits)
+    binary_lat = latency.fir_binary_latency_fs(taps, bits)
+    unary_jj = area.fir_unary_jj(taps, bits)
+    binary_jj = area.fir_binary_jj(taps, bits)
+    unary_eff = efficiency.fir_unary_efficiency(taps, bits)
+    binary_eff = efficiency.fir_binary_efficiency(taps, bits)
+
+    print(f"\nFIR @ {taps} taps, {bits} bits")
+    print(f"  latency    : unary {to_us(unary_lat):9.4f} us  "
+          f"binary {to_us(binary_lat):9.4f} us")
+    print(f"  area       : unary {unary_jj:9,} JJ  binary {binary_jj:9,.0f} JJ")
+    print(f"  efficiency : unary {unary_eff:9.1f} kOPs/JJ  "
+          f"binary {binary_eff:9.1f} kOPs/JJ")
+
+    wins = sum(
+        (unary_lat < binary_lat, unary_jj < binary_jj, unary_eff > binary_eff)
+    )
+    verdict = "U-SFQ" if wins >= 2 else "binary SFQ"
+    print(f"  verdict    : {verdict} ({wins}/3 metrics favour unary)")
+
+    for region in (regions.IR_SENSORS, regions.SDR):
+        if region.contains(taps, bits):
+            print(f"  application: inside the paper's {region.name} region")
+
+
+def main() -> None:
+    if len(sys.argv) == 3:
+        compare(int(sys.argv[1]), int(sys.argv[2]))
+        return
+
+    print("sweeping representative designs (pass 'taps bits' to query one):")
+    for taps, bits, label in (
+        (32, 6, "IR-sensor class"),
+        (32, 12, "high-precision small filter"),
+        (256, 8, "RTL-2832U-class SDR"),
+        (512, 12, "RSP-class SDR"),
+    ):
+        print(f"\n--- {label} ---", end="")
+        compare(taps, bits)
+
+    print("\nlatency-savings map (positive % = unary faster; .... = binary wins):")
+    grid = regions.savings_grid("latency")
+    for line in regions.render_grid_ascii(grid):
+        print(" ", line)
+
+
+if __name__ == "__main__":
+    main()

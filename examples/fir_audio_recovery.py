@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Tone recovery with the U-SFQ FIR accelerator (the paper's section 5.4.1).
+
+Builds the evaluation workload — a 1 kHz tone buried under 7/8/9 kHz
+interference — designs the 16-tap low-pass, runs it through the unary FIR
+and the fixed-point binary baseline, and then injects errors to show the
+paper's headline resilience result: at a 30 % error rate the binary filter
+collapses while the unary filter loses only a few dB.
+
+Run:  python examples/fir_audio_recovery.py
+"""
+
+import numpy as np
+
+from repro import BinaryFirFilter, EpochSpec, UnaryFirFilter
+from repro.dsp.golden import make_golden_reference
+from repro.dsp.snr import snr_db, tone_power_db
+
+BITS = 16
+
+
+def measure(golden, output) -> float:
+    return snr_db(golden.target, output, skip=golden.skip)
+
+
+def main() -> None:
+    golden = make_golden_reference()
+    print("workload: 1 kHz + 7/8/9 kHz superposition, 16-tap low-pass")
+    print(f"float-filter output SNR: {golden.golden_snr_db:.1f} dB "
+          "(paper: 25.7 dB)\n")
+
+    unary = UnaryFirFilter(EpochSpec(BITS), golden.h, exact_counting=False)
+    binary = BinaryFirFilter(BITS, golden.h)
+    print(f"clean {BITS}-bit unary FIR : {measure(golden, unary.process(golden.x)):.1f} dB")
+    print(f"clean {BITS}-bit binary FIR: {measure(golden, binary.process(golden.x)):.1f} dB\n")
+
+    print("error rate   binary (bit flips)   unary (pulse loss)")
+    for rate in (0.01, 0.1, 0.3):
+        b = BinaryFirFilter(BITS, golden.h, bit_flip_rate=rate, seed=1)
+        u = UnaryFirFilter(
+            EpochSpec(BITS), golden.h,
+            pulse_loss_rate=rate, exact_counting=False, seed=1,
+        )
+        print(f"{rate:>10.0%}   {measure(golden, b.process(golden.x)):>15.1f} dB"
+              f"   {measure(golden, u.process(golden.x)):>15.1f} dB")
+
+    # Spectral view: even at 50 % pulse loss the tone survives.
+    lossy = UnaryFirFilter(
+        EpochSpec(BITS), golden.h, pulse_loss_rate=0.5,
+        exact_counting=False, seed=2,
+    )
+    out = lossy.process(golden.x)[golden.skip:]
+    tone = tone_power_db(out, golden.sample_rate_hz, 1_000.0)
+    interference = tone_power_db(out, golden.sample_rate_hz, 8_000.0)
+    print(f"\nat 50 % pulse loss: 1 kHz tone {tone:.1f} dB vs "
+          f"8 kHz residue {interference:.1f} dB")
+    print("every pulse carries the same 1/2^16 weight - no pulse is an MSB")
+
+    print(f"\naccelerator cost at {BITS} bits, 16 taps: "
+          f"{unary.jj_count:,} JJs (unary) vs {binary.jj_count:,.0f} JJs (binary)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""U-SFQ: temporal and SFQ pulse-stream encoding for superconducting accelerators.
+
+A production-quality reproduction of Gonzalez-Guerrero et al., ASPLOS 2022.
+The library spans four layers:
+
+* ``repro.pulsesim`` + ``repro.cells`` — an event-driven SFQ pulse
+  simulator and a behavioural RSFQ cell library (the spice substitute);
+* ``repro.encoding`` — the Race-Logic and pulse-stream unary encodings;
+* ``repro.core`` — the U-SFQ building blocks (multipliers, balancer and
+  counting-network adders, PNM, memory) and the three accelerators
+  (processing element, dot-product unit, FIR filter);
+* ``repro.models`` / ``repro.dsp`` / ``repro.experiments`` — the
+  analytical cost models, DSP workload, and the harness regenerating every
+  table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import EpochSpec, UnipolarMultiplier
+
+    epoch = EpochSpec(bits=6)
+    mult = UnipolarMultiplier(epoch)
+    print(mult.multiply(0.5, 0.75))  # pulse-level simulated, ~0.375
+"""
+
+from repro.core import (
+    Balancer,
+    BinaryFirFilter,
+    BipolarMultiplier,
+    CoefficientBank,
+    CountingNetwork,
+    DotProductUnit,
+    DpuModel,
+    MergerAdder,
+    PEArray,
+    PEModel,
+    ProcessingElement,
+    RlMemoryCell,
+    RlShiftRegister,
+    UnaryFirFilter,
+    UnipolarMultiplier,
+)
+from repro.encoding import EpochSpec, PulseStreamCodec, RaceLogicCodec
+from repro.errors import (
+    ConfigurationError,
+    EncodingError,
+    NetlistError,
+    ReproError,
+    SimulationError,
+)
+from repro.pulsesim import Block, Circuit, PulseRecorder, Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Balancer",
+    "BinaryFirFilter",
+    "BipolarMultiplier",
+    "Block",
+    "Circuit",
+    "CoefficientBank",
+    "ConfigurationError",
+    "CountingNetwork",
+    "DotProductUnit",
+    "DpuModel",
+    "EncodingError",
+    "EpochSpec",
+    "MergerAdder",
+    "NetlistError",
+    "PEArray",
+    "PEModel",
+    "ProcessingElement",
+    "PulseRecorder",
+    "PulseStreamCodec",
+    "RaceLogicCodec",
+    "ReproError",
+    "RlMemoryCell",
+    "RlShiftRegister",
+    "SimulationError",
+    "Simulator",
+    "UnaryFirFilter",
+    "UnipolarMultiplier",
+    "__version__",
+]

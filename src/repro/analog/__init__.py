@@ -1,0 +1,13 @@
+"""Analog-level behavioural models: waveform rendering and the inductor
+integrator (paper Figs 7, 10, 11).
+
+The event-driven simulator deals in pulse times; this package turns those
+into voltage/current-versus-time traces comparable to the paper's WRspice
+waveform figures, and models the integrator buffer's inductor-current ramp
+explicitly.
+"""
+
+from repro.analog.integrator import IntegratorBuffer, IntegratorTrace
+from repro.analog.waveform import Trace, pulses_to_trace
+
+__all__ = ["IntegratorBuffer", "IntegratorTrace", "Trace", "pulses_to_trace"]

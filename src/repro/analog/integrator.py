@@ -1,0 +1,142 @@
+"""Inductor-integrator model of the RL buffer (paper Fig 10b/10c, Fig 11).
+
+The buffer delays a Race-Logic pulse by exactly one epoch by *storing time
+as inductor current*: the input pulse closes switch 1 and a clock source
+charges inductance L at a constant rate (``I_L = (1/L) * integral(v_L dt)``);
+when the comparator junction J1 reaches its critical current — tuned to
+take half an epoch — the circuit flips to discharging through switch 2;
+when the current returns to the low baseline, J2 kicks back and emits the
+output pulse.  Charge plus discharge sum to one epoch regardless of when
+the input arrived, so the pulse reappears with its slot (value) intact.
+
+:class:`IntegratorBuffer` produces both the delayed pulse time and the
+piecewise-linear current/voltage traces of Fig 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.analog.waveform import Trace, pulses_to_trace
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class IntegratorTrace:
+    """All Fig 11 signals for one buffered pulse."""
+
+    epoch_marks: Trace  # E
+    input_pulse: Trace  # IN
+    node_a: Trace  # L_a: charging-side voltage
+    node_b: Trace  # L_b: discharging-side voltage
+    current: Trace  # I_L in uA
+    output_pulse: Trace  # OUT
+
+    def all_traces(self) -> List[Trace]:
+        return [
+            self.epoch_marks,
+            self.input_pulse,
+            self.node_a,
+            self.node_b,
+            self.current,
+            self.output_pulse,
+        ]
+
+
+class IntegratorBuffer:
+    """Piecewise-linear analog model of the integrator-based RL buffer.
+
+    Args:
+        epoch_fs: Epoch duration; the buffer delay.
+        critical_current_ua: Comparator threshold I_c (current peak).
+        baseline_ua: Discharge end level (J2 kickback point).
+    """
+
+    def __init__(
+        self,
+        epoch_fs: int,
+        critical_current_ua: float = 200.0,
+        baseline_ua: float = 0.0,
+    ):
+        if epoch_fs <= 0:
+            raise ConfigurationError(f"epoch must be positive, got {epoch_fs}")
+        if critical_current_ua <= baseline_ua:
+            raise ConfigurationError(
+                "critical current must exceed the discharge baseline"
+            )
+        self.epoch_fs = epoch_fs
+        self.critical_current_ua = critical_current_ua
+        self.baseline_ua = baseline_ua
+
+    # -- architectural contract -------------------------------------------------
+    def output_time(self, input_time_fs: int) -> int:
+        """The delayed pulse: exactly one epoch after the input."""
+        if input_time_fs < 0:
+            raise ConfigurationError(f"input time must be >= 0, got {input_time_fs}")
+        return input_time_fs + self.epoch_fs
+
+    def charge_rate_ua_per_fs(self) -> float:
+        """dI/dt while charging: reaches I_c in half an epoch."""
+        return (self.critical_current_ua - self.baseline_ua) / (self.epoch_fs / 2)
+
+    def current_ua(self, t_fs: float, input_time_fs: int) -> float:
+        """Inductor current at ``t_fs`` for a pulse buffered at ``input_time_fs``."""
+        half = self.epoch_fs / 2
+        rate = self.charge_rate_ua_per_fs()
+        dt = t_fs - input_time_fs
+        if dt < 0:
+            return self.baseline_ua
+        if dt <= half:  # charging ramp
+            return self.baseline_ua + rate * dt
+        if dt <= self.epoch_fs:  # discharging ramp
+            return self.critical_current_ua - rate * (dt - half)
+        return self.baseline_ua
+
+    # -- figure reproduction ------------------------------------------------------
+    def simulate(
+        self,
+        input_time_fs: int,
+        n_epochs: int = 2,
+        n_samples: int = 3_000,
+    ) -> IntegratorTrace:
+        """Render all Fig 11 signals around one buffered pulse."""
+        t_end = self.epoch_fs * max(n_epochs, 2)
+        time = np.linspace(0, t_end, n_samples)
+        out_time = self.output_time(input_time_fs)
+        half = self.epoch_fs / 2
+
+        current = np.array([self.current_ua(t, input_time_fs) for t in time])
+        epoch_marks = pulses_to_trace(
+            "E",
+            [k * self.epoch_fs for k in range(max(n_epochs, 2) + 1)],
+            0,
+            t_end,
+            n_samples,
+        )
+        input_pulse = pulses_to_trace("IN", [input_time_fs], 0, t_end, n_samples)
+        output_pulse = pulses_to_trace("OUT", [out_time], 0, t_end, n_samples)
+        # Node voltages: L_a pulses when charging starts/stops (switch 1 and
+        # the J1 kickback); L_b pulses at discharge start and the J2 kickback.
+        node_a = pulses_to_trace(
+            "L_a",
+            [input_time_fs, int(input_time_fs + half)],
+            0,
+            t_end,
+            n_samples,
+            amplitude_mv=1.0,
+        )
+        node_b = pulses_to_trace(
+            "L_b",
+            [int(input_time_fs + half), out_time],
+            0,
+            t_end,
+            n_samples,
+            amplitude_mv=1.0,
+        )
+        current_trace = Trace("I_L", time, current, unit="uA")
+        return IntegratorTrace(
+            epoch_marks, input_pulse, node_a, node_b, current_trace, output_pulse
+        )

@@ -1,0 +1,76 @@
+"""Voltage-trace rendering of SFQ pulse trains.
+
+SFQ pulses are ~2 ps wide, tens-of-mV spikes whose time integral is one
+flux quantum; for figure reproduction we render each as a Gaussian.  A
+:class:`Trace` bundles the sampled arrays with a label so experiments can
+print aligned multi-signal timelines (Figs 7 and 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+
+@dataclass
+class Trace:
+    """One named, sampled waveform."""
+
+    label: str
+    time_fs: np.ndarray
+    value: np.ndarray
+    unit: str = "mV"
+
+    def at(self, time_fs: float) -> float:
+        """Linearly interpolated value at a time."""
+        return float(np.interp(time_fs, self.time_fs, self.value))
+
+    def peak_times(self, threshold: float = None) -> List[float]:
+        """Times of local maxima above ``threshold`` (half-max default)."""
+        if threshold is None:
+            threshold = 0.5 * float(np.max(self.value)) if self.value.size else 0.0
+        peaks = []
+        v = self.value
+        for i in range(1, len(v) - 1):
+            if v[i] >= threshold and v[i] >= v[i - 1] and v[i] > v[i + 1]:
+                peaks.append(float(self.time_fs[i]))
+        return peaks
+
+    def ascii_sparkline(self, width: int = 72) -> str:
+        """Terminal-friendly rendering for experiment reports."""
+        if self.value.size == 0:
+            return ""
+        levels = " .:-=+*#%@"
+        resampled = np.interp(
+            np.linspace(self.time_fs[0], self.time_fs[-1], width),
+            self.time_fs,
+            self.value,
+        )
+        low, high = float(np.min(resampled)), float(np.max(resampled))
+        span = (high - low) or 1.0
+        chars = [
+            levels[min(len(levels) - 1, int((v - low) / span * (len(levels) - 1)))]
+            for v in resampled
+        ]
+        return "".join(chars)
+
+
+def pulses_to_trace(
+    label: str,
+    pulse_times_fs: Sequence[int],
+    t_start: int,
+    t_end: int,
+    n_samples: int = 2_000,
+    pulse_width_fs: float = 2_000.0,
+    amplitude_mv: float = 0.5,
+) -> Trace:
+    """Render a pulse train as a Gaussian-spike voltage trace."""
+    time = np.linspace(t_start, t_end, n_samples)
+    value = np.zeros_like(time)
+    sigma = pulse_width_fs / 2.355  # FWHM -> sigma
+    for pulse_time in pulse_times_fs:
+        if t_start - 5 * sigma <= pulse_time <= t_end + 5 * sigma:
+            value += amplitude_mv * np.exp(-0.5 * ((time - pulse_time) / sigma) ** 2)
+    return Trace(label, time, value)

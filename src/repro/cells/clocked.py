@@ -1,0 +1,82 @@
+"""Clocked Boolean gates — the binary-RSFQ way of computing.
+
+In RSFQ, AND/OR/XOR are *synchronous*: input pulses park flux in input
+latches and a clock pulse evaluates the function, emits the result, and
+clears the latches.  This is the paper's motivating pain point (section
+1): "almost every cell in the design must be synchronized with a global
+clock", which is exactly what the U-SFQ datapath avoids.  These cells
+power the gate-level binary adder in :mod:`repro.core.binary_adder`, the
+substrate for structural unary-vs-binary comparisons.
+"""
+
+from __future__ import annotations
+
+from repro.models import technology as tech
+from repro.pulsesim.element import Element, PortSpec
+
+#: JJ budgets for clocked Boolean gates (RSFQ cell libraries [11, 58]).
+JJ_AND = 11
+JJ_OR = 9
+JJ_XOR = 11
+
+
+class _ClockedGate(Element):
+    """Shared machinery: latch ``a``/``b`` pulses, evaluate on ``clk``."""
+
+    INPUTS = (
+        PortSpec("a", priority=0),
+        PortSpec("b", priority=0),
+        PortSpec("clk", priority=1),
+    )
+    OUTPUTS = ("q",)
+
+    def __init__(self, name: str, delay: int = tech.T_DFF_FS):
+        super().__init__(name)
+        self.delay = delay
+        self._a = False
+        self._b = False
+
+    def evaluate(self, a: bool, b: bool) -> bool:
+        raise NotImplementedError
+
+    def handle(self, sim, port, time):
+        if port == "a":
+            self._a = True
+        elif port == "b":
+            self._b = True
+        else:  # clk: evaluate, emit, clear
+            if self.evaluate(self._a, self._b):
+                self.emit(sim, "q", time + self.delay)
+            self._a = False
+            self._b = False
+
+    def reset(self):
+        self._a = False
+        self._b = False
+
+
+class ClockedAnd(_ClockedGate):
+    """Synchronous AND: pulses on q iff both inputs pulsed this cycle."""
+
+    jj_count = JJ_AND
+
+    def evaluate(self, a, b):
+        return a and b
+
+
+class ClockedOr(_ClockedGate):
+    """Synchronous OR: pulses on q iff either input pulsed this cycle."""
+
+    jj_count = JJ_OR
+
+    def evaluate(self, a, b):
+        return a or b
+
+
+class ClockedXor(_ClockedGate):
+    """Synchronous XOR: pulses on q iff exactly one input pulsed."""
+
+    jj_count = JJ_XOR
+
+    def evaluate(self, a, b):
+        return a != b

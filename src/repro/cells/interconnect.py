@@ -1,0 +1,89 @@
+"""Stateless interconnect cells: JTL, splitter, merger.
+
+The merger is the one interconnect cell with interesting dynamics: two
+pulses arriving within its dead time collide and only one propagates
+(paper Fig 5b).  The cell counts collisions so experiments can report
+pulse-loss statistics.
+"""
+
+from __future__ import annotations
+
+from repro.models import technology as tech
+from repro.pulsesim.element import Element, PortSpec
+
+
+class Jtl(Element):
+    """Josephson transmission line segment: a pure delay buffer."""
+
+    INPUTS = ("a",)
+    OUTPUTS = ("q",)
+    jj_count = tech.JJ_JTL
+
+    def __init__(self, name: str, delay: int = tech.T_JTL_FS):
+        super().__init__(name)
+        self.delay = delay
+
+    def handle(self, sim, port, time):
+        self.emit(sim, "q", time + self.delay)
+
+
+class Splitter(Element):
+    """1:2 splitter: every input pulse appears at both outputs."""
+
+    INPUTS = ("a",)
+    OUTPUTS = ("q1", "q2")
+    jj_count = tech.JJ_SPLITTER
+
+    def __init__(self, name: str, delay: int = tech.T_SPLITTER_FS):
+        super().__init__(name)
+        self.delay = delay
+
+    def handle(self, sim, port, time):
+        self.emit(sim, "q1", time + self.delay)
+        self.emit(sim, "q2", time + self.delay)
+
+
+class Merger(Element):
+    """2:1 confluence buffer with collision dead time.
+
+    A pulse at either input normally produces one output pulse.  If a pulse
+    arrives less than ``dead_time`` after the previously accepted pulse, it
+    is absorbed (the SQUID has not yet recovered) and counted in
+    :attr:`collisions` — the error mode of the merger-based unary adder
+    (section 4.2-A).
+    """
+
+    INPUTS = ("a", "b")
+    OUTPUTS = ("q",)
+    jj_count = tech.JJ_MERGER
+
+    def __init__(
+        self,
+        name: str,
+        delay: int = tech.T_MERGER_FS,
+        dead_time: int = tech.T_MERGER_DEAD_FS,
+    ):
+        super().__init__(name)
+        self.delay = delay
+        self.dead_time = dead_time
+        self._last_accept: int = None
+        self.collisions = 0
+
+    def handle(self, sim, port, time):
+        if self._last_accept is not None and time - self._last_accept < self.dead_time:
+            self.collisions += 1
+            return
+        self._last_accept = time
+        self.emit(sim, "q", time + self.delay)
+
+    def reset(self):
+        self._last_accept = None
+        self.collisions = 0
+
+
+class IdealMerger(Merger):
+    """Merger with zero dead time, for netlists where collision-freedom is
+    guaranteed by construction and we want exact pulse conservation."""
+
+    def __init__(self, name: str, delay: int = tech.T_MERGER_FS):
+        super().__init__(name, delay=delay, dead_time=0)

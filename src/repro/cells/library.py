@@ -1,0 +1,70 @@
+"""Cell catalogue: JJ counts, delays, and short descriptions (Table 1).
+
+This module gives experiments and documentation one queryable view of the
+cell library; the behavioural classes themselves live in the sibling
+modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.models import technology as tech
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """Catalogue entry for one RSFQ cell."""
+
+    acronym: str
+    jj_count: int
+    delay_fs: int
+    summary: str
+
+
+CELL_SPECS: Dict[str, CellSpec] = {
+    "jtl": CellSpec("JTL", tech.JJ_JTL, tech.T_JTL_FS,
+                    "Acts as a buffer, sharpening the output pulse."),
+    "splitter": CellSpec("S", tech.JJ_SPLITTER, tech.T_SPLITTER_FS,
+                         "Produces a pulse at both outputs per input pulse."),
+    "merger": CellSpec("M", tech.JJ_MERGER, tech.T_MERGER_FS,
+                       "Produces a pulse at the output for a pulse at either input."),
+    "fa": CellSpec("FA", tech.JJ_FA, tech.T_FA_FS,
+                   "Output pulse at the first input pulse on either input."),
+    "la": CellSpec("LA", tech.JJ_FA, tech.T_FA_FS,
+                   "Output pulse once both inputs have arrived (Race-Logic max)."),
+    "dff": CellSpec("DFF", tech.JJ_DFF, tech.T_DFF_FS,
+                    "S sets the SQUID; R (clock) resets and generates an output pulse."),
+    "dff2": CellSpec("DFF2", tech.JJ_DFF2, tech.T_DFF2_FS,
+                     "A sets the SQUID; C1 (C2) resets and pulses Y1 (Y2)."),
+    "tff": CellSpec("TFF", tech.JJ_TFF, tech.T_TFF_FS,
+                    "Divide-by-two toggle flip-flop."),
+    "tff2": CellSpec("TFF2", tech.JJ_TFF2, tech.T_TFF_FS,
+                     "Distributes incoming pulses through alternating output ports."),
+    "ndro": CellSpec("NDRO", tech.JJ_NDRO, tech.T_NDRO_FS,
+                     "S/R/Q resemble a DFF; CLK reads the state without altering it."),
+    "inverter": CellSpec("INV", tech.JJ_INVERTER, tech.T_INV_FS,
+                         "Clocked inverter: pulses on CLK iff no data pulse since last CLK."),
+    "bff": CellSpec("BFF", tech.JJ_BFF, tech.T_DFF_FS,
+                    "Single quantizing loop with four inputs and two stationary states."),
+    "mux": CellSpec("MUX", tech.JJ_MUX, tech.T_MUX_FS,
+                    "2:1 flux-state-selected multiplexer."),
+    "demux": CellSpec("DEMUX", tech.JJ_DEMUX, tech.T_MUX_FS,
+                      "1:2 flux-state-selected demultiplexer."),
+    "and": CellSpec("AND", 11, tech.T_DFF_FS,
+                    "Clocked AND: latches inputs, evaluates and clears on CLK."),
+    "or": CellSpec("OR", 9, tech.T_DFF_FS,
+                   "Clocked OR: latches inputs, evaluates and clears on CLK."),
+    "xor": CellSpec("XOR", 11, tech.T_DFF_FS,
+                    "Clocked XOR: latches inputs, evaluates and clears on CLK."),
+}
+
+
+def cell_spec(name: str) -> CellSpec:
+    """Look up a cell's catalogue entry by lower-case name."""
+    try:
+        return CELL_SPECS[name]
+    except KeyError:
+        known = ", ".join(sorted(CELL_SPECS))
+        raise KeyError(f"unknown cell {name!r}; known cells: {known}") from None

@@ -1,0 +1,102 @@
+"""Logic cells: the clocked inverter and the first-arrival (FA) gate.
+
+The inverter produces the *complement* of a pulse stream against a
+reference clock — the building block that turns the unipolar NDRO
+multiplier into the bipolar (XNOR-style) multiplier of Fig 3c.  The FA
+gate computes the Race-Logic ``min`` (Fig 2a) in 8 JJs.
+"""
+
+from __future__ import annotations
+
+from repro.models import technology as tech
+from repro.pulsesim.element import Element, PortSpec
+
+
+class Inverter(Element):
+    """Clocked RSFQ inverter.
+
+    Emits a pulse at ``q`` on each ``clk`` pulse iff no data pulse arrived
+    at ``a`` since the previous clock.  With ``clk`` running at the epoch's
+    maximum pulse rate, the output stream carries ``n_max - n`` pulses for
+    an ``n``-pulse input stream: the stream complement ``1 - p``.
+    """
+
+    INPUTS = (PortSpec("a", priority=0), PortSpec("clk", priority=1))
+    OUTPUTS = ("q",)
+    jj_count = tech.JJ_INVERTER
+
+    def __init__(self, name: str, delay: int = tech.T_INV_FS):
+        super().__init__(name)
+        self.delay = delay
+        self._armed = True  # True -> no data pulse seen since last clock
+
+    def handle(self, sim, port, time):
+        if port == "a":
+            self._armed = False
+        else:  # clk
+            if self._armed:
+                self.emit(sim, "q", time + self.delay)
+            self._armed = True
+
+    def reset(self):
+        self._armed = True
+
+
+class LastArrival(Element):
+    """LA gate: one output pulse when *both* inputs have arrived.
+
+    The Race-Logic ``max``: a Muller-C-style coincidence element that
+    fires at the later of the two pulses; ``reset`` re-arms it for the
+    next epoch.
+    """
+
+    INPUTS = (PortSpec("reset", priority=0), PortSpec("a", priority=1), PortSpec("b", priority=1))
+    OUTPUTS = ("q",)
+    jj_count = tech.JJ_FA  # same SQUID complexity class as the FA gate
+
+    def __init__(self, name: str, delay: int = tech.T_FA_FS):
+        super().__init__(name)
+        self.delay = delay
+        self._seen = {"a": False, "b": False}
+        self._fired = False
+
+    def handle(self, sim, port, time):
+        if port == "reset":
+            self._seen = {"a": False, "b": False}
+            self._fired = False
+            return
+        self._seen[port] = True
+        if self._seen["a"] and self._seen["b"] and not self._fired:
+            self._fired = True
+            self.emit(sim, "q", time + self.delay)
+
+    def reset(self):
+        self._seen = {"a": False, "b": False}
+        self._fired = False
+
+
+class FirstArrival(Element):
+    """FA gate: one output pulse at the first input pulse after (re)arming.
+
+    In Race Logic ``min(A, B)`` is simply the earlier of the two pulses
+    (Fig 2a); ``reset`` re-arms the gate for the next epoch.
+    """
+
+    INPUTS = (PortSpec("reset", priority=0), PortSpec("a", priority=1), PortSpec("b", priority=1))
+    OUTPUTS = ("q",)
+    jj_count = tech.JJ_FA
+
+    def __init__(self, name: str, delay: int = tech.T_FA_FS):
+        super().__init__(name)
+        self.delay = delay
+        self._armed = True
+
+    def handle(self, sim, port, time):
+        if port == "reset":
+            self._armed = True
+        elif self._armed:
+            self._armed = False
+            self.emit(sim, "q", time + self.delay)
+
+    def reset(self):
+        self._armed = True

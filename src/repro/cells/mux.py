@@ -1,0 +1,69 @@
+"""RSFQ multiplexer and demultiplexer (Zheng et al. 1999 — paper ref [57]).
+
+Used by the integrator-based memory cell (Fig 10d) to interleave its two
+buffers: while one buffer delays the previous epoch's pulse, the other
+accepts the current epoch's input.  Selection is flux-state based: a pulse
+on ``sel0``/``sel1`` steers subsequent data pulses to/from channel 0/1.
+"""
+
+from __future__ import annotations
+
+from repro.models import technology as tech
+from repro.pulsesim.element import Element, PortSpec
+
+
+class Demux(Element):
+    """1:2 demultiplexer: routes ``a`` pulses to ``q0`` or ``q1``."""
+
+    INPUTS = (
+        PortSpec("sel0", priority=0),
+        PortSpec("sel1", priority=0),
+        PortSpec("a", priority=1),
+    )
+    OUTPUTS = ("q0", "q1")
+    jj_count = tech.JJ_DEMUX
+
+    def __init__(self, name: str, delay: int = tech.T_MUX_FS):
+        super().__init__(name)
+        self.delay = delay
+        self.select = 0
+
+    def handle(self, sim, port, time):
+        if port == "sel0":
+            self.select = 0
+        elif port == "sel1":
+            self.select = 1
+        else:
+            self.emit(sim, "q0" if self.select == 0 else "q1", time + self.delay)
+
+    def reset(self):
+        self.select = 0
+
+
+class Mux(Element):
+    """2:1 multiplexer: passes the selected channel's pulses to ``q``."""
+
+    INPUTS = (
+        PortSpec("sel0", priority=0),
+        PortSpec("sel1", priority=0),
+        PortSpec("a0", priority=1),
+        PortSpec("a1", priority=1),
+    )
+    OUTPUTS = ("q",)
+    jj_count = tech.JJ_MUX
+
+    def __init__(self, name: str, delay: int = tech.T_MUX_FS):
+        super().__init__(name)
+        self.delay = delay
+        self.select = 0
+
+    def handle(self, sim, port, time):
+        if port == "sel0":
+            self.select = 0
+        elif port == "sel1":
+            self.select = 1
+        elif (port == "a0" and self.select == 0) or (port == "a1" and self.select == 1):
+            self.emit(sim, "q", time + self.delay)
+
+    def reset(self):
+        self.select = 0

@@ -1,0 +1,112 @@
+"""Storage cells: DFF, DFF2, NDRO.
+
+Port priorities encode the conventions the U-SFQ datapath depends on when
+pulses coincide exactly (see :mod:`repro.pulsesim.element`):
+
+* ``Ndro``: ``reset`` < ``set`` < ``clk``.  A Race-Logic pulse landing on
+  the reset port in the same time slot as a stream pulse on the clock port
+  blocks that slot — slot ``d`` passes slots ``0..d-1``, the multiplication
+  convention of Fig 3b.
+* ``Dff``: ``d`` < ``clk`` so a set in the same instant as the read is
+  observed (conservative capture).
+"""
+
+from __future__ import annotations
+
+from repro.models import technology as tech
+from repro.pulsesim.element import Element, PortSpec
+
+
+class Dff(Element):
+    """Destructive-readout D flip-flop: ``d`` sets, ``clk`` reads & clears."""
+
+    INPUTS = (PortSpec("d", priority=0), PortSpec("clk", priority=1))
+    OUTPUTS = ("q",)
+    jj_count = tech.JJ_DFF
+
+    def __init__(self, name: str, delay: int = tech.T_DFF_FS):
+        super().__init__(name)
+        self.delay = delay
+        self.state = 0
+
+    def handle(self, sim, port, time):
+        if port == "d":
+            self.state = 1
+        else:  # clk
+            if self.state:
+                self.state = 0
+                self.emit(sim, "q", time + self.delay)
+
+    def reset(self):
+        self.state = 0
+
+
+class Dff2(Element):
+    """Dual-readout DFF: ``a`` sets; ``c1``/``c2`` reset and pulse ``y1``/``y2``.
+
+    This is the output-stage cell of the proposed balancer (Fig 6b): each
+    incoming data pulse parks a flux quantum that either control line can
+    later steer to its own output.
+    """
+
+    INPUTS = (
+        PortSpec("a", priority=0),
+        PortSpec("c1", priority=1),
+        PortSpec("c2", priority=1),
+    )
+    OUTPUTS = ("y1", "y2")
+    jj_count = tech.JJ_DFF2
+
+    def __init__(self, name: str, delay: int = tech.T_DFF2_FS):
+        super().__init__(name)
+        self.delay = delay
+        self.state = 0
+
+    def handle(self, sim, port, time):
+        if port == "a":
+            self.state = 1
+        elif self.state:
+            self.state = 0
+            output = "y1" if port == "c1" else "y2"
+            self.emit(sim, output, time + self.delay)
+
+    def reset(self):
+        self.state = 0
+
+
+class Ndro(Element):
+    """Non-destructive readout cell.
+
+    ``set``/``reset`` write the SQUID; ``clk`` reads without altering the
+    state, emitting a pulse at ``q`` iff the state is 1.  The cell is the
+    U-SFQ multiplier (Fig 3c): ``set`` <- epoch start, ``reset`` <- the
+    Race-Logic operand, ``clk`` <- the pulse-stream operand.
+    """
+
+    INPUTS = (
+        PortSpec("reset", priority=0),
+        PortSpec("set", priority=1),
+        PortSpec("clk", priority=2),
+    )
+    OUTPUTS = ("q",)
+    jj_count = tech.JJ_NDRO
+
+    def __init__(self, name: str, delay: int = tech.T_NDRO_FS):
+        super().__init__(name)
+        self.delay = delay
+        self.state = 0
+        self.reads = 0
+
+    def handle(self, sim, port, time):
+        if port == "set":
+            self.state = 1
+        elif port == "reset":
+            self.state = 0
+        else:  # clk
+            self.reads += 1
+            if self.state:
+                self.emit(sim, "q", time + self.delay)
+
+    def reset(self):
+        self.state = 0
+        self.reads = 0

@@ -1,0 +1,59 @@
+"""Toggle cells: TFF (divide-by-two) and TFF2 (alternating dual output).
+
+The TFF2 "works like a demultiplexer, splitting up a data stream into two
+signal lines" (paper section 4.3); chained TFF2s form the proposed
+pulse-number multiplier whose stream "resembles a train of pulses with a
+uniform rate" (Fig 9b).
+"""
+
+from __future__ import annotations
+
+from repro.models import technology as tech
+from repro.pulsesim.element import Element
+
+
+class Tff(Element):
+    """Toggle flip-flop used as a frequency divider.
+
+    Emits one output pulse for every *second* input pulse (on the pulse
+    that completes a full loop oscillation).
+    """
+
+    INPUTS = ("a",)
+    OUTPUTS = ("q",)
+    jj_count = tech.JJ_TFF
+
+    def __init__(self, name: str, delay: int = tech.T_TFF_FS):
+        super().__init__(name)
+        self.delay = delay
+        self.state = 0
+
+    def handle(self, sim, port, time):
+        self.state ^= 1
+        if self.state == 0:
+            self.emit(sim, "q", time + self.delay)
+
+    def reset(self):
+        self.state = 0
+
+
+class Tff2(Element):
+    """Dual-port toggle flip-flop: input pulses alternate between ``q1``
+    and ``q2``, starting with ``q1``."""
+
+    INPUTS = ("a",)
+    OUTPUTS = ("q1", "q2")
+    jj_count = tech.JJ_TFF2
+
+    def __init__(self, name: str, delay: int = tech.T_TFF_FS):
+        super().__init__(name)
+        self.delay = delay
+        self.state = 0
+
+    def handle(self, sim, port, time):
+        output = "q1" if self.state == 0 else "q2"
+        self.state ^= 1
+        self.emit(sim, output, time + self.delay)
+
+    def reset(self):
+        self.state = 0

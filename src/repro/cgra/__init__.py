@@ -1,0 +1,41 @@
+"""A coarse-grained reconfigurable array (CGRA) built from U-SFQ PEs.
+
+Section 5.2 positions the 126-JJ processing element as the core of
+"CGRAs or Spatial Architectures (SpA) for CNNs" (Fig 13b).  This package
+supplies the fabric around the PE:
+
+* :mod:`repro.cgra.kernel` — dataflow kernels: DAGs of the operations the
+  PE natively supports (multiply, add, multiply-accumulate);
+* :mod:`repro.cgra.fabric` — the PE grid with Race-Logic interconnect
+  (inter-PE hops ride integrator buffers, costing one epoch per hop);
+* :mod:`repro.cgra.mapper` — greedy placement minimising wire length;
+* :mod:`repro.cgra.executor` — epoch-accurate functional execution with
+  the PE's unary quantisation semantics, plus latency/area reports.
+
+Typical usage::
+
+    from repro.cgra import Kernel, Fabric, map_kernel, execute
+
+    k = Kernel("saxpy")
+    k.input("x"); k.input("y"); k.const("a", 0.5)
+    k.node("scaled", "mul", ["a", "x"])
+    k.node("out", "add", ["scaled", "y"], output=True)
+
+    fabric = Fabric(rows=2, cols=2, epoch=EpochSpec(bits=8))
+    mapping = map_kernel(k, fabric)
+    result = execute(k, fabric, mapping, {"x": 0.5, "y": 0.25})
+"""
+
+from repro.cgra.executor import ExecutionReport, execute
+from repro.cgra.fabric import Fabric
+from repro.cgra.kernel import Kernel
+from repro.cgra.mapper import Mapping, map_kernel
+
+__all__ = [
+    "ExecutionReport",
+    "Fabric",
+    "Kernel",
+    "Mapping",
+    "execute",
+    "map_kernel",
+]

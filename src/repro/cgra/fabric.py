@@ -1,0 +1,110 @@
+"""The PE grid and its Race-Logic interconnect.
+
+A :class:`Fabric` is a ``rows x cols`` array of 126-JJ PEs (Fig 13b).
+Inter-PE communication uses the PEs' natural Race-Logic interface: a
+producer's RL pulse rides a chain of integrator memory cells to the
+consumer, costing **one epoch per grid hop** (each buffer delays exactly
+one epoch) and one memory cell of area per hop.  External inputs enter at
+the fabric edge at no hop cost (the usual CGRA I/O assumption).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.buffer import MEMORY_CELL_JJ
+from repro.core.pe import PE_JJ
+from repro.encoding.epoch import EpochSpec
+from repro.errors import ConfigurationError
+from repro.models import latency as latency_model
+
+
+@dataclass(frozen=True)
+class Site:
+    """One grid position."""
+
+    row: int
+    col: int
+
+    def distance(self, other: "Site") -> int:
+        """Manhattan hop count."""
+        return abs(self.row - other.row) + abs(self.col - other.col)
+
+
+class Fabric:
+    """A grid of U-SFQ PEs with buffered Race-Logic links."""
+
+    def __init__(self, rows: int, cols: int, epoch: EpochSpec):
+        if rows < 1 or cols < 1:
+            raise ConfigurationError(f"fabric must be >= 1x1, got {rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+        self.epoch = epoch
+
+    @property
+    def n_pes(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def sites(self) -> List[Site]:
+        return [Site(r, c) for r in range(self.rows) for c in range(self.cols)]
+
+    def contains(self, site: Site) -> bool:
+        return 0 <= site.row < self.rows and 0 <= site.col < self.cols
+
+    def hop_epochs(self, producer: Site, consumer: Site) -> int:
+        """Epochs a value spends in transit between two sites.
+
+        Co-located or adjacent PEs hand off within the natural one-epoch
+        pipeline stage; each additional Manhattan hop adds a buffered
+        epoch.
+        """
+        for site in (producer, consumer):
+            if not self.contains(site):
+                raise ConfigurationError(f"site {site} outside the fabric")
+        return max(0, producer.distance(consumer) - 1)
+
+    def link_jj(self, producer: Site, consumer: Site) -> int:
+        """Interconnect area: one memory cell per buffered hop."""
+        return self.hop_epochs(producer, consumer) * MEMORY_CELL_JJ
+
+    def pe_epoch_fs(self) -> int:
+        """One PE pipeline stage: a full computing epoch."""
+        return self.epoch.duration_fs
+
+    @property
+    def pe_array_jj(self) -> int:
+        return self.n_pes * PE_JJ
+
+    def epochs_to_fs(self, epochs: int) -> int:
+        return epochs * self.pe_epoch_fs()
+
+    def describe(self) -> str:
+        ghz = 1e6 / self.epoch.slot_fs
+        return (
+            f"{self.rows}x{self.cols} U-SFQ fabric, {self.epoch.bits}-bit "
+            f"epochs ({self.epoch.n_max} slots @ {ghz:.0f} GHz pulse rate), "
+            f"{self.pe_array_jj:,} JJs of PEs"
+        )
+
+
+def equivalent_binary_fabric_jj(n_pes: int, bits: int) -> float:
+    """What the same PE count costs in binary SFQ (for area comparisons)."""
+    from repro.models import area
+
+    if n_pes < 1:
+        raise ConfigurationError(f"need >= 1 PE, got {n_pes}")
+    return n_pes * area.pe_binary_jj(bits)
+
+
+def fabric_throughput_gops(fabric: Fabric, active_pes: int) -> float:
+    """Aggregate MACs per second with ``active_pes`` busy every epoch."""
+    if not 0 <= active_pes <= fabric.n_pes:
+        raise ConfigurationError(
+            f"active_pes must be in [0, {fabric.n_pes}], got {active_pes}"
+        )
+    if active_pes == 0:
+        return 0.0
+    per_pe = latency_model.throughput_gops(fabric.pe_epoch_fs())
+    return per_pe * active_pes

@@ -1,0 +1,138 @@
+"""Dataflow kernels: DAGs of PE-native operations.
+
+The U-SFQ PE natively computes, per epoch (section 5.2):
+
+* ``mul`` — In1 (RL) x In2 (stream),
+* ``add`` — (In2 + In3) / 2 with In1 pinned to one (the balancer halves;
+  the executor's decode compensates the factor),
+* ``mac`` — (In1 x In2 + In3) / 2.
+
+A :class:`Kernel` is a named DAG over these; sources are external inputs
+or compile-time constants, and any node may be marked an output.  Values
+are unipolar ([0, 1]) — the PE array of Fig 13 is a unipolar fabric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+OPERATIONS = {"mul": 2, "add": 2, "mac": 3}
+
+
+@dataclass(frozen=True)
+class Node:
+    """One PE-mapped operation."""
+
+    name: str
+    op: str
+    inputs: tuple
+    output: bool = False
+
+
+class Kernel:
+    """A dataflow DAG in construction order (which must be topological)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.nodes: Dict[str, Node] = {}
+        self.inputs: List[str] = []
+        self.constants: Dict[str, float] = {}
+        self._order: List[str] = []
+
+    # -- construction ------------------------------------------------------
+    def input(self, name: str) -> str:
+        """Declare an external input."""
+        self._check_fresh(name)
+        self.inputs.append(name)
+        return name
+
+    def const(self, name: str, value: float) -> str:
+        """Declare a compile-time constant (unipolar)."""
+        self._check_fresh(name)
+        if not 0.0 <= value <= 1.0:
+            raise ConfigurationError(
+                f"constants must be unipolar in [0, 1], got {value}"
+            )
+        self.constants[name] = value
+        return name
+
+    def node(
+        self,
+        name: str,
+        op: str,
+        inputs: Sequence[str],
+        output: bool = False,
+    ) -> str:
+        """Add an operation node reading declared names."""
+        self._check_fresh(name)
+        if op not in OPERATIONS:
+            raise ConfigurationError(
+                f"op must be one of {sorted(OPERATIONS)}, got {op!r}"
+            )
+        if len(inputs) != OPERATIONS[op]:
+            raise ConfigurationError(
+                f"{op} takes {OPERATIONS[op]} inputs, got {len(inputs)}"
+            )
+        for source in inputs:
+            if not self.is_declared(source):
+                raise ConfigurationError(
+                    f"node {name!r} reads undeclared source {source!r} "
+                    "(construction order must be topological)"
+                )
+        self.nodes[name] = Node(name, op, tuple(inputs), output)
+        self._order.append(name)
+        return name
+
+    def _check_fresh(self, name: str) -> None:
+        if self.is_declared(name):
+            raise ConfigurationError(f"name {name!r} already declared")
+
+    # -- queries -----------------------------------------------------------
+    def is_declared(self, name: str) -> bool:
+        return (
+            name in self.nodes or name in self.inputs or name in self.constants
+        )
+
+    @property
+    def order(self) -> List[str]:
+        """Node names in (topological) construction order."""
+        return list(self._order)
+
+    @property
+    def outputs(self) -> List[str]:
+        return [n.name for n in self.nodes.values() if n.output]
+
+    def validate(self) -> None:
+        """A runnable kernel has at least one node and one output."""
+        if not self.nodes:
+            raise ConfigurationError(f"kernel {self.name!r} has no nodes")
+        if not self.outputs:
+            raise ConfigurationError(f"kernel {self.name!r} marks no outputs")
+
+    def reference(self, values: Dict[str, float]) -> Dict[str, float]:
+        """Float (unquantised) evaluation, for accuracy comparisons.
+
+        Mirrors the PE semantics including the balancer's halving, which
+        the executor's decode undoes; here we return the *logical* values
+        (mul = a*b, add = a+b, mac = a*b+c), saturated to 1.
+        """
+        self.validate()
+        env = dict(self.constants)
+        for name in self.inputs:
+            if name not in values:
+                raise ConfigurationError(f"missing input {name!r}")
+            env[name] = values[name]
+        for name in self._order:
+            node = self.nodes[name]
+            operands = [env[s] for s in node.inputs]
+            if node.op == "mul":
+                result = operands[0] * operands[1]
+            elif node.op == "add":
+                result = operands[0] + operands[1]
+            else:  # mac
+                result = operands[0] * operands[1] + operands[2]
+            env[name] = min(1.0, result)
+        return {name: env[name] for name in self.outputs}

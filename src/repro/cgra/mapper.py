@@ -1,0 +1,87 @@
+"""Greedy placement of kernel nodes onto the fabric.
+
+Nodes are placed in topological order; each takes the free site with the
+lowest total Manhattan distance to its already-placed producers (external
+inputs and constants are free — they stream in from the edge).  Greedy
+nearest-producer placement is the classic CGRA baseline heuristic; it
+keeps buffered hops (one epoch + one memory cell each) low without an
+expensive search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.cgra.fabric import Fabric, Site
+from repro.cgra.kernel import Kernel
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class Mapping:
+    """A placement of kernel nodes on fabric sites."""
+
+    kernel_name: str
+    placement: Dict[str, Site] = field(default_factory=dict)
+
+    def site_of(self, node: str) -> Site:
+        try:
+            return self.placement[node]
+        except KeyError:
+            raise ConfigurationError(f"node {node!r} is not placed") from None
+
+    @property
+    def pes_used(self) -> int:
+        return len(self.placement)
+
+    def total_wire_hops(self, kernel: Kernel, fabric: Fabric) -> int:
+        """Total buffered hops across all node-to-node edges."""
+        hops = 0
+        for node in kernel.nodes.values():
+            for source in node.inputs:
+                if source in kernel.nodes:
+                    hops += fabric.hop_epochs(
+                        self.site_of(source), self.site_of(node.name)
+                    )
+        return hops
+
+    def interconnect_jj(self, kernel: Kernel, fabric: Fabric) -> int:
+        """Memory-cell area of all buffered links."""
+        from repro.core.buffer import MEMORY_CELL_JJ
+
+        return self.total_wire_hops(kernel, fabric) * MEMORY_CELL_JJ
+
+
+def map_kernel(kernel: Kernel, fabric: Fabric) -> Mapping:
+    """Place every node; raises if the kernel outgrows the fabric."""
+    kernel.validate()
+    if len(kernel.nodes) > fabric.n_pes:
+        raise ConfigurationError(
+            f"kernel {kernel.name!r} has {len(kernel.nodes)} nodes but the "
+            f"fabric offers {fabric.n_pes} PEs"
+        )
+    mapping = Mapping(kernel.name)
+    free: List[Site] = list(fabric.sites)
+
+    for name in kernel.order:
+        node = kernel.nodes[name]
+        producers = [
+            mapping.placement[source]
+            for source in node.inputs
+            if source in mapping.placement
+        ]
+        if producers:
+            best = min(
+                free,
+                key=lambda site: (
+                    sum(site.distance(p) for p in producers),
+                    site.row,
+                    site.col,
+                ),
+            )
+        else:
+            best = free[0]  # edge-fed node: first free site (row-major)
+        mapping.placement[name] = best
+        free.remove(best)
+    return mapping

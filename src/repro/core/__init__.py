@@ -1,0 +1,87 @@
+"""U-SFQ building blocks and accelerators (paper sections 4 and 5).
+
+Structural netlist builders (running on :mod:`repro.pulsesim`) live next to
+fast *functional* models with identical quantisation semantics; tests
+cross-validate the two.  The accelerators compose the blocks:
+
+* :mod:`repro.core.pe` — processing element for CGRAs/spatial arrays,
+* :mod:`repro.core.dpu` — dot-product unit,
+* :mod:`repro.core.fir` — programmable FIR filter accelerator.
+"""
+
+from repro.core.adder import MergerAdder, merger_tree_output_count, staggered_offsets
+from repro.core.balancer import Balancer, build_structural_balancer
+from repro.core.counting import (
+    CountingNetwork,
+    counting_network_output_count,
+    build_counting_network,
+)
+from repro.core.multiplier import (
+    BipolarMultiplier,
+    UnipolarMultiplier,
+    bipolar_product_count,
+    build_bipolar_multiplier,
+    build_unipolar_multiplier,
+    unipolar_product_count,
+)
+from repro.core.pnm import BurstPnm, build_tff2_pnm, pnm_tick_pattern
+from repro.core.membank import CoefficientBank
+from repro.core.buffer import (
+    PulseIntegrator,
+    RlBuffer,
+    RlMemoryCell,
+    RlShiftRegister,
+)
+from repro.core.pe import PEModel, ProcessingElement, PEArray
+from repro.core.dpu import DotProductUnit, DpuModel
+from repro.core.fir import UnaryFirFilter, BinaryFirFilter
+from repro.core.fir_structural import StructuralUnaryFir
+from repro.core.binary_adder import RippleCarryAdder
+from repro.core.binary_multiplier import ShiftAddMultiplier
+from repro.core.racelogic_ops import (
+    RaceLogicAlu,
+    add_constant,
+    inhibit_slots,
+    max_slots,
+    min_slots,
+)
+
+__all__ = [
+    "Balancer",
+    "BinaryFirFilter",
+    "BipolarMultiplier",
+    "BurstPnm",
+    "CoefficientBank",
+    "CountingNetwork",
+    "DotProductUnit",
+    "DpuModel",
+    "MergerAdder",
+    "PEArray",
+    "PEModel",
+    "ProcessingElement",
+    "PulseIntegrator",
+    "RaceLogicAlu",
+    "RippleCarryAdder",
+    "RlBuffer",
+    "RlMemoryCell",
+    "RlShiftRegister",
+    "ShiftAddMultiplier",
+    "StructuralUnaryFir",
+    "UnaryFirFilter",
+    "UnipolarMultiplier",
+    "add_constant",
+    "inhibit_slots",
+    "max_slots",
+    "min_slots",
+    "bipolar_product_count",
+    "build_bipolar_multiplier",
+    "build_counting_network",
+    "build_structural_balancer",
+    "build_tff2_pnm",
+    "build_unipolar_multiplier",
+    "counting_network_output_count",
+    "merger_tree_output_count",
+    "pnm_tick_pattern",
+    "staggered_offsets",
+    "unipolar_product_count",
+]

@@ -1,0 +1,273 @@
+"""The U-SFQ FIR filter accelerator and its binary baseline (section 5.4).
+
+The unary FIR composes every substrate the paper introduces: coefficients
+live in the NDRO memory bank and are read out as pulse streams through the
+TFF2-chain PNM; input samples are Race-Logic pulses delayed through the
+integrator-based RL shift register; each tap is a bipolar multiplier; and
+the tap products are summed by a counting network.  One output sample is
+produced per computing epoch.
+
+:class:`UnaryFirFilter` implements that pipeline functionally with exact
+pulse-count semantics (vectorised over the sample stream) plus hooks for
+the three physical error modes of section 5.4.1:
+
+* ``pulse_loss_rate`` — stream pulses lost to collisions/flux trapping.
+  Each lost pulse perturbs the decoded value by one ``1/2**bits`` weight;
+  losses hit the differential pulse-stream pair's rails symmetrically, so
+  the perturbation is zero-mean (this is what makes a 30 % loss cost only
+  ~4 dB at 16 bits — no pulse is a most-significant bit);
+* ``rl_loss_rate`` — a lost Race-Logic pulse (the NDRO is never reset, so
+  the whole stream passes: the sample is read as full scale).  The paper
+  calls this out as the damaging mode: "all the information is
+  concentrated in a single pulse";
+* ``rl_delay_rate``/``rl_delay_slots`` — RL pulses displaced outside their
+  expected time slot by delay variations (±30 % of a slot lands the pulse
+  in a neighbouring slot), shifting the operand by a slot or two.
+
+Two arithmetic modes are provided.  ``exact_counting=True`` (default) uses
+the counting network's physical ceil-cascade, whose output resolution is
+``2 * taps / 2**bits`` — coarse at low bit counts.  ``exact_counting=False``
+reproduces the paper's Octave model, which quantises operands and tap
+products but sums them at full precision (the benchmark suite carries an
+ablation comparing the two).
+
+:class:`BinaryFirFilter` is the fixed-point baseline with the paper's
+bit-flip error model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.buffer import MEMORY_CELL_JJ
+from repro.core.counting import counting_network_jj
+from repro.core.membank import membank_jj
+from repro.core.multiplier import MULTIPLIER_BIPOLAR_JJ
+from repro.core.pnm import pnm_jj, pnm_pass_counts
+from repro.encoding.epoch import EpochSpec
+from repro.errors import ConfigurationError
+
+
+def _next_pow2(value: int) -> int:
+    power = 1
+    while power < value:
+        power *= 2
+    return power
+
+
+class UnaryFirFilter:
+    """Bipolar U-SFQ FIR with pulse-count-exact semantics and error hooks.
+
+    Args:
+        epoch: Epoch geometry (bits -> resolution).
+        coefficients: Filter impulse response, values in [-1, 1].
+        pulse_loss_rate: Fraction of output-stream pulses lost (zero-mean
+            per-pulse perturbation; see module docstring).
+        rl_loss_rate: Per-tap probability that the sample's RL pulse is
+            lost for that tap's multiplier.
+        rl_delay_rate: Per-tap probability of an RL timing displacement.
+        rl_delay_slots: Maximum displacement in slots (default 1: a ±30 %
+            slot-delay variation lands in the neighbouring slot).
+        exact_counting: True for the physical counting-network cascade;
+            False for the paper's full-precision-sum Octave model.
+        seed: RNG seed for reproducible error injection.
+    """
+
+    def __init__(
+        self,
+        epoch: EpochSpec,
+        coefficients: Sequence[float],
+        pulse_loss_rate: float = 0.0,
+        rl_loss_rate: float = 0.0,
+        rl_delay_rate: float = 0.0,
+        rl_delay_slots: int = 1,
+        exact_counting: bool = True,
+        seed: Optional[int] = None,
+    ):
+        coefficients = np.asarray(coefficients, dtype=float)
+        if coefficients.ndim != 1 or coefficients.size < 1:
+            raise ConfigurationError("coefficients must be a non-empty 1-D array")
+        if np.any(np.abs(coefficients) > 1.0):
+            raise ConfigurationError("coefficients must lie in [-1, 1]")
+        for rate in (pulse_loss_rate, rl_loss_rate, rl_delay_rate):
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(f"error rates must be in [0, 1], got {rate}")
+        if rl_delay_slots < 1:
+            raise ConfigurationError(
+                f"rl_delay_slots must be >= 1, got {rl_delay_slots}"
+            )
+        self.epoch = epoch
+        self.coefficients = coefficients
+        self.taps = coefficients.size
+        self.length = _next_pow2(max(2, self.taps))
+        self.pulse_loss_rate = pulse_loss_rate
+        self.rl_loss_rate = rl_loss_rate
+        self.rl_delay_rate = rl_delay_rate
+        self.rl_delay_slots = rl_delay_slots
+        self.exact_counting = exact_counting
+        self.rng = np.random.default_rng(seed)
+
+        n_max = epoch.n_max
+        # Bipolar stream counts of the coefficients; padding taps encode
+        # bipolar zero (n_max / 2) so they contribute nothing to the sum.
+        # Counts are clipped to n_max - 1: the PNM's maximum burst.
+        counts = np.rint((coefficients + 1.0) / 2.0 * n_max).astype(np.int64)
+        self._h_counts = np.full(self.length, n_max // 2, dtype=np.int64)
+        self._h_counts[: self.taps] = np.clip(counts, 0, n_max - 1)
+
+    # -- area ------------------------------------------------------------------
+    @property
+    def jj_count(self) -> int:
+        """Datapath + memory JJ budget (the Fig 18c model)."""
+        from repro.models import area
+
+        return area.fir_unary_jj(self.taps, self.epoch.bits)
+
+    # -- filtering ---------------------------------------------------------------
+    def process(self, samples: Sequence[float]) -> np.ndarray:
+        """Filter a sample stream (values in [-1, 1]); returns the output.
+
+        Output sample ``n`` is ``sum_k h[k] * x[n-k]`` with U-SFQ
+        quantisation and any configured error injection.
+        """
+        samples = np.asarray(samples, dtype=float)
+        if samples.ndim != 1:
+            raise ConfigurationError("samples must be 1-D")
+        if samples.size == 0:
+            return np.zeros(0)
+        if np.any(np.abs(samples) > 1.0):
+            raise ConfigurationError("samples must lie in [-1, 1]")
+
+        n_max = self.epoch.n_max
+        n_samples = samples.size
+        slots = np.rint((samples + 1.0) / 2.0 * n_max).astype(np.int64)
+        slots = np.clip(slots, 0, n_max)
+
+        # Delay line: tap k sees x[n - k]; pre-history is bipolar zero.
+        lagged = np.full((n_samples, self.length), n_max // 2, dtype=np.int64)
+        for k in range(self.taps):
+            lagged[k:, k] = slots[: n_samples - k]
+
+        # Error (iii): RL displacement into a neighbouring slot.
+        if self.rl_delay_rate > 0.0:
+            hits = self.rng.random(lagged.shape) < self.rl_delay_rate
+            shift = self.rng.integers(
+                1, self.rl_delay_slots + 1, size=lagged.shape
+            ) * self.rng.choice([-1, 1], size=lagged.shape)
+            lagged = np.where(hits, np.clip(lagged + shift, 0, n_max), lagged)
+
+        # Error (ii): a lost RL pulse never resets the NDRO -> full scale.
+        if self.rl_loss_rate > 0.0:
+            hits = self.rng.random(lagged.shape) < self.rl_loss_rate
+            lagged = np.where(hits, n_max, lagged)
+
+        h = np.broadcast_to(self._h_counts, lagged.shape)
+        if self.exact_counting:
+            # Physical model.  Per tap, the top NDRO passes the PNM
+            # stream's ticks below the RL slot and the bottom passes the
+            # complement's remainder; the counting-network ceil cascade
+            # then reduces across taps (output carries <= n_max pulses).
+            top = pnm_pass_counts(h, lagged, self.epoch.bits)
+            counts = top + (n_max - lagged) - (h - top)
+            while counts.shape[-1] > 1:
+                counts = (counts[..., 0::2] + counts[..., 1::2] + 1) // 2
+            counts = counts[..., 0]
+        else:
+            # Paper's Octave model: operands are quantised to the unary
+            # grid but products and the across-tap sum are exact, so the
+            # only arithmetic noise left is the per-pulse weight.
+            h_b = 2.0 * h / n_max - 1.0
+            x_b = 2.0 * lagged / n_max - 1.0
+            tap_counts = (h_b * x_b + 1.0) / 2.0 * n_max
+            counts = np.rint(tap_counts.sum(axis=-1)).astype(np.int64)
+
+        # Error (i): stream pulses lost on the output lane; losses hit the
+        # differential pair's rails with equal probability, so each lost
+        # pulse perturbs the decoded value by +-weight with zero mean.
+        if self.pulse_loss_rate > 0.0:
+            lost = self.rng.binomial(counts, self.pulse_loss_rate)
+            signed = 2 * self.rng.binomial(lost, 0.5) - lost
+            counts = counts + signed
+
+        if self.exact_counting:
+            return (2.0 * counts / n_max - 1.0) * self.length
+        return 2.0 * counts / n_max - self.length
+
+    def ideal_response(self, samples: Sequence[float]) -> np.ndarray:
+        """Float reference: same topology, no quantisation, no errors."""
+        samples = np.asarray(samples, dtype=float)
+        out = np.convolve(samples, self.coefficients)[: samples.size]
+        return out
+
+
+class BinaryFirFilter:
+    """Fixed-point binary FIR baseline with the bit-flip error model.
+
+    Coefficients and samples are quantised to ``bits``-wide two's
+    complement fractions; with probability ``bit_flip_rate`` per output
+    sample one uniformly chosen bit of the result word flips — the paper's
+    binary error model, whose damage depends on the flipped bit's weight
+    (Fig 19b).
+    """
+
+    def __init__(
+        self,
+        bits: int,
+        coefficients: Sequence[float],
+        bit_flip_rate: float = 0.0,
+        seed: Optional[int] = None,
+    ):
+        if not 2 <= bits <= 24:
+            raise ConfigurationError(f"bits must be in [2, 24], got {bits}")
+        coefficients = np.asarray(coefficients, dtype=float)
+        if coefficients.ndim != 1 or coefficients.size < 1:
+            raise ConfigurationError("coefficients must be a non-empty 1-D array")
+        if not 0.0 <= bit_flip_rate <= 1.0:
+            raise ConfigurationError(
+                f"bit_flip_rate must be in [0, 1], got {bit_flip_rate}"
+            )
+        self.bits = bits
+        self.coefficients = coefficients
+        self.taps = coefficients.size
+        self.bit_flip_rate = bit_flip_rate
+        self.rng = np.random.default_rng(seed)
+        self._scale = 1 << (bits - 1)
+        self._h_fixed = self._quantise(coefficients)
+
+    @property
+    def jj_count(self) -> int:
+        from repro.models import area
+
+        return area.fir_binary_jj(self.taps, self.bits)
+
+    def _quantise(self, values: np.ndarray) -> np.ndarray:
+        fixed = np.rint(np.clip(values, -1.0, 1.0) * self._scale)
+        return np.clip(fixed, -self._scale, self._scale - 1).astype(np.int64)
+
+    def process(self, samples: Sequence[float]) -> np.ndarray:
+        """Filter a sample stream with fixed-point arithmetic + bit flips."""
+        samples = np.asarray(samples, dtype=float)
+        if samples.ndim != 1:
+            raise ConfigurationError("samples must be 1-D")
+        if samples.size == 0:
+            return np.zeros(0)
+        x_fixed = self._quantise(samples)
+        acc = np.convolve(x_fixed, self._h_fixed)[: samples.size]
+        # Accumulator keeps 2B-1 fractional bits; round back to B bits.
+        out = np.rint(acc / self._scale).astype(np.int64)
+        out = np.clip(out, -self._scale * self.taps, self._scale * self.taps)
+
+        if self.bit_flip_rate > 0.0:
+            hits = self.rng.random(out.size) < self.bit_flip_rate
+            if np.any(hits):
+                flip_bits = self.rng.integers(0, self.bits, size=out.size)
+                flips = np.where(hits, 1 << flip_bits, 0)
+                out = out ^ flips
+
+        return out / self._scale
+
+    def ideal_response(self, samples: Sequence[float]) -> np.ndarray:
+        samples = np.asarray(samples, dtype=float)
+        return np.convolve(samples, self.coefficients)[: samples.size]

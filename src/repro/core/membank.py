@@ -1,0 +1,99 @@
+"""Coefficient memory bank (paper section 4.3, Fig 9b bottom).
+
+DSP coefficients are written once and re-read every epoch, so the bank is
+built from NDROs (non-destructive readout) exactly as in a binary SFQ
+design; what differs in U-SFQ is the *readout path*: the shared TFF2-chain
+PNM clock sweeps the NDRO word and mergers form the pulse stream, costing
+"a 10 % area overhead compared to a binary implementation".
+
+:class:`CoefficientBank` is the functional model: words in, per-epoch
+pulse-stream times out (using the TFF2-chain tick pattern of
+:func:`repro.core.pnm.pnm_tick_pattern`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.pnm import pnm_tick_pattern
+from repro.encoding.epoch import EpochSpec
+from repro.errors import ConfigurationError
+from repro.models import technology as tech
+
+#: Mergers + clock distribution add 10 % on top of the binary NDRO bank.
+STREAM_READOUT_OVERHEAD = 0.10
+
+
+def membank_jj(n_words: int, bits: int) -> int:
+    """JJ budget: NDRO array plus the 10 % stream-forming overhead."""
+    if n_words < 1 or bits < 1:
+        raise ConfigurationError(
+            f"need n_words >= 1 and bits >= 1, got {n_words}, {bits}"
+        )
+    binary_bank = n_words * bits * tech.JJ_NDRO
+    return round(binary_bank * (1.0 + STREAM_READOUT_OVERHEAD))
+
+
+class CoefficientBank:
+    """Stores unsigned ``bits``-wide words and reads them out as streams.
+
+    The pulse times reproduce what the TFF2-chain PNM emits for the stored
+    word: clock tick ``t`` of the epoch maps to slot ``t``.
+    """
+
+    def __init__(self, epoch: EpochSpec, n_words: int):
+        if n_words < 1:
+            raise ConfigurationError(f"n_words must be >= 1, got {n_words}")
+        self.epoch = epoch
+        self.n_words = n_words
+        self._words: List[int] = [0] * n_words
+
+    @property
+    def bits(self) -> int:
+        return self.epoch.bits
+
+    @property
+    def jj_count(self) -> int:
+        return membank_jj(self.n_words, self.bits)
+
+    # -- programming -------------------------------------------------------
+    def write(self, index: int, word: int) -> None:
+        """Store an unsigned word (0 .. 2**bits - 1)."""
+        self._check_index(index)
+        if not 0 <= word < (1 << self.bits):
+            raise ConfigurationError(
+                f"word must fit in {self.bits} bits, got {word}"
+            )
+        self._words[index] = word
+
+    def write_all(self, words: Sequence[int]) -> None:
+        if len(words) != self.n_words:
+            raise ConfigurationError(
+                f"expected {self.n_words} words, got {len(words)}"
+            )
+        for index, word in enumerate(words):
+            self.write(index, word)
+
+    def read(self, index: int) -> int:
+        self._check_index(index)
+        return self._words[index]
+
+    # -- readout ----------------------------------------------------------
+    def tick_pattern(self, index: int) -> List[int]:
+        """Slot indices at which the stored word's stream pulses."""
+        return pnm_tick_pattern(self.read(index), self.bits)
+
+    def stream_times(self, index: int, epoch_index: int = 0) -> List[int]:
+        """Absolute pulse times of the word's stream in ``epoch_index``."""
+        start = self.epoch.epoch_start(epoch_index)
+        return [start + t * self.epoch.slot_fs for t in self.tick_pattern(index)]
+
+    def stream_count(self, index: int) -> int:
+        """Pulses per epoch for the stored word (equals the word itself)."""
+        return self.read(index)
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.n_words:
+            raise ConfigurationError(
+                f"word index must be in [0, {self.n_words}), got {index}"
+            )

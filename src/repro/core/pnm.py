@@ -1,0 +1,188 @@
+"""Pulse-number multipliers (paper section 4.3, Fig 9).
+
+A PNM turns a programmed binary word into a pulse stream.  The paper
+contrasts two designs:
+
+* the *typical* PNM ([32, 46, 48], Fig 9a): a TFF divider ladder discharged
+  per trigger — the programmed number of pulses emerges as a **burst** at
+  the maximum rate, i.e. non-uniformly spaced across the epoch, which hurts
+  the multiplier's accuracy (modelled here as :class:`BurstPnm`);
+* the proposed TFF2-chain PNM (Fig 9b): each TFF2 peels every second pulse
+  off the divided clock into the stream and forwards the rest down the
+  chain, producing **disjoint, interleaved** binary-weighted tick sets —
+  a near-uniform-rate stream (:func:`build_tff2_pnm`, structural).
+
+The tick set of the TFF2 chain has a closed form used throughout the
+functional models: clock tick ``t`` (0-based) belongs to chain stage
+``trailing_ones(t) + 1``, which carries bit ``bits - 1 - trailing_ones(t)``
+of the word (:func:`pnm_tick_pattern`).  The all-ones word therefore yields
+``2**bits - 1`` pulses ("1111" -> 15 in Fig 9a) and ``0100`` yields 4.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cells.interconnect import Merger
+from repro.cells.storage import Ndro
+from repro.cells.toggle import Tff2
+from repro.errors import ConfigurationError
+from repro.models import technology as tech
+from repro.pulsesim.block import Block
+from repro.pulsesim.element import Element, PortSpec
+from repro.pulsesim.netlist import Circuit
+
+
+def _check_word(word: int, bits: int) -> None:
+    if not 1 <= bits <= 20:
+        raise ConfigurationError(f"bits must be in [1, 20], got {bits}")
+    if not 0 <= word < (1 << bits):
+        raise ConfigurationError(f"word must fit in {bits} bits, got {word}")
+
+
+def _trailing_ones(value: int) -> int:
+    count = 0
+    while value & 1:
+        value >>= 1
+        count += 1
+    return count
+
+
+def pnm_tick_pattern(word: int, bits: int) -> List[int]:
+    """Clock ticks (0 .. 2**bits - 2) at which the TFF2-chain PNM pulses.
+
+    Tick ``t`` pulses iff bit ``bits - 1 - trailing_ones(t)`` of ``word``
+    is set; tick ``2**bits - 1`` (all trailing ones) falls off the end of
+    the chain.  ``len(pattern) == word`` for every word.
+    """
+    _check_word(word, bits)
+    ticks = []
+    for t in range((1 << bits) - 1):
+        bit_index = bits - 1 - _trailing_ones(t)
+        if (word >> bit_index) & 1:
+            ticks.append(t)
+    return ticks
+
+
+def pnm_pass_counts(words, slots, bits: int):
+    """Vectorised ``#{tick in pattern(word) : tick < slot}``.
+
+    This is the unipolar multiplication count when the stream operand comes
+    from the TFF2-chain PNM and the Race-Logic operand gates it at ``slot``.
+    Stage ``m`` (ticks ``t ≡ 2**m - 1 (mod 2**(m+1))``) contributes
+    ``floor((slot + 2**m) / 2**(m+1))`` ticks below ``slot`` when the
+    corresponding word bit is set.  Because the patterns of different words
+    interleave differently, per-tap rounding errors decorrelate — the
+    property the FIR accuracy model relies on.
+
+    Args:
+        words: array-like of stream words (0 .. 2**bits - 1).
+        slots: array-like of RL slots (0 .. 2**bits), broadcastable.
+        bits: Resolution.
+
+    Returns:
+        Integer array of pass counts, shaped by broadcasting.
+    """
+    import numpy as np
+
+    if not 1 <= bits <= 20:
+        raise ConfigurationError(f"bits must be in [1, 20], got {bits}")
+    words = np.asarray(words, dtype=np.int64)
+    slots = np.asarray(slots, dtype=np.int64)
+    n_max = 1 << bits
+    if np.any((words < 0) | (words >= n_max)):
+        raise ConfigurationError(f"words must be in [0, {n_max}), got {words}")
+    if np.any((slots < 0) | (slots > n_max)):
+        raise ConfigurationError(f"slots must be in [0, {n_max}], got {slots}")
+    total = np.zeros(np.broadcast(words, slots).shape, dtype=np.int64)
+    for m in range(bits):
+        bit = (words >> (bits - 1 - m)) & 1
+        total = total + bit * ((slots + (1 << m)) >> (m + 1))
+    return total
+
+
+def pnm_jj(bits: int) -> int:
+    """JJ budget of one TFF2-chain PNM: chain + gates + merger tree."""
+    if bits < 1:
+        raise ConfigurationError(f"bits must be >= 1, got {bits}")
+    return bits * tech.JJ_TFF2 + bits * tech.JJ_NDRO + max(0, bits - 1) * tech.JJ_MERGER
+
+
+def build_tff2_pnm(circuit: Circuit, name: str, bits: int) -> Block:
+    """Assemble the proposed TFF2-chain PNM (Fig 9b).
+
+    Exposed ports: input ``clk`` (the fast clock, ``2**bits`` ticks per
+    epoch); per-bit programming inputs ``set{i}``/``reset{i}`` (bit ``i``
+    with weight ``2**i``); output ``out`` (the pulse stream).
+    """
+    if not 1 <= bits <= 16:
+        raise ConfigurationError(f"bits must be in [1, 16], got {bits}")
+    block = Block(circuit, name)
+
+    stages = [block.add(Tff2(block.subname(f"tff2_{k}"))) for k in range(bits)]
+    gates = [block.add(Ndro(block.subname(f"gate_{k}"))) for k in range(bits)]
+    for k in range(bits - 1):
+        # q2 continues the division chain; q1 feeds this stage's gate.
+        circuit.connect(stages[k], "q2", stages[k + 1], "a")
+    for k in range(bits):
+        circuit.connect(stages[k], "q1", gates[k], "clk")
+
+    # Merger tree over the gated stage outputs.
+    frontier = [(gates[k], "q") for k in range(bits)]
+    level = 0
+    while len(frontier) > 1:
+        merged = []
+        for i in range(0, len(frontier) - 1, 2):
+            node = block.add(Merger(block.subname(f"merge_{level}_{i // 2}")))
+            circuit.connect(frontier[i][0], frontier[i][1], node, "a")
+            circuit.connect(frontier[i + 1][0], frontier[i + 1][1], node, "b")
+            merged.append((node, "q"))
+        if len(frontier) % 2:
+            merged.append(frontier[-1])
+        frontier = merged
+        level += 1
+
+    block.expose_input("clk", stages[0], "a")
+    for k in range(bits):
+        # Stage k peels off 2**(bits - 1 - k) pulses, i.e. it carries bit
+        # (bits - 1 - k); expose programming ports by bit weight.
+        bit_index = bits - 1 - k
+        block.expose_input(f"set{bit_index}", gates[k], "set")
+        block.expose_input(f"reset{bit_index}", gates[k], "reset")
+    block.expose_output("out", frontier[0][0], frontier[0][1])
+    return block
+
+
+class BurstPnm(Element):
+    """Behavioural *typical* PNM (Fig 9a): per trigger, a burst of pulses.
+
+    On each ``trigger`` pulse the cell emits its programmed ``count``
+    pulses back-to-back at the TFF ladder's maximum rate — the non-uniform
+    stream whose accuracy penalty motivates the TFF2 design.
+    """
+
+    INPUTS = (PortSpec("trigger"),)
+    OUTPUTS = ("out",)
+
+    def __init__(
+        self,
+        name: str,
+        count: int,
+        bits: int,
+        spacing_fs: int = tech.T_TFF2_FS,
+    ):
+        super().__init__(name)
+        _check_word(count, bits)
+        self.count = count
+        self.bits = bits
+        self.spacing_fs = spacing_fs
+        self.jj_count = pnm_jj(bits)
+
+    def handle(self, sim, port, time):
+        for k in range(self.count):
+            self.emit(sim, "out", time + self.spacing_fs * (k + 1))
+
+    def program(self, count: int) -> None:
+        """Reprogram the burst length."""
+        _check_word(count, self.bits)
+        self.count = count

@@ -1,0 +1,131 @@
+"""Error-injection experiment drivers (Fig 19).
+
+Runs the binary and unary FIR filters over the golden workload while
+sweeping error rates, and collects the SNR statistics the paper plots:
+
+* Fig 19a — mean SNR vs error rate for the binary (bit-flip) filter and
+  the unary filter under (i) stream pulse loss, (ii) RL pulse loss and
+  (iii) RL displacement;
+* Fig 19b — the SNR *distribution* for the binary filter at a small error
+  rate (bit flips hit random significance, so damage varies wildly);
+* Fig 19c — the unary filter's output spectrum under increasing error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.fir import BinaryFirFilter, UnaryFirFilter
+from repro.dsp.golden import GoldenReference
+from repro.dsp.snr import snr_db
+from repro.encoding.epoch import EpochSpec
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class SnrSweepResult:
+    """Mean/min/max SNR per error rate for one error mode."""
+
+    mode: str
+    error_rates: List[float] = field(default_factory=list)
+    mean_db: List[float] = field(default_factory=list)
+    min_db: List[float] = field(default_factory=list)
+    max_db: List[float] = field(default_factory=list)
+
+    def append(self, rate: float, samples_db: Sequence[float]) -> None:
+        self.error_rates.append(rate)
+        self.mean_db.append(float(np.mean(samples_db)))
+        self.min_db.append(float(np.min(samples_db)))
+        self.max_db.append(float(np.max(samples_db)))
+
+
+def _measure(golden: GoldenReference, output: np.ndarray) -> float:
+    return snr_db(golden.target, output, skip=golden.skip)
+
+
+def sweep_binary_bit_flips(
+    golden: GoldenReference,
+    bits: int,
+    error_rates: Sequence[float],
+    trials: int = 5,
+    seed: int = 1234,
+) -> SnrSweepResult:
+    """Binary FIR SNR vs bit-flip rate."""
+    result = SnrSweepResult("binary bit flips")
+    for rate_index, rate in enumerate(error_rates):
+        samples = []
+        for trial in range(trials):
+            fir = BinaryFirFilter(
+                bits, golden.h, bit_flip_rate=rate,
+                seed=seed + 1_000 * rate_index + trial,
+            )
+            samples.append(_measure(golden, fir.process(golden.x)))
+        result.append(rate, samples)
+    return result
+
+
+def sweep_unary_errors(
+    golden: GoldenReference,
+    bits: int,
+    error_rates: Sequence[float],
+    mode: str,
+    trials: int = 5,
+    seed: int = 1234,
+) -> SnrSweepResult:
+    """Unary FIR SNR vs error rate for one of the three error modes."""
+    kwargs_for_mode = {
+        "pulse_loss": lambda rate: {"pulse_loss_rate": rate},
+        "rl_loss": lambda rate: {"rl_loss_rate": rate},
+        "rl_delay": lambda rate: {"rl_delay_rate": rate, "rl_delay_slots": 1},
+    }
+    if mode not in kwargs_for_mode:
+        raise ConfigurationError(
+            f"mode must be one of {sorted(kwargs_for_mode)}, got {mode!r}"
+        )
+    epoch = EpochSpec(bits)
+    result = SnrSweepResult(f"unary {mode}")
+    for rate_index, rate in enumerate(error_rates):
+        samples = []
+        for trial in range(trials):
+            fir = UnaryFirFilter(
+                epoch, golden.h,
+                exact_counting=False,  # the paper's Octave accuracy model
+                seed=seed + 1_000 * rate_index + trial,
+                **kwargs_for_mode[mode](rate),
+            )
+            samples.append(_measure(golden, fir.process(golden.x)))
+        result.append(rate, samples)
+    return result
+
+
+def binary_snr_distribution(
+    golden: GoldenReference,
+    bits: int,
+    error_rate: float = 0.01,
+    trials: int = 200,
+    seed: int = 99,
+) -> np.ndarray:
+    """Per-trial SNR samples for the Fig 19b histogram."""
+    samples = []
+    for trial in range(trials):
+        fir = BinaryFirFilter(bits, golden.h, bit_flip_rate=error_rate, seed=seed + trial)
+        samples.append(_measure(golden, fir.process(golden.x)))
+    return np.asarray(samples)
+
+
+def unary_spectra_under_error(
+    golden: GoldenReference,
+    bits: int,
+    error_rates: Sequence[float] = (0.0, 0.5),
+    seed: int = 7,
+) -> Dict[float, np.ndarray]:
+    """Unary FIR outputs at several pulse-loss rates (for Fig 19c spectra)."""
+    epoch = EpochSpec(bits)
+    outputs: Dict[float, np.ndarray] = {}
+    for rate in error_rates:
+        fir = UnaryFirFilter(epoch, golden.h, pulse_loss_rate=rate, seed=seed)
+        outputs[rate] = fir.process(golden.x)
+    return outputs

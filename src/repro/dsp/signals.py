@@ -1,0 +1,70 @@
+"""Synthetic test signals.
+
+The accuracy evaluation synthesises its input as "a superposition of
+sinusoidal signals with frequencies at 1 kHz, 7 kHz, 8 kHz, and 9 kHz",
+scaled to avoid overflow (paper section 5.4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def time_axis(n_samples: int, sample_rate_hz: float) -> np.ndarray:
+    """Sample times in seconds."""
+    if n_samples < 1:
+        raise ConfigurationError(f"n_samples must be >= 1, got {n_samples}")
+    if sample_rate_hz <= 0:
+        raise ConfigurationError(f"sample rate must be positive, got {sample_rate_hz}")
+    return np.arange(n_samples) / sample_rate_hz
+
+
+def sine(
+    frequency_hz: float,
+    n_samples: int,
+    sample_rate_hz: float,
+    amplitude: float = 1.0,
+    phase_rad: float = 0.0,
+) -> np.ndarray:
+    """A sampled sine wave."""
+    if frequency_hz < 0:
+        raise ConfigurationError(f"frequency must be >= 0, got {frequency_hz}")
+    t = time_axis(n_samples, sample_rate_hz)
+    return amplitude * np.sin(2.0 * np.pi * frequency_hz * t + phase_rad)
+
+
+def superposition(
+    frequencies_hz: Sequence[float],
+    n_samples: int,
+    sample_rate_hz: float,
+    amplitudes: Optional[Sequence[float]] = None,
+    normalise: bool = True,
+) -> np.ndarray:
+    """Sum of sines, optionally scaled into [-1, 1] to avoid overflow."""
+    if not frequencies_hz:
+        raise ConfigurationError("need at least one frequency")
+    if amplitudes is None:
+        amplitudes = [1.0] * len(frequencies_hz)
+    if len(amplitudes) != len(frequencies_hz):
+        raise ConfigurationError(
+            f"{len(frequencies_hz)} frequencies but {len(amplitudes)} amplitudes"
+        )
+    signal = np.zeros(n_samples)
+    for frequency, amplitude in zip(frequencies_hz, amplitudes):
+        signal += sine(frequency, n_samples, sample_rate_hz, amplitude)
+    if normalise:
+        peak = float(np.max(np.abs(signal)))
+        if peak > 0:
+            signal = signal / peak
+    return signal
+
+
+def paper_input(
+    n_samples: int = 4_000, sample_rate_hz: float = 20_000.0
+) -> np.ndarray:
+    """The section 5.4.1 workload: 1 + 7 + 8 + 9 kHz, normalised."""
+    return superposition([1_000.0, 7_000.0, 8_000.0, 9_000.0], n_samples, sample_rate_hz)

@@ -1,0 +1,79 @@
+"""SNR measurement and spectra.
+
+The accuracy evaluation scores a filter by the signal-to-noise ratio of
+its output against the golden reference: noise is everything that differs
+from the reference.  Transient start-up samples (the filter's group delay)
+are excluded.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def snr_db(reference: np.ndarray, measured: np.ndarray, skip: int = 0) -> float:
+    """SNR of ``measured`` against ``reference`` in dB.
+
+    ``skip`` drops leading transient samples.  A perfect match returns
+    +inf; an all-zero reference is rejected.
+    """
+    reference = np.asarray(reference, dtype=float)
+    measured = np.asarray(measured, dtype=float)
+    if reference.shape != measured.shape:
+        raise ConfigurationError(
+            f"shape mismatch: {reference.shape} vs {measured.shape}"
+        )
+    if skip < 0 or skip >= reference.size:
+        raise ConfigurationError(
+            f"skip must be in [0, {reference.size}), got {skip}"
+        )
+    reference = reference[skip:]
+    measured = measured[skip:]
+    signal_power = float(np.mean(reference**2))
+    if signal_power == 0.0:
+        raise ConfigurationError("reference signal has zero power")
+    noise_power = float(np.mean((measured - reference) ** 2))
+    if noise_power == 0.0:
+        return float("inf")
+    return 10.0 * np.log10(signal_power / noise_power)
+
+
+def spectrum(
+    signal: np.ndarray, sample_rate_hz: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Single-sided amplitude spectrum in dB re max.
+
+    Returns ``(frequencies_hz, magnitude_db)``.
+    """
+    signal = np.asarray(signal, dtype=float)
+    if signal.ndim != 1 or signal.size < 2:
+        raise ConfigurationError("signal must be 1-D with >= 2 samples")
+    if sample_rate_hz <= 0:
+        raise ConfigurationError(f"sample rate must be positive, got {sample_rate_hz}")
+    window = np.hanning(signal.size)
+    transform = np.fft.rfft(signal * window)
+    magnitude = np.abs(transform)
+    peak = float(np.max(magnitude))
+    if peak == 0.0:
+        magnitude_db = np.full(magnitude.shape, -200.0)
+    else:
+        magnitude_db = 20.0 * np.log10(np.maximum(magnitude / peak, 1e-10))
+    freqs = np.fft.rfftfreq(signal.size, d=1.0 / sample_rate_hz)
+    return freqs, magnitude_db
+
+
+def tone_power_db(
+    signal: np.ndarray, sample_rate_hz: float, tone_hz: float, bandwidth_hz: float = 200.0
+) -> float:
+    """Power (dB re max bin) near one tone — used for Fig 19c readouts."""
+    freqs, magnitude_db = spectrum(signal, sample_rate_hz)
+    mask = np.abs(freqs - tone_hz) <= bandwidth_hz
+    if not np.any(mask):
+        raise ConfigurationError(
+            f"no spectral bins within {bandwidth_hz} Hz of {tone_hz} Hz"
+        )
+    return float(np.max(magnitude_db[mask]))

@@ -1,0 +1,38 @@
+"""U-SFQ data representations (paper section 3).
+
+Two unary encodings over a shared *computing epoch* of ``2**bits`` time
+slots:
+
+* :mod:`repro.encoding.racelogic` — a value is the arrival slot of a single
+  pulse (``Id / n_max``), unipolar in [0, 1] or bipolar in [-1, 1];
+* :mod:`repro.encoding.pulsestream` — a value is the rate of a periodic
+  pulse train (``n / n_max`` pulses per epoch), unipolar or bipolar.
+
+:mod:`repro.encoding.epoch` defines the epoch geometry and
+:mod:`repro.encoding.conversion` models the binary <-> unary converters
+(B2RC counters, pulse counters) used at accelerator boundaries.
+"""
+
+from repro.encoding.epoch import EpochSpec
+from repro.encoding.pulsestream import (
+    PulseStreamCodec,
+    bipolar_from_unipolar,
+    unipolar_from_bipolar,
+)
+from repro.encoding.racelogic import RaceLogicCodec
+from repro.encoding.conversion import (
+    binary_to_rl_slot,
+    pulse_count_to_binary,
+    rl_slot_to_binary,
+)
+
+__all__ = [
+    "EpochSpec",
+    "PulseStreamCodec",
+    "RaceLogicCodec",
+    "binary_to_rl_slot",
+    "bipolar_from_unipolar",
+    "pulse_count_to_binary",
+    "rl_slot_to_binary",
+    "unipolar_from_bipolar",
+]

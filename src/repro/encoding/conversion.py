@@ -1,0 +1,52 @@
+"""Binary <-> unary conversion models (paper sections 4.4.1 and 5.4).
+
+At accelerator boundaries, values may need converting between fixed-point
+binary and the unary encodings:
+
+* **B2RC** (binary-to-Race-Logic converter): a programmable counter built
+  as an interleaved chain of TFFs and DFFs [22]; its JJ cost is what makes
+  the naive binary-shift-register-plus-converter memory 3.2x larger than a
+  binary one (Fig 12).
+* **Pulse counter** (stream -> binary): a chain of TFFs accumulating the
+  stream, read out as a binary word.
+
+The functions here are the *functional* conversions; the area/latency cost
+models live in :mod:`repro.models.area`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EncodingError
+
+
+def binary_to_rl_slot(word: int, bits: int) -> int:
+    """Map a ``bits``-wide unsigned binary word to its Race-Logic slot.
+
+    The B2RC counter delays a reference pulse by ``word`` slots, so the
+    mapping is the identity on [0, 2**bits).
+    """
+    _check_word(word, bits)
+    return word
+
+
+def rl_slot_to_binary(slot_id: int, bits: int) -> int:
+    """Map a Race-Logic slot back to the binary word it encodes."""
+    n_max = 1 << bits
+    if not 0 <= slot_id <= n_max:
+        raise EncodingError(f"slot must be in [0, {n_max}], got {slot_id}")
+    # Slot n_max (a pulse exactly at the epoch boundary) saturates.
+    return min(slot_id, n_max - 1)
+
+
+def pulse_count_to_binary(count: int, bits: int) -> int:
+    """Read a TFF-chain pulse counter: the count saturated to ``bits`` wide."""
+    if count < 0:
+        raise EncodingError(f"pulse count must be >= 0, got {count}")
+    return min(count, (1 << bits) - 1)
+
+
+def _check_word(word: int, bits: int) -> None:
+    if not 1 <= bits <= 24:
+        raise EncodingError(f"bits must be in [1, 24], got {bits}")
+    if not 0 <= word < (1 << bits):
+        raise EncodingError(f"word must fit in {bits} bits, got {word}")

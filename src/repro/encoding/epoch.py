@@ -1,0 +1,72 @@
+"""Computing-epoch geometry.
+
+An epoch is the unit of U-SFQ computation: a window of ``n_max = 2**bits``
+time slots of equal width.  A Race-Logic operand is one pulse in some slot;
+a pulse-stream operand is up to ``n_max`` pulses spread across the slots.
+The slot width is set by the slowest cell the datapath must clock through
+(t_INV for multipliers, t_BFF for balancer adders, t_TFF2 for PNM-fed
+memory — see :mod:`repro.models.technology`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.models import technology as tech
+
+
+@dataclass(frozen=True)
+class EpochSpec:
+    """Geometry of a computing epoch.
+
+    Attributes:
+        bits: Resolution; the epoch has ``2**bits`` slots.
+        slot_fs: Slot width in femtoseconds (minimum pulse spacing).
+    """
+
+    bits: int
+    slot_fs: int = tech.T_BFF_FS
+
+    def __post_init__(self):
+        if not 1 <= self.bits <= 24:
+            raise ConfigurationError(f"bits must be in [1, 24], got {self.bits}")
+        if self.slot_fs <= 0:
+            raise ConfigurationError(f"slot_fs must be positive, got {self.slot_fs}")
+
+    @property
+    def n_max(self) -> int:
+        """Number of slots (and maximum pulses) per epoch."""
+        return 1 << self.bits
+
+    @property
+    def duration_fs(self) -> int:
+        """Epoch length in femtoseconds."""
+        return self.n_max * self.slot_fs
+
+    def slot_time(self, slot_id: int, epoch_index: int = 0) -> int:
+        """Absolute time of the start of ``slot_id`` in epoch ``epoch_index``."""
+        if not 0 <= slot_id <= self.n_max:
+            raise ConfigurationError(
+                f"slot id must be in [0, {self.n_max}], got {slot_id}"
+            )
+        return epoch_index * self.duration_fs + slot_id * self.slot_fs
+
+    def epoch_start(self, epoch_index: int) -> int:
+        """Absolute start time of epoch ``epoch_index``."""
+        return epoch_index * self.duration_fs
+
+    def epoch_window(self, epoch_index: int):
+        """``(start, end)`` absolute times of epoch ``epoch_index``."""
+        start = self.epoch_start(epoch_index)
+        return start, start + self.duration_fs
+
+    def with_slot(self, slot_fs: int) -> "EpochSpec":
+        """A copy of this spec with a different slot width."""
+        return EpochSpec(self.bits, slot_fs)
+
+    def __str__(self) -> str:
+        return (
+            f"EpochSpec(bits={self.bits}, n_max={self.n_max}, "
+            f"slot={self.slot_fs} fs, duration={self.duration_fs} fs)"
+        )

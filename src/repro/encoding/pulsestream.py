@@ -1,0 +1,122 @@
+"""Pulse-stream encoding: values as pulse rates (paper section 3.2).
+
+A number ``p`` maps to the rate of a periodic SFQ pulse train:
+``p = n / n_max`` where ``n`` is the pulse count per epoch.  Each pulse
+carries weight ``1 / n_max`` — the property behind the paper's error
+resilience result (Fig 19: losing 30 % of the pulses costs only ~4 dB of
+SNR, because no pulse is a "most significant bit").  Bipolar values use
+``p_b = 2 p_u - 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.encoding.epoch import EpochSpec
+from repro.errors import EncodingError
+from repro.pulsesim.schedule import burst_stream_times, uniform_stream_times
+
+
+def bipolar_from_unipolar(p_unipolar: float) -> float:
+    """``p_b = 2 p_u - 1`` (paper eq. in section 3.2)."""
+    return 2.0 * p_unipolar - 1.0
+
+
+def unipolar_from_bipolar(p_bipolar: float) -> float:
+    """Inverse of :func:`bipolar_from_unipolar`."""
+    return (p_bipolar + 1.0) / 2.0
+
+
+@dataclass(frozen=True)
+class PulseStreamCodec:
+    """Encode/decode values to/from pulse trains for one epoch."""
+
+    epoch: EpochSpec
+
+    # -- value <-> count -------------------------------------------------------
+    def count_for_unipolar(self, value: float) -> int:
+        """Quantise a unipolar value in [0, 1] to a pulse count."""
+        if not 0.0 <= value <= 1.0:
+            raise EncodingError(f"unipolar value must be in [0, 1], got {value}")
+        return min(self.epoch.n_max, round(value * self.epoch.n_max))
+
+    def count_for_bipolar(self, value: float) -> int:
+        """Quantise a bipolar value in [-1, 1] to a pulse count."""
+        if not -1.0 <= value <= 1.0:
+            raise EncodingError(f"bipolar value must be in [-1, 1], got {value}")
+        return self.count_for_unipolar(unipolar_from_bipolar(value))
+
+    def unipolar_of_count(self, n_pulses: int) -> float:
+        """``p = n / n_max``."""
+        self._check_count(n_pulses)
+        return n_pulses / self.epoch.n_max
+
+    def bipolar_of_count(self, n_pulses: int) -> float:
+        return bipolar_from_unipolar(self.unipolar_of_count(n_pulses))
+
+    @property
+    def pulse_weight(self) -> float:
+        """Weight of one pulse: ``1 / n_max``."""
+        return 1.0 / self.epoch.n_max
+
+    # -- value <-> pulse times ------------------------------------------------
+    def encode_unipolar(
+        self, value: float, epoch_index: int = 0, uniform: bool = True
+    ) -> List[int]:
+        """Pulse times for a unipolar value (uniform rate by default)."""
+        n = self.count_for_unipolar(value)
+        return self.times_for_count(n, epoch_index, uniform=uniform)
+
+    def encode_bipolar(
+        self, value: float, epoch_index: int = 0, uniform: bool = True
+    ) -> List[int]:
+        """Pulse times for a bipolar value."""
+        n = self.count_for_bipolar(value)
+        return self.times_for_count(n, epoch_index, uniform=uniform)
+
+    def times_for_count(
+        self, n_pulses: int, epoch_index: int = 0, uniform: bool = True
+    ) -> List[int]:
+        """Pulse times for an explicit pulse count."""
+        self._check_count(n_pulses)
+        start = self.epoch.epoch_start(epoch_index)
+        maker = uniform_stream_times if uniform else burst_stream_times
+        return maker(n_pulses, self.epoch.n_max, self.epoch.slot_fs, start)
+
+    def count_in_epoch(self, times: List[int], epoch_index: int = 0) -> int:
+        """Number of pulses falling inside an epoch window."""
+        start, end = self.epoch.epoch_window(epoch_index)
+        return sum(1 for t in times if start <= t < end)
+
+    def decode_unipolar(self, times: List[int], epoch_index: int = 0) -> float:
+        """Recover the unipolar value: count pulses, divide by ``n_max``."""
+        count = self.count_in_epoch(times, epoch_index)
+        if count > self.epoch.n_max:
+            raise EncodingError(
+                f"{count} pulses exceed n_max={self.epoch.n_max} in epoch "
+                f"{epoch_index}"
+            )
+        return self.unipolar_of_count(count)
+
+    def decode_bipolar(self, times: List[int], epoch_index: int = 0) -> float:
+        return bipolar_from_unipolar(self.decode_unipolar(times, epoch_index))
+
+    # -- helpers ----------------------------------------------------------------
+    def quantise_unipolar(self, value: float) -> float:
+        """The representable unipolar value closest to ``value``."""
+        return self.count_for_unipolar(value) / self.epoch.n_max
+
+    def quantise_bipolar(self, value: float) -> float:
+        return self.bipolar_of_count(self.count_for_bipolar(value))
+
+    def complement_count(self, n_pulses: int) -> int:
+        """Pulse count of the complement stream ``1 - p`` (inverter output)."""
+        self._check_count(n_pulses)
+        return self.epoch.n_max - n_pulses
+
+    def _check_count(self, n_pulses: int) -> None:
+        if not 0 <= n_pulses <= self.epoch.n_max:
+            raise EncodingError(
+                f"pulse count must be in [0, {self.epoch.n_max}], got {n_pulses}"
+            )

@@ -1,0 +1,105 @@
+"""Race-Logic encoding: values as pulse arrival slots (paper section 3.1).
+
+The paper extends classic Race Logic by *normalising* the arrival slot by
+the epoch's maximum slot, giving a unipolar value ``Id / n_max`` in
+[0, 1]; the bipolar representation is the stochastic-computing style
+rescaling ``Id_b = 2 * Id_u - 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.encoding.epoch import EpochSpec
+from repro.errors import EncodingError
+
+
+@dataclass(frozen=True)
+class RaceLogicCodec:
+    """Encode/decode values to/from Race-Logic pulse times for one epoch."""
+
+    epoch: EpochSpec
+
+    # -- value <-> slot -------------------------------------------------------
+    def slot_for_unipolar(self, value: float) -> int:
+        """Quantise a unipolar value in [0, 1] to its time slot."""
+        if not 0.0 <= value <= 1.0:
+            raise EncodingError(f"unipolar value must be in [0, 1], got {value}")
+        return min(self.epoch.n_max, round(value * self.epoch.n_max))
+
+    def slot_for_bipolar(self, value: float) -> int:
+        """Quantise a bipolar value in [-1, 1] to its time slot."""
+        if not -1.0 <= value <= 1.0:
+            raise EncodingError(f"bipolar value must be in [-1, 1], got {value}")
+        return self.slot_for_unipolar((value + 1.0) / 2.0)
+
+    def unipolar_of_slot(self, slot_id: int) -> float:
+        """The unipolar value encoded by a pulse in ``slot_id``."""
+        self._check_slot(slot_id)
+        return slot_id / self.epoch.n_max
+
+    def bipolar_of_slot(self, slot_id: int) -> float:
+        """The bipolar value encoded by a pulse in ``slot_id``."""
+        return 2.0 * self.unipolar_of_slot(slot_id) - 1.0
+
+    # -- value <-> pulse time ------------------------------------------------
+    def encode_unipolar(self, value: float, epoch_index: int = 0) -> int:
+        """Absolute pulse time encoding a unipolar value."""
+        return self.epoch.slot_time(self.slot_for_unipolar(value), epoch_index)
+
+    def encode_bipolar(self, value: float, epoch_index: int = 0) -> int:
+        """Absolute pulse time encoding a bipolar value."""
+        return self.epoch.slot_time(self.slot_for_bipolar(value), epoch_index)
+
+    def decode_time(self, time_fs: int, epoch_index: int = 0) -> int:
+        """Slot id of a pulse observed at ``time_fs`` in ``epoch_index``.
+
+        The pulse must fall inside the epoch window; times inside a slot
+        (e.g. after cell propagation delays smaller than a slot) round down.
+        """
+        start, end = self.epoch.epoch_window(epoch_index)
+        if not start <= time_fs <= end:
+            raise EncodingError(
+                f"pulse at {time_fs} fs is outside epoch {epoch_index} "
+                f"[{start}, {end}]"
+            )
+        return min(self.epoch.n_max, (time_fs - start) // self.epoch.slot_fs)
+
+    def decode_unipolar(self, time_fs: int, epoch_index: int = 0) -> float:
+        return self.unipolar_of_slot(self.decode_time(time_fs, epoch_index))
+
+    def decode_bipolar(self, time_fs: int, epoch_index: int = 0) -> float:
+        return self.bipolar_of_slot(self.decode_time(time_fs, epoch_index))
+
+    def decode_pulse_train(
+        self, times: List[int], epoch_index: int = 0
+    ) -> Optional[int]:
+        """Slot of the single RL pulse in an epoch; None when no pulse arrived.
+
+        More than one pulse in the window is a protocol violation (an RL
+        lane carries exactly one pulse per epoch).
+        """
+        start, end = self.epoch.epoch_window(epoch_index)
+        window = [t for t in times if start <= t < end]
+        if not window:
+            return None
+        if len(window) > 1:
+            raise EncodingError(
+                f"Race-Logic lane saw {len(window)} pulses in epoch {epoch_index}"
+            )
+        return self.decode_time(window[0], epoch_index)
+
+    # -- helpers ---------------------------------------------------------------
+    def quantise_unipolar(self, value: float) -> float:
+        """The representable unipolar value closest to ``value``."""
+        return self.slot_for_unipolar(value) / self.epoch.n_max
+
+    def quantise_bipolar(self, value: float) -> float:
+        return self.bipolar_of_slot(self.slot_for_bipolar(value))
+
+    def _check_slot(self, slot_id: int) -> None:
+        if not 0 <= slot_id <= self.epoch.n_max:
+            raise EncodingError(
+                f"slot id must be in [0, {self.epoch.n_max}], got {slot_id}"
+            )

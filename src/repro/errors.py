@@ -1,0 +1,23 @@
+"""Exception hierarchy for the U-SFQ reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class SimulationError(ReproError):
+    """Raised when the event-driven pulse simulator reaches an invalid state."""
+
+
+class NetlistError(ReproError):
+    """Raised for wiring mistakes: unknown ports, double-driven inputs, etc."""
+
+
+class EncodingError(ReproError):
+    """Raised when a value cannot be represented in the requested encoding."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a block is constructed with unusable parameters."""

@@ -1,0 +1,6 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+``python -m repro.experiments`` (or the ``usfq-experiments`` console
+script) regenerates everything and prints paper-vs-measured claim checks.
+See DESIGN.md section 4 for the experiment index.
+"""

@@ -1,0 +1,69 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    usfq-experiments                 # run everything
+    usfq-experiments fig18 fig19    # run a subset
+    usfq-experiments --list         # show available experiment ids
+    python -m repro.experiments     # same as usfq-experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.report import format_result
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="usfq-experiments",
+        description="Regenerate the U-SFQ paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiment ids"
+    )
+    parser.add_argument(
+        "--output",
+        metavar="DIR",
+        help="also write one <experiment>.txt report per experiment to DIR",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for experiment_id in EXPERIMENTS:
+            print(experiment_id)
+        return 0
+
+    output_dir = None
+    if args.output:
+        import pathlib
+
+        output_dir = pathlib.Path(args.output)
+        output_dir.mkdir(parents=True, exist_ok=True)
+
+    ids = args.experiments or list(EXPERIMENTS)
+    failures = 0
+    for experiment_id in ids:
+        result = run_experiment(experiment_id)
+        report = format_result(result)
+        print(report)
+        print()
+        if output_dir is not None:
+            (output_dir / f"{experiment_id}.txt").write_text(report + "\n")
+        failures += len(result.claims) - result.claims_held
+    total_note = "all claims hold" if failures == 0 else f"{failures} claim(s) differ"
+    print(f"done: {len(ids)} experiment(s), {total_note}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""Fig 7: balancer waveforms.
+
+Drives the structural balancer (BFF routing unit + DFF2 output stage) with
+the figure's stimulus — a lone pulse on B, alternating pulses, and a
+simultaneous A+B pair — and reports the output event timeline plus rendered
+traces.  Checks the three contract points: outputs alternate, the
+simultaneous pair produces one pulse on each output, and each output ends
+up with half of the total pulses.
+"""
+
+from __future__ import annotations
+
+from repro.analog.waveform import pulses_to_trace
+from repro.core.balancer import build_structural_balancer
+from repro.experiments.report import ExperimentResult
+from repro.pulsesim.netlist import Circuit
+from repro.pulsesim.simulator import Simulator
+from repro.units import ps, to_ps
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        "fig07",
+        "Balancer waveforms (structural BFF + DFF2 netlist)",
+        ["event", "time (ps)", "port"],
+    )
+
+    circuit = Circuit("fig07")
+    balancer = build_structural_balancer(circuit, "bal")
+    probe_y1 = balancer.probe_output("y1")
+    probe_y2 = balancer.probe_output("y2")
+
+    # Stimulus mirroring Fig 7: B first, then A, then a simultaneous pair,
+    # then a final B — all spaced beyond t_BFF except the pair.
+    a_times = [ps(200), ps(400), ps(700)]
+    b_times = [ps(50), ps(400), ps(1000)]
+    sim = Simulator(circuit)
+    for t in a_times:
+        balancer.drive(sim, "a", t)
+        result.add_row("input A", to_ps(t), "a")
+    for t in b_times:
+        balancer.drive(sim, "b", t)
+        result.add_row("input B", to_ps(t), "b")
+    sim.run()
+
+    for t in sorted(probe_y1.times):
+        result.add_row("output", to_ps(t), "y1")
+    for t in sorted(probe_y2.times):
+        result.add_row("output", to_ps(t), "y2")
+
+    total_in = len(a_times) + len(b_times)
+    result.add_claim(
+        "first pulse (B) exits through Y1",
+        "Y1",
+        "Y1" if probe_y1.times and min(probe_y1.times) < min(probe_y2.times) else "Y2",
+        bool(probe_y1.times) and min(probe_y1.times) < min(probe_y2.times),
+    )
+    result.add_claim(
+        "each output carries (N_A + N_B) / 2 pulses",
+        f"{total_in // 2} + {total_in // 2}",
+        f"{probe_y1.count()} + {probe_y2.count()}",
+        probe_y1.count() == total_in // 2 and probe_y2.count() == total_in // 2,
+    )
+    pair_y1 = [t for t in probe_y1.times if ps(400) <= t <= ps(450)]
+    pair_y2 = [t for t in probe_y2.times if ps(400) <= t <= ps(450)]
+    result.add_claim(
+        "simultaneous pair -> one pulse per output",
+        "1 on Y1, 1 on Y2",
+        f"{len(pair_y1)} on Y1, {len(pair_y2)} on Y2",
+        len(pair_y1) == 1 and len(pair_y2) == 1,
+    )
+
+    y1_trace = pulses_to_trace("Y1", probe_y1.times, 0, ps(1200))
+    y2_trace = pulses_to_trace("Y2", probe_y2.times, 0, ps(1200))
+    result.notes.append(f"Y1 |{y1_trace.ascii_sparkline()}|")
+    result.notes.append(f"Y2 |{y2_trace.ascii_sparkline()}|")
+    return result

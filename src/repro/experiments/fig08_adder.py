@@ -1,0 +1,62 @@
+"""Fig 8: latency and area of the unary adders versus binary adders.
+
+The 2:1 merger (5 JJs) and the balancer (56 JJs) are compared against the
+Table 2 binary adder trend.  Headline claim: the balancer saves 11-200x in
+area over binary adders for 4-16 bits, at a latency penalty.
+"""
+
+from __future__ import annotations
+
+from repro.core.balancer import BALANCER_JJ
+from repro.experiments.report import ExperimentResult
+from repro.models import baselines, latency, technology as tech
+from repro.units import to_ns
+
+BITS_SWEEP = (4, 6, 8, 10, 12, 14, 16)
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        "fig08",
+        "Adder latency and area: merger / balancer vs binary",
+        [
+            "bits",
+            "merger lat (ns)",
+            "balancer lat (ns)",
+            "binary lat (ns)",
+            "merger JJs",
+            "balancer JJs",
+            "binary JJs (fit)",
+        ],
+    )
+    for bits in BITS_SWEEP:
+        result.add_row(
+            bits,
+            to_ns(latency.adder_unary_merger_latency_fs(bits)),
+            to_ns(latency.adder_unary_balancer_latency_fs(bits)),
+            to_ns(latency.adder_binary_latency_fs(bits)),
+            tech.JJ_MERGER,
+            BALANCER_JJ,
+            baselines.adder_binary_jj(bits),
+        )
+
+    ratio_low = baselines.adder_binary_jj(4) / BALANCER_JJ
+    ratio_high = baselines.adder_binary_jj(16) / BALANCER_JJ
+    result.add_claim(
+        "balancer area savings, 4-16 bits",
+        "11x-200x",
+        f"{ratio_low:.0f}x-{ratio_high:.0f}x",
+        ratio_low >= 10 and ratio_high >= 150,
+    )
+    penalty = latency.adder_unary_balancer_latency_fs(16) > latency.adder_binary_latency_fs(16)
+    result.add_claim(
+        "unary adders pay a latency penalty at high resolution",
+        "yes",
+        "yes" if penalty else "no",
+        penalty,
+    )
+    result.notes.append(
+        "balancer latency = 2^B * t_BFF (12 ps); merger latency additionally "
+        "scales with the input count (here M = 2)"
+    )
+    return result

@@ -1,0 +1,93 @@
+"""Fig 9: pulse-number multiplier streams.
+
+Programs the structural TFF2-chain PNM with the paper's example words —
+"1111" (15 pulses) and "0100" (4 pulses) — and compares the inter-pulse
+spacing uniformity against the typical burst PNM, which emits the same
+counts bunched at the maximum rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pnm import BurstPnm, build_tff2_pnm, pnm_tick_pattern
+from repro.experiments.report import ExperimentResult
+from repro.models import technology as tech
+from repro.pulsesim.netlist import Circuit
+from repro.pulsesim.simulator import Simulator
+from repro.pulsesim.schedule import clock_times
+
+BITS = 4
+
+
+def _run_structural(word: int):
+    """Simulate the TFF2 PNM for one word; returns output pulse times."""
+    circuit = Circuit(f"pnm_{word}")
+    pnm = build_tff2_pnm(circuit, "pnm", BITS)
+    probe = pnm.probe_output("out")
+    sim = Simulator(circuit)
+    # Program the NDRO gates before the clock starts.
+    for bit in range(BITS):
+        port = f"set{bit}" if (word >> bit) & 1 else f"reset{bit}"
+        pnm.drive(sim, port, 0)
+    ticks = clock_times(tech.T_TFF2_FS, (1 << BITS), start=tech.T_TFF2_FS)
+    pnm.drive(sim, "clk", ticks)
+    sim.run()
+    return sorted(probe.times)
+
+
+def _spacing_cv(times) -> float:
+    """Coefficient of variation of the inter-pulse intervals."""
+    gaps = np.diff(np.asarray(times, dtype=float))
+    if gaps.size < 2 or np.mean(gaps) == 0:
+        return 0.0
+    return float(np.std(gaps) / np.mean(gaps))
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        "fig09",
+        "Pulse-number multiplier: programmable counts and rate uniformity",
+        ["design", "word", "pulses", "spacing CV"],
+    )
+
+    for word, label in ((0b1111, "1111"), (0b0100, "0100"), (0b1010, "1010")):
+        times = _run_structural(word)
+        result.add_row("TFF2 chain (proposed)", label, len(times), _spacing_cv(times))
+        if label == "1111":
+            result.add_claim(
+                'word "1111" emits 15 pulses', "15", str(len(times)), len(times) == 15
+            )
+        if label == "0100":
+            result.add_claim(
+                'word "0100" emits 4 pulses', "4", str(len(times)), len(times) == 4
+            )
+
+    # Typical burst PNM: same counts, maximum-rate bursts.
+    burst_cvs = {}
+    for word, label in ((0b1111, "1111"), (0b0100, "0100")):
+        circuit = Circuit(f"burst_{word}")
+        burst = circuit.add(BurstPnm("burst", word, BITS))
+        probe = circuit.probe(burst, "out")
+        sim = Simulator(circuit)
+        sim.schedule_input(burst, "trigger", 0)
+        sim.run()
+        # Burst spacing is perfectly regular *within* the burst but the
+        # epoch-level rate is not uniform: measure CV over the whole epoch
+        # by appending the epoch end as a virtual boundary.
+        epoch_fs = (1 << BITS) * tech.T_TFF2_FS
+        times = sorted(probe.times) + [epoch_fs]
+        cv = _spacing_cv(times)
+        burst_cvs[label] = cv
+        result.add_row("TFF burst (typical)", label, probe.count(), cv)
+
+    tff2_cv = _spacing_cv(_run_structural(0b0100))
+    result.add_claim(
+        "TFF2 stream is more uniform than the burst PNM",
+        "uniform rate (Fig 9b)",
+        f"CV {tff2_cv:.2f} vs {burst_cvs['0100']:.2f}",
+        tff2_cv < burst_cvs["0100"],
+    )
+    pattern = pnm_tick_pattern(0b0100, BITS)
+    result.notes.append(f'word "0100" tick pattern: {pattern} (every 4th slot)')
+    return result

@@ -1,0 +1,80 @@
+"""Fig 20: unary-vs-binary FIR savings regions over (taps, bits).
+
+Three panels — latency savings, JJ savings, efficiency gain — plus the
+application overlays (IR sensors, SDR) and the two commercial reference
+cards.  Paper headlines: an 8-bit 32-tap unary FIR saves 56 % latency; for
+the RTL-2832U-class design the unary FIR is ~60 % larger but ~90 % lower
+latency / ~80 % better efficiency; for IR sensors it saves 13-78 % latency
+and ~40 % area with 62-89 % better efficiency.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import ExperimentResult
+from repro.models import regions
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        "fig20",
+        "FIR savings regions over (taps, bits)",
+        ["panel", "grid ('....' = binary wins)"],
+    )
+    for metric in ("latency", "area", "efficiency"):
+        grid = regions.savings_grid(metric)
+        lines = regions.render_grid_ascii(grid)
+        result.add_row(metric, lines[0])
+        for line in lines[1:]:
+            result.add_row("", line)
+
+    cell = regions.latency_savings(32, 8)
+    result.add_claim(
+        "8-bit 32-tap latency savings", "56 %", f"{cell:.0f} %",
+        30 <= cell <= 70,
+    )
+    penalty = regions.latency_savings(32, 9)
+    result.add_claim(
+        "latency penalty beyond 8 bits at 32 taps", "binary wins",
+        f"{penalty:.0f} %", penalty < cell,
+    )
+
+    rtl = regions.reference_point_summary(regions.RTL2832U_POINT, "RTL-2832U")
+    result.add_claim(
+        "RTL-2832U-class: unary latency savings", "~90 %",
+        f"{rtl['latency_savings_pct']:.0f} %",
+        80 <= rtl["latency_savings_pct"] <= 97,
+    )
+    result.add_claim(
+        "RTL-2832U-class: unary needs more area", "60 % larger",
+        f"{-rtl['area_savings_pct']:.0f} % larger",
+        rtl["area_savings_pct"] < 0,
+    )
+    result.add_claim(
+        "RTL-2832U-class: unary efficiency gain", "~80 % better",
+        f"{rtl['efficiency_gain_pct']:.0f} % better",
+        rtl["efficiency_gain_pct"] > 50,
+    )
+
+    ir = regions.region_summary(regions.IR_SENSORS)
+    lat_low, lat_high = ir["latency_savings_pct"]
+    result.add_claim(
+        "IR sensors: latency savings", "13-78 %",
+        f"{max(lat_low, 0):.0f}-{lat_high:.0f} %",
+        lat_high >= 60,
+    )
+    area_low, area_high = ir["area_savings_pct"]
+    result.add_claim(
+        "IR sensors: area savings (best case)", "40 %",
+        f"up to {area_high:.0f} %", 25 <= area_high <= 55,
+    )
+    eff_low, eff_high = ir["efficiency_gain_pct"]
+    result.add_claim(
+        "IR sensors: efficiency gain", "62-89 % better",
+        f"{eff_low:.0f}-{eff_high:.0f} % better", eff_low > 0,
+    )
+    result.notes.append(
+        "overlays: IR sensors = 16-32 taps x 6-8 bits; SDR = 200-900 taps x "
+        "7-14 bits; reference cards at "
+        f"{regions.RTL2832U_POINT} (RTL-2832U) and {regions.RSP_POINT} (RSP)"
+    )
+    return result

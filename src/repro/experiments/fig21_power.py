@@ -1,0 +1,63 @@
+"""Fig 21: bipolar-multiplier active power versus operand values.
+
+Sweeps the Race-Logic operand over [-1, 1] for pulse streams encoding -1,
+0, and +1.  Checks the 68-135 nW envelope and that the stream-0 line is
+flat (half the pulses always propagate).  Our RL bipolar convention
+(Id_b = 2 Id_u - 1) mirrors the paper's +-1 line labels; magnitudes match.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.report import ExperimentResult
+from repro.models import power
+from repro.units import to_nw
+
+RL_SWEEP = np.linspace(-1.0, 1.0, 11)
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        "fig21",
+        "Bipolar multiplier active power vs Race-Logic operand",
+        ["RL value"] + [f"stream={s:+.0f} (nW)" for s in (-1.0, 0.0, 1.0)],
+    )
+    lines = {}
+    for stream in (-1.0, 0.0, 1.0):
+        lines[stream] = [
+            to_nw(power.bipolar_multiplier_active_w(rl, stream)) for rl in RL_SWEEP
+        ]
+    for i, rl in enumerate(RL_SWEEP):
+        result.add_row(
+            round(float(rl), 1),
+            round(lines[-1.0][i], 1),
+            round(lines[0.0][i], 1),
+            round(lines[1.0][i], 1),
+        )
+
+    all_values = [v for line in lines.values() for v in line]
+    result.add_claim(
+        "active power envelope", "68-135 nW",
+        f"{min(all_values):.0f}-{max(all_values):.0f} nW",
+        abs(min(all_values) - 68) < 1 and abs(max(all_values) - 135) < 1,
+    )
+    flat = max(lines[0.0]) - min(lines[0.0])
+    result.add_claim(
+        "stream = 0 line is constant", "constant (half the pulses propagate)",
+        f"spread {flat:.2f} nW", flat < 0.5,
+    )
+    slopes_opposed = (lines[1.0][-1] - lines[1.0][0]) * (
+        lines[-1.0][-1] - lines[-1.0][0]
+    ) < 0
+    result.add_claim(
+        "the +-1 stream lines slope in opposite directions",
+        "one rises, one falls with the RL operand",
+        "yes" if slopes_opposed else "no",
+        slopes_opposed,
+    )
+    result.notes.append(
+        "power model: P = 68 nW + 67 nW * rho, rho = fraction of slots whose "
+        "pulse reaches the output (p_A b + (1 - p_A)(1 - b))"
+    )
+    return result

@@ -1,0 +1,88 @@
+"""Experiment result containers and plain-text rendering.
+
+Every experiment module produces an :class:`ExperimentResult`: the rows of
+the regenerated table/figure plus a list of :class:`Claim` checks that
+compare the paper's headline numbers against what this reproduction
+measures.  The CLI and the benchmark suite render these with
+:func:`format_result`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+
+@dataclass
+class Claim:
+    """One paper-stated quantity versus our measurement."""
+
+    description: str
+    paper: str
+    measured: str
+    holds: bool
+
+    def render(self) -> str:
+        status = "OK " if self.holds else "DIFF"
+        return f"  [{status}] {self.description}: paper={self.paper} measured={self.measured}"
+
+
+@dataclass
+class ExperimentResult:
+    """A regenerated table or figure."""
+
+    experiment_id: str
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    claims: List[Claim] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"{self.experiment_id}: row has {len(values)} cells, "
+                f"expected {len(self.columns)}"
+            )
+        self.rows.append(values)
+
+    def add_claim(self, description: str, paper: str, measured: str, holds: bool) -> None:
+        self.claims.append(Claim(description, paper, measured, holds))
+
+    @property
+    def claims_held(self) -> int:
+        return sum(1 for claim in self.claims if claim.holds)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3g}"
+        return f"{value:,.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_result(result: ExperimentResult) -> str:
+    """Render one experiment as an aligned plain-text report."""
+    lines = [f"== {result.experiment_id}: {result.title} =="]
+    if result.rows:
+        cells = [[_cell(v) for v in row] for row in result.rows]
+        widths = [
+            max(len(str(column)), *(len(row[i]) for row in cells))
+            for i, column in enumerate(result.columns)
+        ]
+        header = "  ".join(str(c).ljust(w) for c, w in zip(result.columns, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in cells:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    if result.claims:
+        lines.append(f"claims ({result.claims_held}/{len(result.claims)} hold):")
+        for claim in result.claims:
+            lines.append(claim.render())
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Table 2: state-of-the-art RSFQ multipliers and adders, plus our fits."""
+
+from __future__ import annotations
+
+from repro.experiments.report import ExperimentResult
+from repro.models import baselines
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        "table2",
+        "Published binary RSFQ adders/multipliers and the derived fits",
+        ["ref", "kind", "bits", "JJs", "latency (ps)", "arch", "technology"],
+    )
+    for entry in baselines.TABLE2:
+        result.add_row(
+            entry.ref, entry.kind, entry.bits, entry.jj_count,
+            entry.latency_ps, entry.arch, entry.technology,
+        )
+
+    result.notes.append(
+        f"multiplier area fit (WP+SA): {baselines.MULTIPLIER_AREA_FIT.slope:.0f} "
+        f"JJ/bit + {baselines.MULTIPLIER_AREA_FIT.intercept:.0f}"
+    )
+    result.notes.append(
+        f"adder area fit (all): {baselines.ADDER_AREA_FIT.slope:.0f} "
+        f"JJ/bit + {baselines.ADDER_AREA_FIT.intercept:.0f}"
+    )
+    result.notes.append(
+        f"multiplier latency fit: {baselines.MULTIPLIER_LATENCY_FIT.slope:.0f} "
+        f"ps/bit + {baselines.MULTIPLIER_LATENCY_FIT.intercept:.0f}; adder "
+        f"latency fit: {baselines.ADDER_LATENCY_FIT.slope:.1f} ps/bit + "
+        f"{baselines.ADDER_LATENCY_FIT.intercept:.0f}"
+    )
+    result.add_claim(
+        "dataset size", "10 designs", str(len(baselines.TABLE2)),
+        len(baselines.TABLE2) == 10,
+    )
+    checks = {
+        "nagaoka2019": (8, 17000, 333),
+        "dorojevets2009-16": (16, 16683, 255),
+    }
+    for ref, (bits, jj, lat) in checks.items():
+        entry = next(e for e in baselines.TABLE2 if e.ref == ref)
+        result.add_claim(
+            f"{ref} transcribed correctly",
+            f"{bits} bits, {jj} JJs, {lat} ps",
+            f"{entry.bits} bits, {entry.jj_count} JJs, {entry.latency_ps:.0f} ps",
+            (entry.bits, entry.jj_count, entry.latency_ps) == (bits, jj, lat),
+        )
+    return result

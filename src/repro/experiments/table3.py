@@ -1,0 +1,63 @@
+"""Table 3: power of a 32-lane DPU, by component.
+
+Active power composes from the calibrated per-block models (multiplier
+~9e-5 mW, balancer ~17e-5 mW at activity 0.5); passive power from the
+paper-pinned bias figures.  Also reports the CMOS comparison and the
+ERSFQ option.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import ExperimentResult
+from repro.models import power
+from repro.units import to_mw, to_uw
+
+PAPER_ROWS = {
+    "multiplier": (9e-5, 0.05),
+    "balancer": (17e-5, 0.1),
+    "dpu-32 w/o cooling": (84e-4, 4.8),
+}
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        "table3",
+        "DPU power (32 multipliers/adders, activity factor 0.5)",
+        ["component", "active (mW)", "passive (mW)", "paper active (mW)", "paper passive (mW)"],
+    )
+    for row in power.table3_rows(length=32):
+        paper_active, paper_passive = PAPER_ROWS[row.component]
+        result.add_row(
+            row.component,
+            to_mw(row.active_w),
+            to_mw(row.passive_w),
+            paper_active,
+            paper_passive,
+        )
+        result.add_claim(
+            f"{row.component} active power",
+            f"{paper_active:g} mW",
+            f"{to_mw(row.active_w):.2g} mW",
+            0.5 * paper_active <= to_mw(row.active_w) <= 1.5 * paper_active,
+        )
+        result.add_claim(
+            f"{row.component} passive power",
+            f"{paper_passive:g} mW",
+            f"{to_mw(row.passive_w):.2g} mW",
+            0.8 * paper_passive <= to_mw(row.passive_w) <= 1.2 * paper_passive,
+        )
+
+    dpu = power.table3_rows(length=32)[-1]
+    ratio = power.CMOS_REFERENCE_ACTIVE_W / dpu.active_w
+    result.add_claim(
+        "active power vs CMOS (~1 mW)",
+        "three orders of magnitude smaller",
+        f"{ratio:.0f}x smaller",
+        ratio > 100,
+    )
+    result.notes.append(
+        f"PE (paper section 5.4.5): active {to_uw(power.PE_ACTIVE_W):.1f} uW, "
+        f"passive {to_uw(power.PE_PASSIVE_W):.0f} uW; ERSFQ removes the "
+        f"passive term at ~{1.4}x area"
+    )
+    return result

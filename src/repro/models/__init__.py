@@ -1,0 +1,11 @@
+"""Analytical models: technology constants, baselines, area/latency/power.
+
+These models regenerate the paper's evaluation figures.  Structural circuit
+simulations (``repro.pulsesim`` + ``repro.cells``) validate the building
+blocks' behaviour; the models in this package extrapolate cost metrics
+(JJ counts, latency, throughput, power, efficiency) across the parameter
+sweeps the paper reports (bits, taps, vector lengths).
+
+Submodules are imported directly (``from repro.models import area``) to
+keep import costs low and avoid cycles with the structural packages.
+"""

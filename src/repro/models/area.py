@@ -1,0 +1,171 @@
+"""Area models (JJ counts) for every U-SFQ block and accelerator.
+
+Unary block budgets come from the structural netlists / calibrated anchors
+(DESIGN.md section 5); binary baselines come from the Table 2 fits.  These
+functions regenerate the area panels of Figs 4, 8, 12, 14, 16, 18 and 20.
+"""
+
+from __future__ import annotations
+
+from repro.core.balancer import BALANCER_JJ
+from repro.core.buffer import INTEGRATOR_STAGE_JJ, MEMORY_CELL_JJ, RL_BUFFER_JJ
+from repro.core.counting import counting_network_jj
+from repro.core.membank import membank_jj
+from repro.core.multiplier import (
+    MULTIPLIER_BIPOLAR_JJ,
+    MULTIPLIER_UNIPOLAR_JJ,
+)
+from repro.core.pe import PE_JJ
+from repro.core.pnm import pnm_jj
+from repro.errors import ConfigurationError
+from repro.models import baselines
+from repro.models import technology as tech
+
+#: B2RC converter overhead factor (paper section 4.4.1: "up to 3.2x more
+#: area than its binary counterpart due to the expensive converters").
+B2RC_FACTOR = 3.2
+
+
+# -- building blocks (Figs 4 and 8) --------------------------------------------
+def multiplier_unary_jj(bipolar: bool = True) -> int:
+    """Constant unary multiplier area (46 JJs bipolar, 16 unipolar)."""
+    return MULTIPLIER_BIPOLAR_JJ if bipolar else MULTIPLIER_UNIPOLAR_JJ
+
+
+def multiplier_binary_jj(bits: float) -> float:
+    return baselines.multiplier_binary_jj(bits)
+
+
+def adder_unary_balancer_jj() -> int:
+    """Constant balancer-adder area."""
+    return BALANCER_JJ
+
+
+def adder_unary_merger_jj() -> int:
+    """Constant 2:1 merger-adder area."""
+    return tech.JJ_MERGER
+
+
+def adder_binary_jj(bits: float) -> float:
+    return baselines.adder_binary_jj(bits)
+
+
+# -- shift registers (Fig 12) ---------------------------------------------------
+def shift_register_binary_jj(bits: int) -> int:
+    """One binary shift-register word: a DFF per bit."""
+    _check_bits(bits)
+    return bits * tech.JJ_DFF
+
+
+def shift_register_b2rc_jj(bits: int) -> int:
+    """Binary word + binary-to-RL converter: 3.2x the binary cost."""
+    return round(B2RC_FACTOR * shift_register_binary_jj(bits))
+
+
+def shift_register_dff_rl_jj(bits: int) -> int:
+    """DFF-chain RL delay: one DFF per time slot -> exponential in bits."""
+    _check_bits(bits)
+    return (1 << bits) * tech.JJ_DFF
+
+
+def shift_register_buffer_jj(bits: int) -> int:
+    """Integrator-buffer delay stage: constant JJs (inductance scales
+    instead, which is negligible in JJ count)."""
+    _check_bits(bits)
+    return RL_BUFFER_JJ
+
+
+# -- processing element (Fig 14) ------------------------------------------------
+def pe_unary_jj() -> int:
+    """The 126-JJ unary PE (bit-independent)."""
+    return PE_JJ
+
+
+def pe_binary_jj(bits: float) -> float:
+    """Binary PE: fitted multiplier + adder at the given resolution."""
+    return multiplier_binary_jj(bits) + adder_binary_jj(bits)
+
+
+def pe_binary_bp_jj(bits: float = 8) -> float:
+    """Bit-parallel PE reference: the 17 kJJ multiplier [37] + adder fit."""
+    return baselines.NAGAOKA_BP_MULTIPLIER.jj_count + adder_binary_jj(bits)
+
+
+def pe_array_unary_jj(n_pes: int) -> int:
+    if n_pes < 1:
+        raise ConfigurationError(f"need >= 1 PE, got {n_pes}")
+    return n_pes * PE_JJ
+
+
+# -- dot-product unit (Fig 16) ---------------------------------------------------
+def dpu_unary_jj(length: int, bipolar: bool = True) -> int:
+    """Unary DPU datapath: L multipliers + (L-1)-balancer counting network.
+
+    Bit-independent, linear in L — the Fig 16 flat lines.
+    """
+    _check_pow2(length)
+    return length * multiplier_unary_jj(bipolar) + counting_network_jj(length)
+
+
+def dpu_binary_jj(bits: float) -> float:
+    """Binary DPU: a single multiply-accumulate unit (the practical limit
+    the paper cites [21]); vector storage is accounted separately when
+    comparing full accelerators."""
+    return multiplier_binary_jj(bits) + adder_binary_jj(bits)
+
+
+# -- FIR accelerator (Figs 18c and 20b) -------------------------------------------
+def fir_unary_jj(taps: int, bits: int, rl_output: bool = False) -> int:
+    """Unary FIR: DPU datapath + coefficient bank + PNM + RL delay line.
+
+    ``rl_output`` adds the optional stream-to-RL integrator at the filter
+    boundary (the paper's "area increases by 50-200 JJs").
+    """
+    _check_bits(bits)
+    if taps < 1:
+        raise ConfigurationError(f"taps must be >= 1, got {taps}")
+    length = _next_pow2(max(2, taps))
+    datapath = length * MULTIPLIER_BIPOLAR_JJ + counting_network_jj(length)
+    memory = membank_jj(taps, bits) + pnm_jj(bits)
+    delay_line = (taps - 1) * MEMORY_CELL_JJ
+    total = datapath + memory + delay_line
+    if rl_output:
+        total += RL_BUFFER_JJ
+    return total
+
+
+def fir_binary_jj(taps: int, bits: int) -> float:
+    """Binary FIR: one fitted MAC + DFF input delay line + NDRO coefficients."""
+    _check_bits(bits)
+    if taps < 1:
+        raise ConfigurationError(f"taps must be >= 1, got {taps}")
+    mac = multiplier_binary_jj(bits) + adder_binary_jj(bits)
+    delay_line = taps * bits * tech.JJ_DFF
+    coefficients = taps * bits * tech.JJ_NDRO
+    return mac + delay_line + coefficients
+
+
+# -- ERSFQ / eSFQ variant (section 5.4.5) -----------------------------------------
+def ersfq_jj(rsfq_jj: float) -> float:
+    """ERSFQ replaces bias resistors with JJ limiters: ~1.4x the area, in
+    exchange for eliminating the passive bias power entirely."""
+    if rsfq_jj < 0:
+        raise ConfigurationError(f"jj count must be >= 0, got {rsfq_jj}")
+    return rsfq_jj * tech.ERSFQ_AREA_FACTOR
+
+
+def _next_pow2(value: int) -> int:
+    power = 1
+    while power < value:
+        power *= 2
+    return power
+
+
+def _check_bits(bits: int) -> None:
+    if not 1 <= bits <= 24:
+        raise ConfigurationError(f"bits must be in [1, 24], got {bits}")
+
+
+def _check_pow2(value: int) -> None:
+    if value < 2 or value & (value - 1):
+        raise ConfigurationError(f"need a power of two >= 2, got {value}")

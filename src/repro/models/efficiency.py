@@ -1,0 +1,58 @@
+"""Efficiency models: throughput per JJ (Fig 18d, Fig 20c).
+
+The paper's figure of merit for area-constrained superconducting design is
+complete computations per second per junction, reported in kOPs/JJ.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.models import area, latency
+
+
+def kops_per_jj(latency_fs: int, jj_count: float) -> float:
+    """Throughput (complete ops/s) per JJ, in kOPs/JJ."""
+    if jj_count <= 0:
+        raise ConfigurationError(f"jj_count must be positive, got {jj_count}")
+    ops_per_second = 1.0 / (latency_fs * 1e-15)
+    return ops_per_second / jj_count / 1e3
+
+
+def fir_unary_efficiency(taps: int, bits: int) -> float:
+    """Unary FIR kOPs/JJ."""
+    return kops_per_jj(
+        latency.fir_unary_latency_fs(bits), area.fir_unary_jj(taps, bits)
+    )
+
+
+def fir_binary_efficiency(taps: int, bits: int) -> float:
+    """Wave-pipelined binary FIR kOPs/JJ."""
+    return kops_per_jj(
+        latency.fir_binary_latency_fs(taps, bits), area.fir_binary_jj(taps, bits)
+    )
+
+
+def pe_unary_efficiency(bits: int) -> float:
+    """Unary PE kOPs/JJ (one MAC per epoch over 126 JJs)."""
+    return kops_per_jj(latency.pe_unary_latency_fs(bits), area.pe_unary_jj())
+
+
+def pe_binary_efficiency(bits: int) -> float:
+    """Wave-pipelined binary PE kOPs/JJ."""
+    return kops_per_jj(latency.pe_binary_latency_fs(bits), area.pe_binary_jj(bits))
+
+
+def dpu_unary_efficiency(length: int, bits: int) -> float:
+    """Unary DPU kOPs/JJ: one L-element dot product per balancer epoch."""
+    return kops_per_jj(
+        latency.adder_unary_balancer_latency_fs(bits), area.dpu_unary_jj(length)
+    )
+
+
+def dpu_binary_efficiency(length: int, bits: int) -> float:
+    """Binary single-MAC DPU kOPs/JJ: L sequential MACs per dot product."""
+    if length < 1:
+        raise ConfigurationError(f"length must be >= 1, got {length}")
+    return kops_per_jj(
+        length * latency.pe_binary_latency_fs(bits), area.dpu_binary_jj(bits)
+    )

@@ -1,0 +1,112 @@
+"""Latency and throughput models (Figs 4, 8, 14, 18a/b, 20a).
+
+Unary latencies follow the paper's stated cycle limits: the multiplier
+streams one pulse per t_INV = 9 ps, the balancer adder one per t_BFF =
+12 ps, and the PNM-fed FIR one per t_TFF2 = 20 ps per chain stage — so a
+B-bit computation takes ``2**B`` cycles of the binding element.  Binary
+latencies come from the Table 2 fits (wave-pipelined) or the 48 GHz
+bit-parallel pipeline period.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.models import baselines
+from repro.models import technology as tech
+from repro.units import to_seconds
+
+
+def _check_bits(bits: int) -> None:
+    if not 1 <= bits <= 24:
+        raise ConfigurationError(f"bits must be in [1, 24], got {bits}")
+
+
+# -- building blocks -------------------------------------------------------------
+def multiplier_unary_latency_fs(bits: int) -> int:
+    """2**bits pulses at the inverter-limited 9 ps spacing (~111 GHz)."""
+    _check_bits(bits)
+    return (1 << bits) * tech.T_INV_FS
+
+
+def multiplier_binary_latency_fs(bits: int) -> int:
+    _check_bits(bits)
+    return round(baselines.multiplier_binary_latency_ps(bits) * 1_000)
+
+
+def adder_unary_balancer_latency_fs(bits: int) -> int:
+    """2**bits pulses at the t_BFF = 12 ps spacing."""
+    _check_bits(bits)
+    return (1 << bits) * tech.T_BFF_FS
+
+
+def adder_unary_merger_latency_fs(bits: int, m_inputs: int = 2) -> int:
+    """Merger addition: slot width grows with the input count (Fig 5c)."""
+    _check_bits(bits)
+    if m_inputs < 2:
+        raise ConfigurationError(f"m_inputs must be >= 2, got {m_inputs}")
+    return (1 << bits) * m_inputs * tech.T_MERGER_DEAD_FS
+
+
+def adder_binary_latency_fs(bits: int) -> int:
+    _check_bits(bits)
+    return round(baselines.adder_binary_latency_ps(bits) * 1_000)
+
+
+# -- processing element (Fig 14a) -------------------------------------------------
+def pe_unary_latency_fs(bits: int) -> int:
+    """The PE cycles at the slowest stage, the t_BFF-limited balancer."""
+    return adder_unary_balancer_latency_fs(bits)
+
+
+def pe_binary_latency_fs(bits: int) -> int:
+    """Binary MAC latency: fitted multiplier + adder."""
+    return multiplier_binary_latency_fs(bits) + adder_binary_latency_fs(bits)
+
+
+def pe_binary_bp_period_fs() -> int:
+    """The 48 GHz bit-parallel pipeline issues one MAC per cycle."""
+    return baselines.BP_PIPELINE_PERIOD_FS
+
+
+def pes_for_equal_throughput(bits: int) -> int:
+    """Unary PEs needed to match one wave-pipelined binary MAC (Fig 14b)."""
+    unary = pe_unary_latency_fs(bits)
+    binary = pe_binary_latency_fs(bits)
+    return max(1, -(-unary // binary))  # ceil
+
+
+def pes_for_bp_throughput(bits: int) -> int:
+    """Unary PEs needed to match the 48 GHz bit-parallel pipeline."""
+    unary = pe_unary_latency_fs(bits)
+    return max(1, -(-unary // pe_binary_bp_period_fs()))
+
+
+# -- FIR accelerator (Figs 18a/b, 20a) ----------------------------------------------
+def fir_unary_latency_fs(bits: int) -> int:
+    """PNM-bound epoch: T_CLK = bits * t_TFF2, total = 2**bits * T_CLK.
+
+    Independent of the tap count — the defining property of Fig 18a.
+    """
+    _check_bits(bits)
+    return (1 << bits) * bits * tech.T_TFF2_FS
+
+
+def fir_binary_latency_fs(taps: int, bits: int) -> int:
+    """Single-MAC binary FIR: taps sequential fitted MACs."""
+    if taps < 1:
+        raise ConfigurationError(f"taps must be >= 1, got {taps}")
+    return taps * pe_binary_latency_fs(bits)
+
+
+def fir_binary_bp_latency_fs(taps: int) -> int:
+    """Bit-parallel binary FIR: taps pipeline cycles at 48 GHz."""
+    if taps < 1:
+        raise ConfigurationError(f"taps must be >= 1, got {taps}")
+    return taps * pe_binary_bp_period_fs()
+
+
+def throughput_gops(latency_fs: int) -> float:
+    """Complete-computations per second in GOPs (the Fig 18b unit)."""
+    if latency_fs <= 0:
+        raise ConfigurationError(f"latency must be positive, got {latency_fs}")
+    return 1.0 / to_seconds(latency_fs) / 1e9

@@ -1,0 +1,151 @@
+"""Design-space savings regions (Fig 20) and application anchors.
+
+For each (taps, bits) point we compute the percentage the unary FIR saves
+over the wave-pipelined binary FIR in latency, area, and efficiency; where
+the binary design wins the cell is negative (the paper renders it white).
+The module also pins the application regions the paper overlays — infrared
+sensors (~30 taps, 6-8 bits [3, 24, 42, 47]) and software-defined radio
+(200-900 taps, 7-14 bits [53, 56]) — plus the two commercial SDR reference
+cards (RTL-2832U and an RSP-class receiver).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.models import area, efficiency, latency
+
+DEFAULT_TAPS: Tuple[int, ...] = (4, 8, 16, 32, 64, 128, 256, 512, 1024)
+DEFAULT_BITS: Tuple[int, ...] = tuple(range(4, 17))
+
+
+@dataclass(frozen=True)
+class ApplicationRegion:
+    """A rectangle in (taps, bits) design space."""
+
+    name: str
+    taps_min: int
+    taps_max: int
+    bits_min: int
+    bits_max: int
+
+    def contains(self, taps: int, bits: int) -> bool:
+        return (
+            self.taps_min <= taps <= self.taps_max
+            and self.bits_min <= bits <= self.bits_max
+        )
+
+
+#: Operating regions the paper marks on Fig 20.
+IR_SENSORS = ApplicationRegion("IR sensors", 16, 32, 6, 8)
+SDR = ApplicationRegion("SDR", 200, 900, 7, 14)
+
+#: Commercial SDR reference points (taps, bits) placed inside the SDR box.
+RTL2832U_POINT = (256, 8)
+RSP_POINT = (512, 12)
+
+
+def _savings_percent(unary: float, binary: float) -> float:
+    """Positive = unary saves; negative = binary wins (white region)."""
+    if binary <= 0:
+        raise ConfigurationError(f"binary metric must be positive, got {binary}")
+    return (1.0 - unary / binary) * 100.0
+
+
+def latency_savings(taps: int, bits: int) -> float:
+    """Fig 20a cell: % latency the unary FIR saves over WP binary."""
+    return _savings_percent(
+        latency.fir_unary_latency_fs(bits),
+        latency.fir_binary_latency_fs(taps, bits),
+    )
+
+
+def area_savings(taps: int, bits: int) -> float:
+    """Fig 20b cell: % JJs saved."""
+    return _savings_percent(
+        area.fir_unary_jj(taps, bits), area.fir_binary_jj(taps, bits)
+    )
+
+
+def efficiency_gain(taps: int, bits: int) -> float:
+    """Fig 20c cell: % efficiency (kOPs/JJ) gained by the unary FIR."""
+    unary = efficiency.fir_unary_efficiency(taps, bits)
+    binary = efficiency.fir_binary_efficiency(taps, bits)
+    return (unary / binary - 1.0) * 100.0
+
+
+def savings_grid(
+    metric: str,
+    taps_values: Sequence[int] = DEFAULT_TAPS,
+    bits_values: Sequence[int] = DEFAULT_BITS,
+) -> np.ndarray:
+    """A (bits x taps) grid of savings percentages for one Fig 20 panel."""
+    functions = {
+        "latency": latency_savings,
+        "area": area_savings,
+        "efficiency": efficiency_gain,
+    }
+    try:
+        fn = functions[metric]
+    except KeyError:
+        raise ConfigurationError(
+            f"metric must be one of {sorted(functions)}, got {metric!r}"
+        ) from None
+    grid = np.zeros((len(bits_values), len(taps_values)))
+    for i, bits in enumerate(bits_values):
+        for j, taps in enumerate(taps_values):
+            grid[i, j] = fn(taps, bits)
+    return grid
+
+
+def region_summary(region: ApplicationRegion) -> dict:
+    """Min/max unary savings across a region (the paper's headline ranges)."""
+    taps_values = [t for t in DEFAULT_TAPS if region.taps_min <= t <= region.taps_max]
+    bits_values = [b for b in DEFAULT_BITS if region.bits_min <= b <= region.bits_max]
+    if not taps_values or not bits_values:
+        raise ConfigurationError(f"region {region.name!r} misses the default grid")
+    cells = [
+        (latency_savings(t, b), area_savings(t, b), efficiency_gain(t, b))
+        for t in taps_values
+        for b in bits_values
+    ]
+    lat, ar, eff = zip(*cells)
+    return {
+        "region": region.name,
+        "latency_savings_pct": (min(lat), max(lat)),
+        "area_savings_pct": (min(ar), max(ar)),
+        "efficiency_gain_pct": (min(eff), max(eff)),
+    }
+
+
+def reference_point_summary(point: Tuple[int, int], label: str) -> dict:
+    """Unary-vs-binary comparison at one commercial reference card."""
+    taps, bits = point
+    return {
+        "label": label,
+        "taps": taps,
+        "bits": bits,
+        "latency_savings_pct": latency_savings(taps, bits),
+        "area_savings_pct": area_savings(taps, bits),
+        "efficiency_gain_pct": efficiency_gain(taps, bits),
+    }
+
+
+def render_grid_ascii(
+    grid: np.ndarray,
+    taps_values: Sequence[int] = DEFAULT_TAPS,
+    bits_values: Sequence[int] = DEFAULT_BITS,
+) -> List[str]:
+    """Terminal rendering: one row per bit width, '....' where binary wins."""
+    lines = ["bits\\taps " + " ".join(f"{t:>6d}" for t in taps_values)]
+    for i, bits in enumerate(bits_values):
+        cells = []
+        for j in range(len(taps_values)):
+            value = grid[i, j]
+            cells.append(f"{value:6.0f}" if value > 0 else "  ....")
+        lines.append(f"{bits:>9d} " + " ".join(cells))
+    return lines

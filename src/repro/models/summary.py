@@ -1,0 +1,127 @@
+"""Whole-accelerator design reports: block-by-block cost breakdowns.
+
+Given an accelerator configuration (FIR taps/bits, DPU length, PE-array
+geometry), produce an itemised JJ / latency / power budget — the view a
+designer needs before committing a die's junction budget, and the summary
+the ``design_space_explorer`` example prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.balancer import BALANCER_JJ
+from repro.core.buffer import MEMORY_CELL_JJ
+from repro.core.membank import membank_jj
+from repro.core.multiplier import MULTIPLIER_BIPOLAR_JJ
+from repro.core.pe import PE_JJ
+from repro.core.pnm import pnm_jj
+from repro.errors import ConfigurationError
+from repro.models import area, latency, power, technology as tech
+from repro.units import to_ns, to_uw
+
+
+@dataclass
+class BudgetLine:
+    """One block class in a design budget."""
+
+    block: str
+    count: int
+    jj_each: float
+
+    @property
+    def jj_total(self) -> float:
+        return self.count * self.jj_each
+
+
+@dataclass
+class DesignReport:
+    """An itemised accelerator budget."""
+
+    name: str
+    lines: List[BudgetLine] = field(default_factory=list)
+    latency_fs: int = 0
+    active_power_w: float = 0.0
+    passive_power_w: float = 0.0
+
+    @property
+    def jj_total(self) -> float:
+        return sum(line.jj_total for line in self.lines)
+
+    def fits(self, process: tech.Process = tech.MITLL_SFQ5EE) -> bool:
+        """Does the design fit a process's practical junction budget?"""
+        return self.jj_total <= process.max_practical_jjs
+
+    def render(self) -> str:
+        lines = [f"== {self.name} =="]
+        for line in self.lines:
+            lines.append(
+                f"  {line.block:<28} x{line.count:<5} "
+                f"{line.jj_each:>8,.0f} JJ  -> {line.jj_total:>10,.0f} JJ"
+            )
+        lines.append(f"  {'total':<28} {'':>6} {'':>8}     {self.jj_total:>10,.0f} JJ")
+        lines.append(f"  latency: {to_ns(self.latency_fs):,.2f} ns")
+        lines.append(
+            f"  power: {to_uw(self.active_power_w):,.2f} uW active + "
+            f"{to_uw(self.passive_power_w):,.2f} uW passive (RSFQ bias)"
+        )
+        return "\n".join(lines)
+
+
+def _next_pow2(value: int) -> int:
+    p = 1
+    while p < value:
+        p *= 2
+    return p
+
+
+def fir_report(taps: int, bits: int, activity: float = 0.5) -> DesignReport:
+    """Budget for a U-SFQ FIR accelerator."""
+    if taps < 1:
+        raise ConfigurationError(f"taps must be >= 1, got {taps}")
+    length = _next_pow2(max(2, taps))
+    report = DesignReport(f"U-SFQ FIR: {taps} taps, {bits} bits")
+    report.lines = [
+        BudgetLine("bipolar multiplier", length, MULTIPLIER_BIPOLAR_JJ),
+        BudgetLine("counting-network balancer", length - 1, BALANCER_JJ),
+        BudgetLine("RL memory cell (delay line)", taps - 1, MEMORY_CELL_JJ),
+        BudgetLine("coefficient bank (NDRO)", 1, membank_jj(taps, bits)),
+        BudgetLine("pulse-number multiplier", 1, pnm_jj(bits)),
+    ]
+    report.latency_fs = latency.fir_unary_latency_fs(bits)
+    report.active_power_w = length * power.multiplier_active_w(activity) + (
+        length - 1
+    ) * power.balancer_active_w(activity)
+    report.passive_power_w = length * power.MULTIPLIER_PASSIVE_W + (
+        length - 1
+    ) * power.BALANCER_PASSIVE_W
+    assert abs(report.jj_total - area.fir_unary_jj(taps, bits)) < 1
+    return report
+
+
+def dpu_report(length: int, bits: int, activity: float = 0.5) -> DesignReport:
+    """Budget for a U-SFQ dot-product unit (bipolar lanes)."""
+    report = DesignReport(f"U-SFQ DPU: {length} lanes, {bits} bits")
+    report.lines = [
+        BudgetLine("bipolar multiplier", length, MULTIPLIER_BIPOLAR_JJ),
+        BudgetLine("counting-network balancer", length - 1, BALANCER_JJ),
+    ]
+    report.latency_fs = latency.adder_unary_balancer_latency_fs(bits)
+    report.active_power_w = power.dpu_active_w(length, activity)
+    report.passive_power_w = power.dpu_passive_w(length)
+    assert report.jj_total == area.dpu_unary_jj(length)
+    return report
+
+
+def pe_array_report(rows: int, cols: int, bits: int) -> DesignReport:
+    """Budget for a PE array (CGRA / spatial architecture)."""
+    if rows < 1 or cols < 1:
+        raise ConfigurationError(f"array must be >= 1x1, got {rows}x{cols}")
+    n_pes = rows * cols
+    report = DesignReport(f"U-SFQ PE array: {rows}x{cols}, {bits} bits")
+    report.lines = [BudgetLine("processing element", n_pes, PE_JJ)]
+    report.latency_fs = latency.pe_unary_latency_fs(bits)
+    report.active_power_w = n_pes * power.PE_ACTIVE_W
+    report.passive_power_w = n_pes * power.PE_PASSIVE_W
+    return report

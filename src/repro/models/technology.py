@@ -1,0 +1,118 @@
+"""Technology constants for the MIT-LL SFQ5ee-class RSFQ process.
+
+All timing anchors come straight from the paper:
+
+* ``T_INV`` = 9 ps — propagation + setup + hold of the clocked inverter,
+  which bounds the U-SFQ multiplier's pulse spacing (section 4.1, "the
+  simulated delay for our proposed multiplier is t_INV = 9 ps ... maximum
+  frequency of ~111 GHz").
+* ``T_BFF`` = 12 ps — the B-flip-flop transition time that bounds the
+  balancer/counting-network adder's pulse spacing (section 4.2).
+* ``T_TFF2`` = 20 ps — the TFF2 delay that bounds the pulse-number
+  multiplier and therefore the U-SFQ FIR's epoch clock (section 5.4.2).
+
+Per-cell JJ counts follow the RSFQ cell libraries the paper cites ([11],
+[58]) and the counts the paper states explicitly (merger = 5 JJs in
+Fig 5a, first-arrival = 8 JJs from [51]).  Derived block budgets are pinned
+to the paper's anchors — see DESIGN.md section 5 (Calibration notes).
+
+Power constants reproduce Table 3: switching energy per JJ event is the
+physical ``I_c * Phi_0`` scale (~2e-19 J for a 100 uA junction), and the
+passive bias power is calibrated per block against the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import ps
+
+# -- timing anchors (paper-stated) -------------------------------------------
+T_INV_FS = ps(9)  #: clocked inverter total delay; multiplier cycle time
+T_BFF_FS = ps(12)  #: B-flip-flop transition; balancer/adder cycle time
+T_TFF2_FS = ps(20)  #: TFF2 delay; PNM / FIR epoch clock cycle time
+
+# -- propagation delays for the behavioural cells (typical RSFQ values) ------
+T_JTL_FS = ps(2)
+T_SPLITTER_FS = ps(3)
+T_MERGER_FS = ps(5)
+T_DFF_FS = ps(5)
+T_DFF2_FS = ps(5)
+T_NDRO_FS = ps(5)
+T_TFF_FS = ps(5)
+T_FA_FS = ps(4)
+T_MUX_FS = ps(6)
+T_BALANCER_OUT_FS = ps(5)  #: balancer input-to-output propagation
+
+#: Merger dead time: two input pulses closer than this collide and only one
+#: propagates (Fig 5b).  Set to the merger's intrinsic delay per section 4.2
+#: ("the distance between input pulses is dictated by the intrinsic delay of
+#: the merger cell").
+T_MERGER_DEAD_FS = T_MERGER_FS
+
+# -- cell JJ counts (Table 1 gates; [11], [58], and paper-stated values) -----
+JJ_JTL = 2
+JJ_SPLITTER = 3
+JJ_MERGER = 5  # paper, Fig 5a
+JJ_DFF = 6
+JJ_DFF2 = 9
+JJ_NDRO = 11
+JJ_TFF = 8
+JJ_TFF2 = 10
+JJ_INVERTER = 10
+JJ_FA = 8  # paper section 2.2.1, from [51]
+JJ_BFF = 12  # Polonsky et al. [43]
+JJ_MUX = 14  # Zheng et al. [57]
+JJ_DEMUX = 12  # Zheng et al. [57]
+
+# -- power calibration (Table 3 and Fig 21) ----------------------------------
+#: Energy dissipated per JJ switching event: ~ I_c * Phi_0 with I_c ~ 100 uA.
+E_SWITCH_J = 2.0e-19
+
+#: Passive bias power per JJ for plain (resistor-biased) RSFQ.  Calibrated so
+#: a 46-JJ multiplier draws the 0.05 mW Table 3 reports.
+P_PASSIVE_PER_JJ_W = 0.05e-3 / 46
+
+#: ERSFQ/eSFQ remove passive power at ~1.4x area (section 5.5 of the paper).
+ERSFQ_AREA_FACTOR = 1.4
+
+#: Fig 21 anchors for the bipolar multiplier's active power envelope.
+P_MULT_ACTIVE_MIN_W = 68e-9
+P_MULT_ACTIVE_MAX_W = 135e-9
+
+
+@dataclass(frozen=True)
+class Process:
+    """A named fabrication process (for provenance in reports)."""
+
+    name: str
+    critical_current_density_ka_cm2: float
+    max_practical_jjs: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.name} ({self.critical_current_density_ka_cm2:g} kA/cm^2, "
+            f"~{self.max_practical_jjs:,} JJs practical per die)"
+        )
+
+
+#: The process the paper simulates with WRspice.
+MITLL_SFQ5EE = Process(
+    name="MIT-LL SFQ5ee",
+    critical_current_density_ka_cm2=10.0,
+    max_practical_jjs=20_000,
+)
+
+#: Other processes appearing in Table 2, for design-budget comparisons.
+AIST_STP2 = Process(
+    name="AIST-STP2",
+    critical_current_density_ka_cm2=2.5,
+    max_practical_jjs=10_000,
+)
+ISTEC_10KA = Process(
+    name="ISTEC 1.0um 10 kA/cm2",
+    critical_current_density_ka_cm2=10.0,
+    max_practical_jjs=20_000,
+)
+
+PROCESSES = (MITLL_SFQ5EE, AIST_STP2, ISTEC_10KA)

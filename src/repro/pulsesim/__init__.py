@@ -1,0 +1,53 @@
+"""Discrete-event simulator for SFQ pulse circuits.
+
+This package is the spice-substitute substrate of the reproduction (see
+DESIGN.md section 2).  Information in RSFQ circuits is carried by
+picosecond-wide SFQ pulses; at the architecture level all that matters is
+*when* pulses arrive at which cell port and how each cell's internal SQUID
+state reacts.  We therefore model a circuit as a netlist of behavioural
+cells exchanging timestamped pulses through an event queue, with integer
+femtosecond timestamps for exact, reproducible event ordering.
+
+Typical usage::
+
+    from repro.pulsesim import Circuit, Simulator, PulseRecorder
+    from repro.cells import Ndro
+
+    circuit = Circuit()
+    ndro = circuit.add(Ndro("cell"))
+    probe = circuit.probe(ndro, "q")
+    sim = Simulator(circuit)
+    sim.schedule_input(ndro, "set", 0)
+    sim.schedule_input(ndro, "clk", 10_000)
+    sim.run()
+    assert probe.count() == 1
+"""
+
+from repro.pulsesim.block import Block
+from repro.pulsesim.element import Element, PortSpec
+from repro.pulsesim.faults import DropChannel, JitterChannel
+from repro.pulsesim.netlist import Circuit
+from repro.pulsesim.probe import PulseRecorder, WaveformProbe
+from repro.pulsesim.schedule import (
+    burst_stream_times,
+    clock_times,
+    rl_pulse_time,
+    uniform_stream_times,
+)
+from repro.pulsesim.simulator import Simulator
+
+__all__ = [
+    "Block",
+    "Circuit",
+    "DropChannel",
+    "Element",
+    "JitterChannel",
+    "PortSpec",
+    "PulseRecorder",
+    "Simulator",
+    "WaveformProbe",
+    "burst_stream_times",
+    "clock_times",
+    "rl_pulse_time",
+    "uniform_stream_times",
+]

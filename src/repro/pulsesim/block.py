@@ -1,0 +1,110 @@
+"""Composite block helper.
+
+The U-SFQ building blocks (multiplier, balancer, counting network, PNM,
+...) are netlists of several cells with a handful of externally meaningful
+ports.  :class:`Block` groups the cells of one such sub-circuit, exposes
+aliased input/output ports, and tracks the block's JJ budget, so
+accelerator netlists compose blocks instead of raw cells.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import NetlistError
+from repro.pulsesim.element import Element
+from repro.pulsesim.netlist import Circuit
+from repro.pulsesim.probe import PulseRecorder
+
+
+class Block:
+    """A named group of cells inside a :class:`Circuit` with aliased ports."""
+
+    def __init__(self, circuit: Circuit, name: str):
+        self.circuit = circuit
+        self.name = name
+        self.elements: List[Element] = []
+        self._inputs: Dict[str, Tuple[Element, str]] = {}
+        self._outputs: Dict[str, Tuple[Element, str]] = {}
+
+    # -- construction ------------------------------------------------------
+    def add(self, element: Element) -> Element:
+        """Add a cell to the circuit under this block's namespace."""
+        self.circuit.add(element)
+        self.elements.append(element)
+        return element
+
+    def subname(self, suffix: str) -> str:
+        """A cell name namespaced under this block."""
+        return f"{self.name}.{suffix}"
+
+    def expose_input(self, alias: str, element: Element, port: str) -> None:
+        element.input_priority(port)  # validate
+        if alias in self._inputs:
+            raise NetlistError(f"block {self.name!r} already has input {alias!r}")
+        self._inputs[alias] = (element, port)
+
+    def expose_output(self, alias: str, element: Element, port: str) -> None:
+        element.check_output(port)
+        if alias in self._outputs:
+            raise NetlistError(f"block {self.name!r} already has output {alias!r}")
+        self._outputs[alias] = (element, port)
+
+    # -- access --------------------------------------------------------------
+    def input(self, alias: str) -> Tuple[Element, str]:
+        try:
+            return self._inputs[alias]
+        except KeyError:
+            known = ", ".join(sorted(self._inputs))
+            raise NetlistError(
+                f"block {self.name!r} has no input {alias!r} (has: {known})"
+            ) from None
+
+    def output(self, alias: str) -> Tuple[Element, str]:
+        try:
+            return self._outputs[alias]
+        except KeyError:
+            known = ", ".join(sorted(self._outputs))
+            raise NetlistError(
+                f"block {self.name!r} has no output {alias!r} (has: {known})"
+            ) from None
+
+    @property
+    def input_aliases(self) -> Tuple[str, ...]:
+        return tuple(self._inputs)
+
+    @property
+    def output_aliases(self) -> Tuple[str, ...]:
+        return tuple(self._outputs)
+
+    # -- conveniences ------------------------------------------------------
+    def drive(self, sim, alias: str, times) -> None:
+        """Schedule stimulus pulses into an exposed input."""
+        element, port = self.input(alias)
+        if isinstance(times, int):
+            times = (times,)
+        sim.schedule_train(element, port, times)
+
+    def probe_output(self, alias: str, probe: PulseRecorder = None) -> PulseRecorder:
+        """Attach (or create) a recorder on an exposed output."""
+        element, port = self.output(alias)
+        return self.circuit.probe(element, port, probe)
+
+    def connect_output_to(self, alias: str, other: "Block", other_alias: str, delay: int = 0):
+        """Wire this block's exposed output into another block's exposed input."""
+        src_element, src_port = self.output(alias)
+        dst_element, dst_port = other.input(other_alias)
+        return self.circuit.connect(src_element, src_port, dst_element, dst_port, delay)
+
+    def connect_output_to_element(self, alias: str, element: Element, port: str, delay: int = 0):
+        """Wire this block's exposed output straight into a cell port."""
+        src_element, src_port = self.output(alias)
+        return self.circuit.connect(src_element, src_port, element, port, delay)
+
+    @property
+    def jj_count(self) -> int:
+        """JJ budget of this block's cells."""
+        return sum(element.jj_count for element in self.elements)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Block {self.name!r}: {len(self.elements)} cells, {self.jj_count} JJs>"

@@ -1,0 +1,107 @@
+"""Base class for behavioural SFQ cells.
+
+An :class:`Element` is a named cell with declared input and output ports.
+When a pulse reaches an input port, the simulator calls
+:meth:`Element.handle`; the cell updates its internal state and may emit
+pulses on its output ports via :meth:`Element.emit`.  Emission is routed by
+the owning :class:`~repro.pulsesim.netlist.Circuit`.
+
+Simultaneous pulses are a first-class concern in SFQ (merger collisions,
+balancer coincidence).  Two mechanisms keep behaviour deterministic and
+physical:
+
+* every port carries a *priority*; events with equal timestamps are
+  processed in priority order (e.g. an NDRO's reset beats its clock so a
+  Race-Logic pulse landing exactly on a stream slot blocks that slot, the
+  convention the paper's multiplier waveforms use), and
+* cells that care about coincidence windows (merger dead time, the
+  balancer's t_BFF transition) compare timestamps themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Tuple
+
+from repro.errors import NetlistError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.pulsesim.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class PortSpec:
+    """Declaration of a cell port.
+
+    Attributes:
+        name: Port name, unique within the cell.
+        priority: Tie-break rank for simultaneous events; lower runs first.
+    """
+
+    name: str
+    priority: int = 0
+
+
+class Element:
+    """A behavioural SFQ cell participating in a :class:`Circuit`.
+
+    Subclasses declare ``INPUTS`` and ``OUTPUTS`` as tuples of port names or
+    :class:`PortSpec` objects, set :attr:`jj_count`, and implement
+    :meth:`handle`.  State must live on the instance and be cleared by
+    :meth:`reset` so a circuit can be re-simulated.
+    """
+
+    INPUTS: Tuple = ()
+    OUTPUTS: Tuple = ()
+
+    #: Number of Josephson junctions in the cell (area model unit).
+    jj_count: int = 0
+
+    def __init__(self, name: str):
+        self.name = name
+        self.circuit = None  # set by Circuit.add
+        self._input_specs: Dict[str, PortSpec] = {
+            spec.name: spec for spec in map(self._as_spec, type(self).INPUTS)
+        }
+        self._output_names = tuple(
+            spec.name for spec in map(self._as_spec, type(self).OUTPUTS)
+        )
+
+    @staticmethod
+    def _as_spec(port) -> PortSpec:
+        if isinstance(port, PortSpec):
+            return port
+        return PortSpec(str(port))
+
+    @property
+    def input_names(self) -> Tuple[str, ...]:
+        return tuple(self._input_specs)
+
+    @property
+    def output_names(self) -> Tuple[str, ...]:
+        return self._output_names
+
+    def input_priority(self, port: str) -> int:
+        try:
+            return self._input_specs[port].priority
+        except KeyError:
+            raise NetlistError(f"{self!r} has no input port {port!r}") from None
+
+    def check_output(self, port: str) -> None:
+        if port not in self._output_names:
+            raise NetlistError(f"{self!r} has no output port {port!r}")
+
+    # -- simulation interface ------------------------------------------------
+    def handle(self, sim: "Simulator", port: str, time: int) -> None:
+        """React to a pulse arriving at ``port`` at ``time`` (femtoseconds)."""
+        raise NotImplementedError
+
+    def emit(self, sim: "Simulator", port: str, time: int) -> None:
+        """Emit a pulse on an output port; the circuit fans it out."""
+        sim.emit(self, port, time)
+
+    def reset(self) -> None:
+        """Clear internal state before a fresh simulation run."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,81 @@
+"""Netlist inspection and export.
+
+The paper's artifact is "a small DPU netlist" for a rudimentary testing
+environment; this module provides the equivalent view of any circuit built
+here: a JSON-serialisable description (cells, wires, JJ budgets) and a
+Graphviz DOT rendering for schematics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.pulsesim.netlist import Circuit
+
+
+def netlist_description(circuit: Circuit) -> Dict:
+    """A JSON-serialisable description of a circuit.
+
+    Contains every cell (type, JJ count, input/output ports) and every
+    wire (source cell/port -> sink cell/port, delay), plus totals.
+    """
+    cells = [
+        {
+            "name": element.name,
+            "type": type(element).__name__,
+            "jj_count": element.jj_count,
+            "inputs": list(element.input_names),
+            "outputs": list(element.output_names),
+        }
+        for element in circuit.elements
+    ]
+    wires = []
+    for element in circuit.elements:
+        for port in element.output_names:
+            for wire in circuit.fanout(element, port):
+                wires.append(
+                    {
+                        "from": f"{wire.source.name}.{wire.source_port}",
+                        "to": f"{wire.sink.name}.{wire.sink_port}",
+                        "delay_fs": wire.delay,
+                    }
+                )
+    return {
+        "name": circuit.name,
+        "cells": cells,
+        "wires": wires,
+        "cell_count": len(cells),
+        "wire_count": len(wires),
+        "jj_count": circuit.jj_count,
+    }
+
+
+def cell_census(circuit: Circuit) -> Dict[str, int]:
+    """Cell-type histogram (how many NDROs, mergers, ... the design uses)."""
+    census: Dict[str, int] = {}
+    for element in circuit.elements:
+        census[type(element).__name__] = census.get(type(element).__name__, 0) + 1
+    return census
+
+
+def to_dot(circuit: Circuit) -> str:
+    """A Graphviz DOT rendering of the netlist (cells as nodes)."""
+    lines: List[str] = [
+        f'digraph "{circuit.name}" {{',
+        "  rankdir=LR;",
+        '  node [shape=box, fontname="monospace"];',
+    ]
+    for element in circuit.elements:
+        label = f"{element.name}\\n{type(element).__name__} ({element.jj_count} JJ)"
+        lines.append(f'  "{element.name}" [label="{label}"];')
+    for element in circuit.elements:
+        for port in element.output_names:
+            for wire in circuit.fanout(element, port):
+                attributes = f'taillabel="{wire.source_port}", headlabel="{wire.sink_port}"'
+                if wire.delay:
+                    attributes += f', label="{wire.delay} fs"'
+                lines.append(
+                    f'  "{wire.source.name}" -> "{wire.sink.name}" [{attributes}];'
+                )
+    lines.append("}")
+    return "\n".join(lines)

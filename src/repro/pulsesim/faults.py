@@ -1,0 +1,95 @@
+"""Fault-injection channels for structural error studies.
+
+Section 5.4.1 attributes U-SFQ computation errors to physical
+non-idealities: delay variations that displace pulses (collisions in the
+adder, Race-Logic slot errors) and flux trapping that loses pulses.
+These channels let any structural netlist experience those faults: splice
+a channel into a wire and re-run the simulation.
+
+* :class:`JitterChannel` — adds Gaussian (truncated at zero) delay noise
+  to every pulse; feeding a balancer from a jittery lane provokes exactly
+  the t_BFF transition hazards the paper analyses.
+* :class:`DropChannel` — deletes pulses with a fixed probability (flux
+  trapped in parasitic inductors).
+
+Both are seeded for reproducibility and count what they did.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ConfigurationError
+from repro.pulsesim.element import Element, PortSpec
+
+
+class JitterChannel(Element):
+    """A wire segment with Gaussian delay jitter.
+
+    Args:
+        name: Element name.
+        std_fs: Jitter standard deviation (femtoseconds).
+        mean_fs: Nominal propagation delay.
+        seed: RNG seed (reproducible runs).
+    """
+
+    INPUTS = (PortSpec("a"),)
+    OUTPUTS = ("q",)
+    jj_count = 0  # a fault model, not a cell
+
+    def __init__(self, name: str, std_fs: int, mean_fs: int = 0, seed: int = 0):
+        super().__init__(name)
+        if std_fs < 0 or mean_fs < 0:
+            raise ConfigurationError(
+                f"jitter parameters must be >= 0, got std={std_fs}, mean={mean_fs}"
+            )
+        self.std_fs = std_fs
+        self.mean_fs = mean_fs
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self.pulses_seen = 0
+        self.max_displacement_fs = 0
+
+    def handle(self, sim, port, time):
+        self.pulses_seen += 1
+        displacement = round(self._rng.gauss(0, self.std_fs)) if self.std_fs else 0
+        delay = max(0, self.mean_fs + displacement)
+        self.max_displacement_fs = max(self.max_displacement_fs, abs(displacement))
+        self.emit(sim, "q", time + delay)
+
+    def reset(self):
+        self._rng = random.Random(self.seed)
+        self.pulses_seen = 0
+        self.max_displacement_fs = 0
+
+
+class DropChannel(Element):
+    """A wire segment that loses pulses with probability ``drop_rate``."""
+
+    INPUTS = (PortSpec("a"),)
+    OUTPUTS = ("q",)
+    jj_count = 0
+
+    def __init__(self, name: str, drop_rate: float, seed: int = 0):
+        super().__init__(name)
+        if not 0.0 <= drop_rate <= 1.0:
+            raise ConfigurationError(
+                f"drop_rate must be in [0, 1], got {drop_rate}"
+            )
+        self.drop_rate = drop_rate
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self.pulses_seen = 0
+        self.pulses_dropped = 0
+
+    def handle(self, sim, port, time):
+        self.pulses_seen += 1
+        if self._rng.random() < self.drop_rate:
+            self.pulses_dropped += 1
+            return
+        self.emit(sim, "q", time)
+
+    def reset(self):
+        self._rng = random.Random(self.seed)
+        self.pulses_seen = 0
+        self.pulses_dropped = 0

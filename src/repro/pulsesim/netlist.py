@@ -1,0 +1,144 @@
+"""Circuit container: elements, wires, probes.
+
+A :class:`Circuit` owns a set of :class:`~repro.pulsesim.element.Element`
+cells and the directed wires between their ports.  Wires may carry a
+propagation delay (used to model JTL/PTL interconnect without instantiating
+a cell per segment).  Probes subscribe to output ports and record every
+pulse emitted there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import NetlistError
+from repro.pulsesim.element import Element
+
+
+@dataclass
+class Wire:
+    """A directed connection from an output port to an input port."""
+
+    source: Element
+    source_port: str
+    sink: Element
+    sink_port: str
+    delay: int = 0
+
+
+@dataclass
+class _OutputTap:
+    """Internal record of a probe attached to an output port."""
+
+    probe: object
+    source: Element
+    source_port: str
+
+
+class Circuit:
+    """A netlist of SFQ cells.
+
+    Elements are added with :meth:`add`, wired with :meth:`connect`, and
+    observed with :meth:`probe`.  The circuit is passive; simulation is
+    driven by :class:`~repro.pulsesim.simulator.Simulator`.
+    """
+
+    def __init__(self, name: str = "circuit"):
+        self.name = name
+        self.elements: List[Element] = []
+        self._names: Dict[str, Element] = {}
+        self._fanout: Dict[Tuple[int, str], List[Wire]] = {}
+        self._taps: Dict[Tuple[int, str], List[_OutputTap]] = {}
+
+    # -- construction --------------------------------------------------------
+    def add(self, element: Element) -> Element:
+        """Register ``element`` and return it (for fluent construction)."""
+        if element.name in self._names:
+            raise NetlistError(
+                f"duplicate element name {element.name!r} in circuit {self.name!r}"
+            )
+        if element.circuit is not None:
+            raise NetlistError(f"{element!r} already belongs to a circuit")
+        element.circuit = self
+        self.elements.append(element)
+        self._names[element.name] = element
+        return element
+
+    def __getitem__(self, name: str) -> Element:
+        try:
+            return self._names[name]
+        except KeyError:
+            raise NetlistError(f"no element named {name!r}") from None
+
+    def connect(
+        self,
+        source: Element,
+        source_port: str,
+        sink: Element,
+        sink_port: str,
+        delay: int = 0,
+    ) -> Wire:
+        """Wire ``source.source_port`` to ``sink.sink_port``.
+
+        ``delay`` (femtoseconds) models interconnect propagation time.
+        Output ports may fan out to several sinks; in real RSFQ that needs a
+        splitter cell, so structural netlists should add explicit splitters
+        when JJ counts matter and rely on fanout only for test scaffolding.
+        """
+        self._check_owned(source)
+        self._check_owned(sink)
+        source.check_output(source_port)
+        sink.input_priority(sink_port)  # raises for unknown input ports
+        if delay < 0:
+            raise NetlistError(f"wire delay must be >= 0, got {delay}")
+        wire = Wire(source, source_port, sink, sink_port, delay)
+        self._fanout.setdefault((id(source), source_port), []).append(wire)
+        return wire
+
+    def probe(self, source: Element, source_port: str, probe=None):
+        """Attach a probe to an output port and return it.
+
+        Without an explicit ``probe`` object a fresh
+        :class:`~repro.pulsesim.probe.PulseRecorder` is created.
+        """
+        from repro.pulsesim.probe import PulseRecorder
+
+        self._check_owned(source)
+        source.check_output(source_port)
+        if probe is None:
+            probe = PulseRecorder(f"{source.name}.{source_port}")
+        tap = _OutputTap(probe, source, source_port)
+        self._taps.setdefault((id(source), source_port), []).append(tap)
+        return probe
+
+    def _check_owned(self, element: Element) -> None:
+        if element.circuit is not self:
+            raise NetlistError(f"{element!r} does not belong to circuit {self.name!r}")
+
+    # -- simulation support ---------------------------------------------------
+    def fanout(self, source: Element, source_port: str) -> List[Wire]:
+        return self._fanout.get((id(source), source_port), ())
+
+    def notify_probes(self, source: Element, source_port: str, time: int) -> None:
+        for tap in self._taps.get((id(source), source_port), ()):
+            tap.probe.record(time)
+
+    def reset(self) -> None:
+        """Reset all elements and probes for a fresh run."""
+        for element in self.elements:
+            element.reset()
+        for taps in self._taps.values():
+            for tap in taps:
+                tap.probe.reset()
+
+    @property
+    def jj_count(self) -> int:
+        """Total Josephson junctions across all cells (the area metric)."""
+        return sum(element.jj_count for element in self.elements)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Circuit {self.name!r}: {len(self.elements)} elements, "
+            f"{self.jj_count} JJs>"
+        )

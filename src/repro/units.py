@@ -1,0 +1,111 @@
+"""Time, frequency, and power units used throughout the library.
+
+The pulse simulator keeps time as **integer femtoseconds** so that event
+ordering is exact and simulations are bit-for-bit reproducible.  The paper
+quotes cell delays in picoseconds (e.g. the 9 ps inverter delay that limits
+the U-SFQ multiplier), epochs in nanoseconds, and throughput in GOPs; the
+helpers below convert between those scales without floating-point drift on
+the hot path.
+"""
+
+from __future__ import annotations
+
+# One femtosecond is the base tick of the simulator.
+FS = 1
+PS = 1_000 * FS
+NS = 1_000 * PS
+US = 1_000 * NS
+
+#: Convenient aliases for readability in formulas.
+FEMTOSECONDS_PER_PICOSECOND = PS
+FEMTOSECONDS_PER_NANOSECOND = NS
+
+
+def ps(value: float) -> int:
+    """Convert picoseconds to integer femtoseconds (rounded to nearest)."""
+    return round(value * PS)
+
+
+def ns(value: float) -> int:
+    """Convert nanoseconds to integer femtoseconds (rounded to nearest)."""
+    return round(value * NS)
+
+
+def us(value: float) -> int:
+    """Convert microseconds to integer femtoseconds (rounded to nearest)."""
+    return round(value * US)
+
+
+def to_ps(time_fs: int) -> float:
+    """Convert integer femtoseconds to picoseconds."""
+    return time_fs / PS
+
+
+def to_ns(time_fs: int) -> float:
+    """Convert integer femtoseconds to nanoseconds."""
+    return time_fs / NS
+
+
+def to_us(time_fs: int) -> float:
+    """Convert integer femtoseconds to microseconds."""
+    return time_fs / US
+
+
+def to_seconds(time_fs: int) -> float:
+    """Convert integer femtoseconds to seconds."""
+    return time_fs * 1e-15
+
+
+def frequency_ghz(period_fs: int) -> float:
+    """Frequency in GHz of a periodic signal with the given period.
+
+    >>> frequency_ghz(ps(9))  # the paper's 9 ps inverter -> ~111 GHz
+    111.11111111111111
+    """
+    if period_fs <= 0:
+        raise ValueError(f"period must be positive, got {period_fs} fs")
+    return 1e6 / period_fs
+
+
+def period_fs(frequency_ghz_value: float) -> int:
+    """Period in femtoseconds of a signal at the given frequency in GHz."""
+    if frequency_ghz_value <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_ghz_value}")
+    return round(1e6 / frequency_ghz_value)
+
+
+def gops(ops_per_second: float) -> float:
+    """Express an operations-per-second figure in giga-operations/second."""
+    return ops_per_second / 1e9
+
+
+# Power helpers -- the paper reports nW (active, per gate), uW (block
+# active power), and mW (passive bias power).
+def nw(value: float) -> float:
+    """Nanowatts to watts."""
+    return value * 1e-9
+
+
+def uw(value: float) -> float:
+    """Microwatts to watts."""
+    return value * 1e-6
+
+
+def mw(value: float) -> float:
+    """Milliwatts to watts."""
+    return value * 1e-3
+
+
+def to_nw(watts: float) -> float:
+    """Watts to nanowatts."""
+    return watts * 1e9
+
+
+def to_uw(watts: float) -> float:
+    """Watts to microwatts."""
+    return watts * 1e6
+
+
+def to_mw(watts: float) -> float:
+    """Watts to milliwatts."""
+    return watts * 1e3

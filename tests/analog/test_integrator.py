@@ -1,0 +1,56 @@
+"""Inductor-integrator buffer model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analog.integrator import IntegratorBuffer
+from repro.errors import ConfigurationError
+
+EPOCH = 384_000  # 32 x 12 ps
+
+
+@given(input_time=st.integers(min_value=0, max_value=EPOCH))
+def test_output_delayed_exactly_one_epoch(input_time):
+    buffer = IntegratorBuffer(EPOCH)
+    assert buffer.output_time(input_time) == input_time + EPOCH
+
+
+def test_current_profile_triangle():
+    buffer = IntegratorBuffer(EPOCH, critical_current_ua=200.0)
+    t_in = 50_000
+    assert buffer.current_ua(t_in - 1, t_in) == 0.0
+    assert buffer.current_ua(t_in, t_in) == 0.0
+    assert buffer.current_ua(t_in + EPOCH // 2, t_in) == pytest.approx(200.0)
+    assert buffer.current_ua(t_in + EPOCH // 4, t_in) == pytest.approx(100.0)
+    assert buffer.current_ua(t_in + 3 * EPOCH // 4, t_in) == pytest.approx(100.0)
+    assert buffer.current_ua(t_in + EPOCH + 1, t_in) == 0.0
+
+
+def test_charge_rate():
+    buffer = IntegratorBuffer(EPOCH, critical_current_ua=200.0)
+    assert buffer.charge_rate_ua_per_fs() == pytest.approx(200.0 / (EPOCH / 2))
+
+
+def test_simulate_produces_all_six_signals():
+    buffer = IntegratorBuffer(EPOCH)
+    traces = buffer.simulate(60_000)
+    labels = [t.label for t in traces.all_traces()]
+    assert labels == ["E", "IN", "L_a", "L_b", "I_L", "OUT"]
+
+
+def test_simulated_output_peak_at_delayed_time():
+    buffer = IntegratorBuffer(EPOCH)
+    traces = buffer.simulate(60_000)
+    peaks = traces.output_pulse.peak_times()
+    assert len(peaks) == 1
+    assert peaks[0] == pytest.approx(60_000 + EPOCH, abs=500)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        IntegratorBuffer(0)
+    with pytest.raises(ConfigurationError):
+        IntegratorBuffer(EPOCH, critical_current_ua=1.0, baseline_ua=2.0)
+    buffer = IntegratorBuffer(EPOCH)
+    with pytest.raises(ConfigurationError):
+        buffer.output_time(-1)

@@ -1,0 +1,43 @@
+"""Waveform rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analog.waveform import Trace, pulses_to_trace
+
+
+def test_pulses_render_as_peaks():
+    trace = pulses_to_trace("x", [20_000, 60_000], 0, 100_000)
+    peaks = trace.peak_times()
+    assert len(peaks) == 2
+    assert peaks[0] == pytest.approx(20_000, abs=300)
+    assert peaks[1] == pytest.approx(60_000, abs=300)
+
+
+def test_empty_pulse_train_is_flat():
+    trace = pulses_to_trace("x", [], 0, 10_000)
+    assert np.all(trace.value == 0)
+    assert trace.peak_times() == []
+
+
+def test_at_interpolates():
+    trace = Trace("x", np.array([0.0, 10.0]), np.array([0.0, 1.0]))
+    assert trace.at(5.0) == pytest.approx(0.5)
+
+
+def test_sparkline_width_and_contrast():
+    trace = pulses_to_trace("x", [50_000], 0, 100_000)
+    line = trace.ascii_sparkline(width=40)
+    assert len(line) == 40
+    assert line.count("@") >= 1  # the peak
+    assert line[0] == " "       # the baseline
+
+
+def test_sparkline_of_empty_trace():
+    trace = Trace("x", np.array([]), np.array([]))
+    assert trace.ascii_sparkline() == ""
+
+
+def test_amplitude_parameter():
+    trace = pulses_to_trace("x", [5_000], 0, 10_000, amplitude_mv=2.0)
+    assert float(np.max(trace.value)) == pytest.approx(2.0, rel=0.05)

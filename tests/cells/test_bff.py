@@ -1,0 +1,63 @@
+"""The B flip-flop primitive."""
+
+from repro.cells.bff import Bff
+from repro.pulsesim import Circuit, Simulator
+
+
+def _run(events):
+    """events: list of (port, time); returns dict of output pulse counts."""
+    circuit = Circuit()
+    cell = circuit.add(Bff("bff"))
+    probes = {port: circuit.probe(cell, port) for port in cell.output_names}
+    sim = Simulator(circuit)
+    for port, time in events:
+        sim.schedule_input(cell, port, time)
+    sim.run()
+    return cell, {port: probe.count() for port, probe in probes.items()}
+
+
+def test_set_from_zero_emits_direct_output():
+    cell, counts = _run([("s1", 0)])
+    assert counts == {"q1": 1, "nq1": 0, "q2": 0, "nq2": 0}
+    assert cell.state == 1
+
+
+def test_set_when_already_one_is_absorbed():
+    cell, counts = _run([("s1", 0), ("s2", 10_000)])
+    assert counts["q1"] == 1
+    assert counts["q2"] == 0
+    assert cell.state == 1
+
+
+def test_reset_from_one_emits_complementary_output():
+    cell, counts = _run([("s1", 0), ("r2", 10_000)])
+    assert counts["nq2"] == 1
+    assert cell.state == 0
+
+
+def test_reset_when_already_zero_is_absorbed():
+    cell, counts = _run([("r1", 0)])
+    assert sum(counts.values()) == 0
+    assert cell.state == 0
+
+
+def test_naive_split_wiring_double_acts():
+    # Feeding one input pulse to both S1 and R2 as independent events makes
+    # the loop set *and* reset (two control pulses per input) — the reason
+    # the balancer models its routing unit as a single cell that performs
+    # one state-dependent action per physical pulse (core.balancer).
+    cell, counts = _run([("s1", 0), ("r2", 1)])
+    assert counts["q1"] == 1
+    assert counts["nq2"] == 1
+    assert cell.state == 0
+
+
+def test_reset_method_restores_zero():
+    circuit = Circuit()
+    cell = circuit.add(Bff("bff"))
+    sim = Simulator(circuit)
+    sim.schedule_input(cell, "s1", 0)
+    sim.run()
+    assert cell.state == 1
+    cell.reset()
+    assert cell.state == 0

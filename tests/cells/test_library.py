@@ -1,0 +1,51 @@
+"""Cell catalogue consistency with the behavioural classes (Table 1)."""
+
+import pytest
+
+from repro import cells
+from repro.cells.library import CELL_SPECS, cell_spec
+
+
+CLASS_FOR_NAME = {
+    "jtl": cells.Jtl,
+    "splitter": cells.Splitter,
+    "merger": cells.Merger,
+    "fa": cells.FirstArrival,
+    "la": cells.LastArrival,
+    "dff": cells.Dff,
+    "dff2": cells.Dff2,
+    "tff": cells.Tff,
+    "tff2": cells.Tff2,
+    "ndro": cells.Ndro,
+    "inverter": cells.Inverter,
+    "bff": cells.Bff,
+    "mux": cells.Mux,
+    "demux": cells.Demux,
+    "and": cells.ClockedAnd,
+    "or": cells.ClockedOr,
+    "xor": cells.ClockedXor,
+}
+
+
+def test_every_catalogue_entry_has_a_class():
+    assert set(CELL_SPECS) == set(CLASS_FOR_NAME)
+
+
+@pytest.mark.parametrize("name", sorted(CELL_SPECS))
+def test_jj_counts_agree(name):
+    assert CLASS_FOR_NAME[name](name).jj_count == CELL_SPECS[name].jj_count
+
+
+def test_paper_stated_jj_counts():
+    assert cell_spec("merger").jj_count == 5   # Fig 5a
+    assert cell_spec("fa").jj_count == 8       # section 2.2.1 ([51])
+
+
+def test_unknown_cell_raises_with_known_list():
+    with pytest.raises(KeyError, match="known cells"):
+        cell_spec("squid")
+
+
+def test_summaries_are_nonempty():
+    assert all(spec.summary for spec in CELL_SPECS.values())
+    assert all(spec.delay_fs > 0 for spec in CELL_SPECS.values())

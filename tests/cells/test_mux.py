@@ -1,0 +1,58 @@
+"""RSFQ mux/demux routing."""
+
+from repro.cells.mux import Demux, Mux
+from repro.pulsesim import Circuit, Simulator
+
+
+def test_demux_routes_by_selection():
+    circuit = Circuit()
+    cell = circuit.add(Demux("d"))
+    p0 = circuit.probe(cell, "q0")
+    p1 = circuit.probe(cell, "q1")
+    sim = Simulator(circuit)
+    sim.schedule_input(cell, "a", 1_000)          # default channel 0
+    sim.schedule_input(cell, "sel1", 5_000)
+    sim.schedule_input(cell, "a", 10_000)         # channel 1
+    sim.schedule_input(cell, "sel0", 15_000)
+    sim.schedule_input(cell, "a", 20_000)         # channel 0 again
+    sim.run()
+    assert p0.count() == 2
+    assert p1.count() == 1
+
+
+def test_mux_passes_only_selected_channel():
+    circuit = Circuit()
+    cell = circuit.add(Mux("m"))
+    probe = circuit.probe(cell, "q")
+    sim = Simulator(circuit)
+    sim.schedule_input(cell, "a0", 1_000)   # selected (default 0)
+    sim.schedule_input(cell, "a1", 2_000)   # ignored
+    sim.schedule_input(cell, "sel1", 5_000)
+    sim.schedule_input(cell, "a1", 10_000)  # selected now
+    sim.schedule_input(cell, "a0", 11_000)  # ignored
+    sim.run()
+    assert probe.count() == 2
+
+
+def test_select_applies_before_simultaneous_data():
+    circuit = Circuit()
+    cell = circuit.add(Demux("d"))
+    p1 = circuit.probe(cell, "q1")
+    sim = Simulator(circuit)
+    sim.schedule_input(cell, "a", 5_000)
+    sim.schedule_input(cell, "sel1", 5_000)  # priority 0 beats data
+    sim.run()
+    assert p1.count() == 1
+
+
+def test_reset_restores_channel_zero():
+    circuit = Circuit()
+    cell = circuit.add(Mux("m"))
+    probe = circuit.probe(cell, "q")
+    sim = Simulator(circuit)
+    sim.schedule_input(cell, "sel1", 0)
+    sim.run()
+    sim.reset()
+    sim.schedule_input(cell, "a0", 1_000)
+    sim.run()
+    assert probe.count() == 1

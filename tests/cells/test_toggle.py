@@ -1,0 +1,66 @@
+"""TFF and TFF2 toggling."""
+
+from hypothesis import given, strategies as st
+
+from repro.cells.toggle import Tff, Tff2
+from repro.pulsesim import Circuit, Simulator
+
+
+def _run_tff(n_pulses):
+    circuit = Circuit()
+    cell = circuit.add(Tff("t"))
+    probe = circuit.probe(cell, "q")
+    sim = Simulator(circuit)
+    sim.schedule_train(cell, "a", [k * 10_000 for k in range(n_pulses)])
+    sim.run()
+    return probe
+
+
+def _run_tff2(n_pulses):
+    circuit = Circuit()
+    cell = circuit.add(Tff2("t"))
+    p1 = circuit.probe(cell, "q1")
+    p2 = circuit.probe(cell, "q2")
+    sim = Simulator(circuit)
+    sim.schedule_train(cell, "a", [k * 10_000 for k in range(n_pulses)])
+    sim.run()
+    return p1, p2
+
+
+@given(st.integers(min_value=0, max_value=64))
+def test_tff_divides_by_two(n_pulses):
+    assert _run_tff(n_pulses).count() == n_pulses // 2
+
+
+@given(st.integers(min_value=0, max_value=64))
+def test_tff2_splits_alternately(n_pulses):
+    p1, p2 = _run_tff2(n_pulses)
+    assert p1.count() == (n_pulses + 1) // 2  # q1 gets the first pulse
+    assert p2.count() == n_pulses // 2
+    assert p1.count() + p2.count() == n_pulses  # no pulse lost
+
+
+def test_tff2_first_pulse_goes_to_q1():
+    p1, p2 = _run_tff2(1)
+    assert p1.count() == 1
+    assert p2.count() == 0
+
+
+def test_tff2_streams_interleave_in_time():
+    p1, p2 = _run_tff2(6)
+    merged = sorted((t, "q1") for t in p1.times) + sorted((t, "q2") for t in p2.times)
+    merged.sort()
+    assert [port for _, port in merged] == ["q1", "q2", "q1", "q2", "q1", "q2"]
+
+
+def test_reset_restores_phase():
+    circuit = Circuit()
+    cell = circuit.add(Tff2("t"))
+    p1 = circuit.probe(cell, "q1")
+    sim = Simulator(circuit)
+    sim.schedule_input(cell, "a", 0)
+    sim.run()
+    sim.reset()
+    sim.schedule_input(cell, "a", 0)
+    sim.run()
+    assert p1.count() == 1  # phase restarted at q1

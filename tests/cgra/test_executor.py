@@ -1,0 +1,100 @@
+"""Epoch-accurate kernel execution."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cgra import Fabric, Kernel, execute, map_kernel
+from repro.encoding.epoch import EpochSpec
+from repro.errors import ConfigurationError
+
+
+def _saxpy():
+    k = Kernel("saxpy")
+    k.input("x")
+    k.input("y")
+    k.const("a", 0.5)
+    k.node("scaled", "mul", ["a", "x"])
+    k.node("out", "add", ["scaled", "y"], output=True)
+    return k
+
+
+def _run(kernel, inputs, rows=2, cols=2, bits=10):
+    fabric = Fabric(rows, cols, EpochSpec(bits=bits))
+    mapping = map_kernel(kernel, fabric)
+    return execute(kernel, fabric, mapping, inputs)
+
+
+def test_saxpy_matches_reference():
+    report = _run(_saxpy(), {"x": 0.5, "y": 0.25})
+    assert report.outputs["out"] == pytest.approx(0.5, abs=0.01)
+    assert report.max_abs_error < 0.01
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    x=st.floats(min_value=0.0, max_value=1.0),
+    y=st.floats(min_value=0.0, max_value=0.5),
+)
+def test_quantisation_error_bounded(x, y):
+    report = _run(_saxpy(), {"x": x, "y": y}, bits=10)
+    # Two PE stages, each quantising to 1/1024 with a halving/doubling:
+    # error stays within a few grid steps.
+    assert report.max_abs_error <= 8 / 1024
+
+
+def test_latency_counts_pipeline_stages():
+    report = _run(_saxpy(), {"x": 0.1, "y": 0.1})
+    # 'scaled' fires at epoch 1, 'out' one stage later.
+    assert report.node_ready_epoch["scaled"] == 1
+    assert report.node_ready_epoch["out"] == 2
+    assert report.latency_epochs == 2
+    assert report.latency_fs == 2 * 1024 * 12_000
+
+
+def test_distant_placement_adds_transit_epochs():
+    k = Kernel("far")
+    k.input("x")
+    k.node("first", "mul", ["x", "x"])
+    k.node("second", "mul", ["first", "x"], output=True)
+    fabric = Fabric(1, 4, EpochSpec(bits=6))
+    mapping = map_kernel(k, fabric)
+    # Force the consumer to the far end of the row.
+    from repro.cgra.fabric import Site
+
+    mapping.placement["first"] = Site(0, 0)
+    mapping.placement["second"] = Site(0, 3)
+    report = execute(k, fabric, mapping, {"x": 0.5})
+    # 1 (first) + 2 buffered hops + 1 (second) = 4 epochs.
+    assert report.latency_epochs == 4
+    assert report.interconnect_jj == 2 * 270
+
+
+def test_mac_kernel():
+    k = Kernel("mac")
+    k.input("a")
+    k.input("b")
+    k.input("c")
+    k.node("out", "mac", ["a", "b", "c"], output=True)
+    report = _run(k, {"a": 0.5, "b": 0.5, "c": 0.25}, bits=10)
+    assert report.outputs["out"] == pytest.approx(0.5, abs=0.01)
+
+
+def test_area_accounting():
+    report = _run(_saxpy(), {"x": 0.5, "y": 0.25})
+    assert report.pes_used == 2
+    assert report.pe_jj == 252
+    assert report.total_jj == report.pe_jj + report.interconnect_jj
+
+
+def test_input_validation():
+    with pytest.raises(ConfigurationError, match="missing input"):
+        _run(_saxpy(), {"x": 0.5})
+    with pytest.raises(ConfigurationError, match="unipolar"):
+        _run(_saxpy(), {"x": 1.5, "y": 0.0})
+
+
+def test_render_mentions_costs():
+    text = _run(_saxpy(), {"x": 0.5, "y": 0.25}).render()
+    assert "saxpy" in text
+    assert "latency" in text
+    assert "PEs" in text

@@ -1,0 +1,102 @@
+"""Fabric geometry, interconnect costs, and greedy mapping."""
+
+import pytest
+
+from repro.cgra.fabric import (
+    Fabric,
+    Site,
+    equivalent_binary_fabric_jj,
+    fabric_throughput_gops,
+)
+from repro.cgra.kernel import Kernel
+from repro.cgra.mapper import map_kernel
+from repro.encoding.epoch import EpochSpec
+from repro.errors import ConfigurationError
+
+
+def _fabric(rows=3, cols=3, bits=6):
+    return Fabric(rows, cols, EpochSpec(bits=bits))
+
+
+def _chain(n_nodes):
+    """A linear dependency chain of n multiply nodes."""
+    k = Kernel("chain")
+    k.input("x")
+    previous = "x"
+    for i in range(n_nodes):
+        previous = k.node(f"n{i}", "mul", [previous, "x"], output=(i == n_nodes - 1))
+    return k
+
+
+class TestFabric:
+    def test_geometry(self):
+        fabric = _fabric(2, 3)
+        assert fabric.n_pes == 6
+        assert len(fabric.sites) == 6
+        assert fabric.pe_array_jj == 6 * 126
+
+    def test_hop_epochs(self):
+        fabric = _fabric()
+        assert fabric.hop_epochs(Site(0, 0), Site(0, 1)) == 0  # adjacent: free
+        assert fabric.hop_epochs(Site(0, 0), Site(2, 2)) == 3  # 4 hops - 1
+        assert fabric.hop_epochs(Site(1, 1), Site(1, 1)) == 0
+
+    def test_link_jj_per_buffered_hop(self):
+        fabric = _fabric()
+        assert fabric.link_jj(Site(0, 0), Site(0, 1)) == 0
+        assert fabric.link_jj(Site(0, 0), Site(0, 2)) == 270
+
+    def test_out_of_bounds_site(self):
+        fabric = _fabric(2, 2)
+        with pytest.raises(ConfigurationError):
+            fabric.hop_epochs(Site(0, 0), Site(5, 0))
+
+    def test_throughput(self):
+        fabric = _fabric(2, 2, bits=6)
+        full = fabric_throughput_gops(fabric, 4)
+        assert full == pytest.approx(4 / (fabric.pe_epoch_fs() * 1e-15) / 1e9)
+        assert fabric_throughput_gops(fabric, 0) == 0.0
+        with pytest.raises(ConfigurationError):
+            fabric_throughput_gops(fabric, 5)
+
+    def test_binary_equivalent_dwarfs_unary(self):
+        assert equivalent_binary_fabric_jj(9, 8) > 9 * 126 * 50
+
+    def test_describe(self):
+        assert "3x3" in _fabric().describe()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Fabric(0, 3, EpochSpec(bits=4))
+
+
+class TestMapper:
+    def test_all_nodes_placed_on_distinct_sites(self):
+        kernel = _chain(6)
+        mapping = map_kernel(kernel, _fabric())
+        sites = list(mapping.placement.values())
+        assert len(sites) == 6
+        assert len(set(sites)) == 6
+
+    def test_chain_placed_with_zero_buffered_hops(self):
+        """Greedy nearest-producer placement keeps a chain adjacent."""
+        kernel = _chain(6)
+        fabric = _fabric()
+        mapping = map_kernel(kernel, fabric)
+        assert mapping.total_wire_hops(kernel, fabric) == 0
+        assert mapping.interconnect_jj(kernel, fabric) == 0
+
+    def test_kernel_larger_than_fabric_rejected(self):
+        with pytest.raises(ConfigurationError, match="offers"):
+            map_kernel(_chain(5), _fabric(2, 2))
+
+    def test_unplaced_node_lookup_raises(self):
+        mapping = map_kernel(_chain(2), _fabric())
+        with pytest.raises(ConfigurationError, match="not placed"):
+            mapping.site_of("ghost")
+
+    def test_mapping_is_deterministic(self):
+        kernel = _chain(4)
+        a = map_kernel(kernel, _fabric()).placement
+        b = map_kernel(kernel, _fabric()).placement
+        assert a == b

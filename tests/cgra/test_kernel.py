@@ -1,0 +1,93 @@
+"""Dataflow kernel construction and float reference."""
+
+import pytest
+
+from repro.cgra.kernel import Kernel
+from repro.errors import ConfigurationError
+
+
+def _saxpy():
+    k = Kernel("saxpy")
+    k.input("x")
+    k.input("y")
+    k.const("a", 0.5)
+    k.node("scaled", "mul", ["a", "x"])
+    k.node("out", "add", ["scaled", "y"], output=True)
+    return k
+
+
+def test_construction_and_queries():
+    k = _saxpy()
+    assert k.order == ["scaled", "out"]
+    assert k.outputs == ["out"]
+    assert k.is_declared("x") and k.is_declared("scaled")
+    assert not k.is_declared("z")
+
+
+def test_reference_evaluation():
+    k = _saxpy()
+    out = k.reference({"x": 0.5, "y": 0.25})
+    assert out == {"out": 0.5 * 0.5 + 0.25}
+
+
+def test_reference_saturates_at_one():
+    k = Kernel("sat")
+    k.input("x")
+    k.node("sum", "add", ["x", "x"], output=True)
+    assert k.reference({"x": 0.9}) == {"sum": 1.0}
+
+
+def test_mac_op():
+    k = Kernel("m")
+    k.input("a")
+    k.input("b")
+    k.input("c")
+    k.node("out", "mac", ["a", "b", "c"], output=True)
+    assert k.reference({"a": 0.5, "b": 0.5, "c": 0.1}) == {"out": 0.35}
+
+
+def test_duplicate_names_rejected():
+    k = _saxpy()
+    with pytest.raises(ConfigurationError, match="already declared"):
+        k.input("x")
+    with pytest.raises(ConfigurationError, match="already declared"):
+        k.node("scaled", "mul", ["a", "x"])
+
+
+def test_undeclared_sources_rejected():
+    k = Kernel("bad")
+    k.input("x")
+    with pytest.raises(ConfigurationError, match="undeclared"):
+        k.node("n", "mul", ["x", "missing"])
+
+
+def test_operation_arity_enforced():
+    k = Kernel("bad")
+    k.input("x")
+    with pytest.raises(ConfigurationError, match="takes 2 inputs"):
+        k.node("n", "mul", ["x"])
+    with pytest.raises(ConfigurationError, match="one of"):
+        k.node("n", "div", ["x", "x"])
+
+
+def test_constant_range_enforced():
+    k = Kernel("bad")
+    with pytest.raises(ConfigurationError, match="unipolar"):
+        k.const("c", 1.5)
+
+
+def test_validate_requirements():
+    empty = Kernel("empty")
+    with pytest.raises(ConfigurationError, match="no nodes"):
+        empty.validate()
+    k = Kernel("no_out")
+    k.input("x")
+    k.node("n", "mul", ["x", "x"])
+    with pytest.raises(ConfigurationError, match="no outputs"):
+        k.validate()
+
+
+def test_reference_requires_all_inputs():
+    k = _saxpy()
+    with pytest.raises(ConfigurationError, match="missing input"):
+        k.reference({"x": 0.5})

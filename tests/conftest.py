@@ -1,0 +1,17 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.encoding.epoch import EpochSpec
+
+
+@pytest.fixture
+def epoch4() -> EpochSpec:
+    """A small 4-bit epoch (16 slots, 12 ps each)."""
+    return EpochSpec(bits=4)
+
+
+@pytest.fixture
+def epoch6() -> EpochSpec:
+    """A 6-bit epoch (64 slots)."""
+    return EpochSpec(bits=6)

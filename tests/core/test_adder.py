@@ -1,0 +1,83 @@
+"""Merger-tree addition: collisions, stagger, latency constraints."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.adder import (
+    MergerAdder,
+    merger_tree_jj,
+    merger_tree_output_count,
+    min_slot_fs,
+    staggered_offsets,
+)
+from repro.errors import ConfigurationError
+from repro.pulsesim.schedule import uniform_stream_times
+
+
+def test_functional_sum():
+    assert merger_tree_output_count([3, 5, 0, 2]) == 10
+    with pytest.raises(ConfigurationError):
+        merger_tree_output_count([1, -2])
+
+
+def test_jj_budget():
+    assert merger_tree_jj(2) == 5
+    assert merger_tree_jj(4) == 15
+    assert merger_tree_jj(8) == 35
+    with pytest.raises(ConfigurationError):
+        merger_tree_jj(3)
+
+
+def test_staggered_offsets_spacing():
+    offsets = staggered_offsets(4, spacing_fs=5_000)
+    assert offsets == [0, 5_000, 10_000, 15_000]
+    assert min_slot_fs(4, 5_000) == 20_000
+
+
+def test_simultaneous_pulses_lose_to_collisions():
+    adder = MergerAdder(4)
+    out = adder.run([[0], [0], [0], [0]])
+    assert out < 4
+    assert adder.collisions == 4 - out
+
+
+def test_stagger_restores_simultaneous_pulses():
+    adder = MergerAdder(4)
+    assert adder.run([[0], [0], [0], [0]], stagger=True) == 4
+    assert adder.collisions == 0
+
+
+@settings(deadline=None, max_examples=20)
+@given(data=st.data())
+def test_streams_add_exactly_in_min_slot(data):
+    adder = MergerAdder(4)
+    slot = min_slot_fs(4)
+    counts = [data.draw(st.integers(min_value=0, max_value=16)) for _ in range(4)]
+    times = [uniform_stream_times(n, 16, slot) for n in counts]
+    assert adder.run(times, stagger=True) == sum(counts)
+    assert adder.collisions == 0
+
+
+def test_narrow_slot_loses_pulses():
+    """Slots below M * t_merger are lossy — the Fig 5 latency trade-off."""
+    adder = MergerAdder(4)
+    slot = min_slot_fs(4) // 2
+    counts = [16, 16, 16, 16]
+    times = [uniform_stream_times(n, 16, slot) for n in counts]
+    out = adder.run(times, stagger=True)
+    assert out < sum(counts)
+    assert adder.collisions == sum(counts) - out
+
+
+def test_run_validates_arity():
+    adder = MergerAdder(4)
+    with pytest.raises(ConfigurationError):
+        adder.run([[0], [0]])
+
+
+def test_rerun_resets_collision_counter():
+    adder = MergerAdder(2)
+    adder.run([[0], [0]])
+    assert adder.collisions == 1
+    adder.run([[0], [50_000]])
+    assert adder.collisions == 0

@@ -1,0 +1,115 @@
+"""Stateful property test: the balancer against an independent Mealy model.
+
+Hypothesis drives random pulse sequences (spaced, hazard-zone, and
+coincident arrivals) into the behavioural balancer and checks every
+output event against a separately-written reference of the Fig 6c state
+machine, including the case (ii) coincidence and case (iii) hazard rules.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.balancer import Balancer
+from repro.pulsesim import Circuit, Simulator
+
+T_BFF = 12_000
+COINCIDENCE = 2_000
+
+
+class _ReferenceMealy:
+    """Independent re-implementation of the routing rules for checking."""
+
+    def __init__(self):
+        self.state = 0
+        self.last_time = None
+        self.last_port = None
+        self.last_index = None
+        self.pair_open = False
+
+    def route(self, port, time):
+        if self.last_time is not None:
+            gap = time - self.last_time
+            if gap <= COINCIDENCE and port != self.last_port and self.pair_open:
+                index = self.state
+                self.state ^= 1
+                self.pair_open = False
+            elif gap < T_BFF:
+                index = self.last_index
+                self.pair_open = False
+            else:
+                index = self.state
+                self.state ^= 1
+                self.pair_open = True
+        else:
+            index = self.state
+            self.state ^= 1
+            self.pair_open = True
+        self.last_time = time
+        self.last_port = port
+        self.last_index = index
+        return index
+
+
+def _event_sequences():
+    """Random (port, gap-class) sequences covering all three timing cases."""
+    gap_classes = st.sampled_from(["spaced", "hazard", "coincident"])
+    return st.lists(
+        st.tuples(st.sampled_from(["a", "b"]), gap_classes), min_size=1, max_size=30
+    )
+
+
+@settings(deadline=None, max_examples=200)
+@given(sequence=_event_sequences())
+def test_balancer_matches_reference_mealy(sequence):
+    # Build concrete times from the gap classes.
+    times = []
+    now = 0
+    for index, (port, gap_class) in enumerate(sequence):
+        if index == 0:
+            now = 10_000
+        elif gap_class == "spaced":
+            now += T_BFF + 3_000
+        elif gap_class == "hazard":
+            now += 6_000
+        else:  # coincident
+            now += 0
+        times.append((port, now))
+
+    circuit = Circuit()
+    balancer = circuit.add(Balancer("bal"))
+    p1 = circuit.probe(balancer, "y1")
+    p2 = circuit.probe(balancer, "y2")
+    sim = Simulator(circuit)
+    for port, time in times:
+        sim.schedule_input(balancer, port, time)
+    sim.run()
+
+    reference = _ReferenceMealy()
+    expected = [reference.route(port, time) for port, time in times]
+    assert p1.count() == expected.count(0)
+    assert p2.count() == expected.count(1)
+    # No pulses lost, ever — the balancer's defining property.
+    assert p1.count() + p2.count() == len(times)
+
+
+@settings(deadline=None, max_examples=100)
+@given(sequence=_event_sequences())
+def test_balancer_split_is_bounded(sequence):
+    """Even with hazards, the two outputs differ by at most the hazard
+    count plus one (the bias the paper warns about is gradual)."""
+    times = []
+    now = 10_000
+    for port, gap_class in sequence:
+        step = {"spaced": T_BFF + 3_000, "hazard": 6_000, "coincident": 0}[gap_class]
+        now += step
+        times.append((port, now))
+
+    circuit = Circuit()
+    balancer = circuit.add(Balancer("bal"))
+    p1 = circuit.probe(balancer, "y1")
+    p2 = circuit.probe(balancer, "y2")
+    sim = Simulator(circuit)
+    for port, time in times:
+        sim.schedule_input(balancer, port, time)
+    sim.run()
+    imbalance = abs(p1.count() - p2.count())
+    assert imbalance <= balancer.hazard_events + 1

@@ -1,0 +1,60 @@
+"""Gate-level binary shift-and-add multiplier."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.binary_multiplier import ShiftAddMultiplier
+from repro.core.multiplier import MULTIPLIER_BIPOLAR_JJ
+from repro.errors import ConfigurationError
+
+
+@settings(deadline=None, max_examples=20)
+@given(
+    x=st.integers(min_value=0, max_value=63),
+    y=st.integers(min_value=0, max_value=63),
+)
+def test_multiplies_correctly(x, y):
+    mult = ShiftAddMultiplier(6)
+    assert mult.multiply(x, y) == x * y
+
+
+def test_exhaustive_small_width():
+    mult = ShiftAddMultiplier(3)
+    for x in range(8):
+        for y in range(8):
+            assert mult.multiply(x, y) == x * y
+
+
+def test_edge_operands():
+    mult = ShiftAddMultiplier(8)
+    assert mult.multiply(0, 255) == 0
+    assert mult.multiply(255, 255) == 255 * 255
+    assert mult.multiply(1, 1) == 1
+
+
+def test_jj_count_lands_in_table2_range():
+    """Our 8-bit gate-level datapath should sit in the published
+    binary-multiplier range (2.3k-17k JJs), far above 46 JJs unary."""
+    mult = ShiftAddMultiplier(8)
+    assert 1_500 <= mult.jj_count <= 17_000
+    assert mult.jj_count > 30 * MULTIPLIER_BIPOLAR_JJ
+
+
+def test_latency_scales_with_width():
+    assert ShiftAddMultiplier(8).latency_fs() > ShiftAddMultiplier(4).latency_fs() * 3
+
+
+def test_step_counter_tracks_set_bits():
+    mult = ShiftAddMultiplier(4)
+    mult.multiply(0b1010, 3)
+    assert mult.partial_product_steps == 2
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        ShiftAddMultiplier(0)
+    with pytest.raises(ConfigurationError):
+        ShiftAddMultiplier(9)
+    mult = ShiftAddMultiplier(4)
+    with pytest.raises(ConfigurationError):
+        mult.multiply(16, 1)

@@ -1,0 +1,155 @@
+"""RL buffering: integrator, buffer occupancy, memory cell, shift register."""
+
+import pytest
+
+from repro.core.buffer import (
+    INTEGRATOR_STAGE_JJ,
+    MEMORY_CELL_JJ,
+    RL_BUFFER_JJ,
+    PulseIntegrator,
+    RlBuffer,
+    RlMemoryCell,
+    RlShiftRegister,
+)
+from repro.errors import ConfigurationError, SimulationError
+from repro.pulsesim import Circuit, Simulator
+
+EPOCH = 192_000  # 16 slots x 12 ps
+SLOT = 12_000
+
+
+def _wire(cell):
+    circuit = Circuit()
+    circuit.add(cell)
+    return circuit, Simulator(circuit)
+
+
+class TestPulseIntegrator:
+    def test_reads_out_count_as_rl(self):
+        cell = PulseIntegrator("acc", SLOT, 16)
+        circuit, sim = _wire(cell)
+        probe = circuit.probe(cell, "out")
+        sim.schedule_train(cell, "a", [0, SLOT, 2 * SLOT])
+        sim.schedule_input(cell, "epoch", EPOCH)
+        sim.run()
+        assert probe.times == [EPOCH + 3 * SLOT]
+
+    def test_accumulates_across_epochs_until_read(self):
+        cell = PulseIntegrator("acc", SLOT, 16)
+        circuit, sim = _wire(cell)
+        probe = circuit.probe(cell, "out")
+        sim.schedule_train(cell, "a", [0, EPOCH + SLOT])  # two epochs of input
+        sim.schedule_input(cell, "epoch", 2 * EPOCH)
+        sim.run()
+        assert probe.times == [2 * EPOCH + 2 * SLOT]
+
+    def test_readout_restarts_accumulation(self):
+        cell = PulseIntegrator("acc", SLOT, 16)
+        circuit, sim = _wire(cell)
+        probe = circuit.probe(cell, "out")
+        sim.schedule_input(cell, "a", 0)
+        sim.schedule_input(cell, "epoch", EPOCH)
+        sim.schedule_input(cell, "a", EPOCH + SLOT)
+        sim.schedule_input(cell, "epoch", 2 * EPOCH)
+        sim.run()
+        assert probe.times == [EPOCH + SLOT, 2 * EPOCH + SLOT]
+
+    def test_saturates_at_n_max(self):
+        cell = PulseIntegrator("acc", SLOT, 4)
+        circuit, sim = _wire(cell)
+        probe = circuit.probe(cell, "out")
+        sim.schedule_train(cell, "a", [k * 100 for k in range(10)])
+        sim.schedule_input(cell, "epoch", EPOCH)
+        sim.run()
+        assert probe.times == [EPOCH + 4 * SLOT]
+        assert cell.saturations == 6
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PulseIntegrator("x", 0, 16)
+        with pytest.raises(ConfigurationError):
+            PulseIntegrator("x", SLOT, 0)
+
+
+class TestRlBuffer:
+    def test_delays_by_one_epoch(self):
+        cell = RlBuffer("buf", EPOCH)
+        circuit, sim = _wire(cell)
+        probe = circuit.probe(cell, "out")
+        sim.schedule_input(cell, "in", 5 * SLOT)
+        sim.run()
+        assert probe.times == [5 * SLOT + EPOCH]
+
+    def test_busy_buffer_rejects_second_pulse(self):
+        cell = RlBuffer("buf", EPOCH)
+        circuit, sim = _wire(cell)
+        sim.schedule_input(cell, "in", 0)
+        sim.schedule_input(cell, "in", EPOCH // 2)
+        with pytest.raises(SimulationError, match="occupied"):
+            sim.run()
+
+    def test_free_again_after_one_epoch(self):
+        cell = RlBuffer("buf", EPOCH)
+        circuit, sim = _wire(cell)
+        probe = circuit.probe(cell, "out")
+        sim.schedule_input(cell, "in", 0)
+        sim.schedule_input(cell, "in", EPOCH)
+        sim.run()
+        assert probe.count() == 2
+
+
+class TestRlMemoryCell:
+    def test_sustains_one_pulse_per_epoch(self):
+        cell = RlMemoryCell("mem", EPOCH)
+        circuit, sim = _wire(cell)
+        probe = circuit.probe(cell, "out")
+        # One pulse per epoch at varying slots — a single buffer would trip.
+        inputs = [k * EPOCH + (k % 5) * SLOT for k in range(6)]
+        sim.schedule_train(cell, "in", inputs)
+        sim.run()
+        assert probe.times == [t + EPOCH for t in inputs]
+
+    def test_two_pulses_within_an_epoch_rejected(self):
+        cell = RlMemoryCell("mem", EPOCH)
+        circuit, sim = _wire(cell)
+        sim.schedule_train(cell, "in", [0, SLOT, 2 * SLOT])
+        with pytest.raises(SimulationError, match="both buffers"):
+            sim.run()
+
+    def test_jj_budget_composition(self):
+        assert MEMORY_CELL_JJ == 2 * RL_BUFFER_JJ + 14 + 12
+
+
+class TestRlShiftRegister:
+    def test_delays_by_depth_epochs(self):
+        cell = RlShiftRegister("sr", EPOCH, depth=3)
+        circuit, sim = _wire(cell)
+        probe = circuit.probe(cell, "out")
+        sim.schedule_input(cell, "in", 7 * SLOT)
+        sim.run()
+        assert probe.times == [7 * SLOT + 3 * EPOCH]
+
+    def test_rate_protocol_enforced(self):
+        cell = RlShiftRegister("sr", EPOCH, depth=2)
+        circuit, sim = _wire(cell)
+        sim.schedule_train(cell, "in", [0, EPOCH - 1])
+        with pytest.raises(SimulationError, match="closer than one epoch"):
+            sim.run()
+
+    def test_jj_budget_scales_with_depth(self):
+        assert RlShiftRegister("sr", EPOCH, depth=5).jj_count == 5 * MEMORY_CELL_JJ
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RlShiftRegister("sr", EPOCH, depth=0)
+        with pytest.raises(ConfigurationError):
+            RlBuffer("b", 0)
+        with pytest.raises(ConfigurationError):
+            RlMemoryCell("m", -5)
+
+
+def test_calibration_anchors():
+    # DESIGN.md section 5: PE integrator stage 24 JJs; buffer 122 JJs
+    # (2.5x / 1.3x of an 8/16-bit binary shift-register word).
+    assert INTEGRATOR_STAGE_JJ == 24
+    assert RL_BUFFER_JJ == 122

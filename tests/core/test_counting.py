@@ -1,0 +1,110 @@
+"""Counting networks: ceil cascade, structural equivalence, budgets."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.counting import (
+    CountingNetwork,
+    build_counting_network,
+    counting_network_depth,
+    counting_network_jj,
+    counting_network_output_count,
+)
+from repro.errors import ConfigurationError
+from repro.models import technology as tech
+from repro.pulsesim import Circuit
+from repro.pulsesim.schedule import uniform_stream_times
+
+SLOT = tech.T_BFF_FS
+
+
+# -- functional model ---------------------------------------------------------
+@given(
+    depth=st.integers(min_value=1, max_value=5),
+    data=st.data(),
+)
+def test_output_is_ceil_cascade_of_sum(depth, data):
+    m = 1 << depth
+    counts = data.draw(
+        st.lists(st.integers(min_value=0, max_value=32), min_size=m, max_size=m)
+    )
+    out = counting_network_output_count(counts)
+    total = sum(counts)
+    # The cascade never undercounts ceil(total / m) and over-counts by at
+    # most half a pulse per level.
+    assert -(-total // m) <= out <= -(-total // m) + depth
+
+
+@given(data=st.data())
+def test_equal_inputs_divide_exactly(data):
+    m = data.draw(st.sampled_from([2, 4, 8, 16]))
+    n = data.draw(st.integers(min_value=0, max_value=64))
+    assert counting_network_output_count([n] * m) == n
+
+
+def test_fig6d_example_three_balancers():
+    assert counting_network_jj(4) == 3 * 56
+    assert counting_network_depth(4) == 2
+
+
+def test_validation():
+    for bad in (0, 1, 3, 6):
+        with pytest.raises(ConfigurationError):
+            counting_network_output_count([1] * bad if bad else [])
+    with pytest.raises(ConfigurationError):
+        counting_network_output_count([1, -1])
+    with pytest.raises(ConfigurationError):
+        counting_network_jj(5)
+
+
+# -- structural ----------------------------------------------------------------
+@settings(deadline=None, max_examples=20)
+@given(data=st.data())
+def test_structural_matches_functional_aligned_streams(data):
+    network = CountingNetwork(4)
+    counts = [data.draw(st.integers(min_value=0, max_value=16)) for _ in range(4)]
+    times = [uniform_stream_times(n, 16, SLOT) for n in counts]
+    assert network.run(times) == counting_network_output_count(counts)
+
+
+def test_structural_8to1():
+    network = CountingNetwork(8)
+    counts = [8, 4, 2, 1, 0, 16, 5, 12]
+    times = [uniform_stream_times(n, 16, SLOT) for n in counts]
+    out = network.run(times)
+    assert out == counting_network_output_count(counts)
+
+
+def test_structural_survives_simultaneous_inputs():
+    """All inputs pulsing in the same slot must not lose pulses (the
+    balancer's advantage over the merger)."""
+    network = CountingNetwork(4)
+    out = network.run([[0]] * 4)
+    assert out == 1  # 4 pulses / 4 inputs
+
+
+def test_run_validates_arity():
+    network = CountingNetwork(4)
+    with pytest.raises(ConfigurationError):
+        network.run([[0]] * 3)
+
+
+def test_jj_count_property():
+    network = CountingNetwork(8)
+    assert network.jj_count == counting_network_jj(8) == 7 * 56
+
+
+def test_y_alt_output_also_carries_the_sum():
+    circuit = Circuit()
+    block = build_counting_network(circuit, "cn", 4)
+    p_alt = block.probe_output("y_alt")
+    p_main = block.probe_output("y")
+    from repro.pulsesim import Simulator
+
+    sim = Simulator(circuit)
+    counts = [4, 4, 4, 4]
+    for i, n in enumerate(counts):
+        block.drive(sim, f"a{i}", uniform_stream_times(n, 16, SLOT))
+    sim.run()
+    assert p_main.count() == 4
+    assert p_alt.count() == 4

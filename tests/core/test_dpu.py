@@ -1,0 +1,158 @@
+"""Dot-product unit: structural vs functional, batch API, accuracy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dpu import DotProductUnit, DpuModel, dpu_compute_jj
+from repro.encoding.epoch import EpochSpec
+from repro.errors import ConfigurationError
+
+
+def test_jj_model():
+    # L multipliers + (L - 1) balancers.
+    assert dpu_compute_jj(4) == 4 * 16 + 3 * 56
+    assert dpu_compute_jj(4, bipolar=True) == 4 * 46 + 3 * 56
+    with pytest.raises(ConfigurationError):
+        dpu_compute_jj(3)
+
+
+@settings(deadline=None, max_examples=15)
+@given(data=st.data())
+def test_structural_matches_functional(data):
+    epoch = EpochSpec(bits=4)
+    dpu = DotProductUnit(epoch, 4)
+    model = DpuModel(epoch, 4)
+    slots = [data.draw(st.integers(min_value=0, max_value=16)) for _ in range(4)]
+    counts = [data.draw(st.integers(min_value=0, max_value=16)) for _ in range(4)]
+    assert dpu.run_counts(slots, counts) == model.output_count(slots, counts)
+
+
+def test_dot_value_close_to_math(epoch6):
+    model = DpuModel(epoch6, 4)
+    a = [0.25, 0.5, 0.75, 1.0]
+    b = [1.0, 0.5, 0.25, 0.125]
+    want = sum(x * y for x, y in zip(a, b)) / 4
+    assert model.dot(a, b) == pytest.approx(want, abs=3 / 64)
+
+
+def test_bipolar_dot(epoch6):
+    model = DpuModel(epoch6, 4, bipolar=True)
+    a = [-0.5, 0.5, -1.0, 1.0]
+    b = [0.5, 0.5, 1.0, 0.25]
+    want = sum(x * y for x, y in zip(a, b)) / 4
+    assert model.dot(a, b) == pytest.approx(want, abs=8 / 64)
+
+
+@settings(deadline=None, max_examples=20)
+@given(data=st.data())
+def test_batch_matches_scalar(data):
+    epoch = EpochSpec(bits=5)
+    for bipolar in (False, True):
+        model = DpuModel(epoch, 4, bipolar=bipolar)
+        slots = [data.draw(st.integers(min_value=0, max_value=32)) for _ in range(4)]
+        counts = [data.draw(st.integers(min_value=0, max_value=32)) for _ in range(4)]
+        batch = model.output_counts_batch(
+            np.array([slots]), np.array([counts])
+        )
+        assert int(batch[0]) == model.output_count(slots, counts)
+
+
+def test_operand_arity_enforced(epoch4):
+    model = DpuModel(epoch4, 4)
+    with pytest.raises(ConfigurationError):
+        model.output_count([0, 1], [2, 3])
+    dpu = DotProductUnit(epoch4, 4)
+    with pytest.raises(ConfigurationError):
+        dpu.run_counts([0] * 3, [0] * 4)
+
+
+def test_batch_shape_validation(epoch4):
+    model = DpuModel(epoch4, 4)
+    with pytest.raises(ConfigurationError):
+        model.output_counts_batch(np.zeros((2, 3)), np.zeros((2, 3)))
+
+
+def test_length_must_be_power_of_two(epoch4):
+    with pytest.raises(ConfigurationError):
+        DpuModel(epoch4, 6)
+    with pytest.raises(ConfigurationError):
+        DotProductUnit(epoch4, 1)
+
+
+def test_structural_jj_property(epoch4):
+    dpu = DotProductUnit(epoch4, 4)
+    assert dpu.jj_count == dpu_compute_jj(4)
+
+
+class TestBipolarStructural:
+    @settings(deadline=None, max_examples=10)
+    @given(data=st.data())
+    def test_bipolar_dpu_matches_functional(self, data):
+        # Wider slots keep the bipolar lanes' two pulse groups (direct and
+        # complement paths) clear of the balancers' t_BFF hazard window.
+        from repro.units import ps
+
+        epoch = EpochSpec(bits=4, slot_fs=ps(30))
+        dpu = DotProductUnit(epoch, 4, bipolar=True)
+        model = DpuModel(epoch, 4, bipolar=True)
+        slots = [data.draw(st.integers(min_value=0, max_value=16)) for _ in range(4)]
+        counts = [data.draw(st.integers(min_value=0, max_value=16)) for _ in range(4)]
+        assert dpu.run_counts(slots, counts) == model.output_count(slots, counts)
+
+    def test_bipolar_dot_signs(self):
+        from repro.units import ps
+
+        epoch = EpochSpec(bits=5, slot_fs=ps(30))
+        dpu = DotProductUnit(epoch, 4, bipolar=True)
+        value = dpu.run_counts([0, 32, 0, 32], [0, 32, 0, 32])
+        # (-1)(-1) + (1)(1) + (-1)(-1) + (1)(1) = 4 -> mean +1 -> all pulses.
+        assert value == 32
+
+    def test_bipolar_jj_budget(self):
+        from repro.units import ps
+
+        epoch = EpochSpec(bits=4, slot_fs=ps(30))
+        dpu = DotProductUnit(epoch, 4, bipolar=True)
+        assert dpu.jj_count == dpu_compute_jj(4, bipolar=True)
+
+
+class TestMultiEpochStreaming:
+    def test_back_to_back_epochs_with_state_carryover(self, epoch4):
+        """Wave-pipelined frames match a stateful cascade reference."""
+        dpu = DotProductUnit(epoch4, 4)
+        frames_a = [[4, 8, 12, 16], [0, 16, 8, 4], [16, 16, 16, 16]]
+        frames_b = [[16, 8, 4, 2], [7, 7, 7, 7], [16, 16, 16, 16]]
+        got = dpu.run_epochs(frames_a, frames_b)
+
+        # Reference: per-tap products + stateful pairwise cascade.
+        from repro.core.multiplier import unipolar_product_count
+
+        states = [[0, 0], [0]]
+        expected = []
+        for a_slots, b_counts in zip(frames_a, frames_b):
+            counts = [
+                unipolar_product_count(b_counts[i], a_slots[i], 16)
+                for i in range(4)
+            ]
+            for level, level_states in enumerate(states):
+                merged = []
+                for node in range(len(counts) // 2):
+                    total = counts[2 * node] + counts[2 * node + 1]
+                    merged.append((total + (1 - level_states[node])) // 2)
+                    level_states[node] ^= total & 1
+                counts = merged
+            expected.append(counts[0])
+        assert got == expected
+
+    def test_single_frame_matches_run_counts(self, epoch4):
+        dpu = DotProductUnit(epoch4, 4)
+        slots, counts = [3, 9, 14, 6], [5, 11, 2, 16]
+        assert dpu.run_epochs([slots], [counts]) == [dpu.run_counts(slots, counts)]
+
+    def test_frame_validation(self, epoch4):
+        dpu = DotProductUnit(epoch4, 4)
+        with pytest.raises(ConfigurationError):
+            dpu.run_epochs([[0] * 4], [])
+        with pytest.raises(ConfigurationError):
+            dpu.run_epochs([[0] * 3], [[0] * 4])

@@ -1,0 +1,159 @@
+"""FIR accelerators: fidelity, error injection, validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.fir import BinaryFirFilter, UnaryFirFilter
+from repro.encoding.epoch import EpochSpec
+from repro.errors import ConfigurationError
+
+
+def _impulse(n=64):
+    x = np.zeros(n)
+    x[0] = 1.0
+    return x
+
+
+def _coeffs():
+    return np.array([0.1, 0.3, 0.3, 0.1])
+
+
+class TestUnaryFir:
+    def test_impulse_response_recovers_coefficients(self):
+        fir = UnaryFirFilter(EpochSpec(bits=12), _coeffs(), exact_counting=False)
+        out = fir.process(_impulse())
+        assert np.allclose(out[:4], _coeffs(), atol=0.01)
+        assert np.allclose(out[6:], 0.0, atol=0.01)
+
+    def test_sine_tracks_float_filter_at_high_bits(self):
+        epoch = EpochSpec(bits=14)
+        h = _coeffs()
+        fir = UnaryFirFilter(epoch, h, exact_counting=False)
+        x = np.sin(np.linspace(0, 8 * np.pi, 200)) * 0.8
+        got = fir.process(x)
+        want = np.convolve(x, h)[:200]
+        assert np.max(np.abs(got - want)) < 0.02
+
+    def test_exact_counting_resolution_is_coarser(self):
+        """The physical cascade quantises to 2 * L / n_max steps."""
+        epoch = EpochSpec(bits=6)
+        h = _coeffs()
+        x = np.sin(np.linspace(0, 8 * np.pi, 100)) * 0.8
+        exact = UnaryFirFilter(epoch, h, exact_counting=True).process(x)
+        paper = UnaryFirFilter(epoch, h, exact_counting=False).process(x)
+        want = np.convolve(x, h)[:100]
+        assert np.mean((exact - want) ** 2) >= np.mean((paper - want) ** 2)
+
+    def test_pulse_loss_is_zero_mean_noise(self):
+        epoch = EpochSpec(bits=12)
+        h = _coeffs()
+        x = np.sin(np.linspace(0, 8 * np.pi, 400)) * 0.8
+        clean = UnaryFirFilter(epoch, h, exact_counting=False).process(x)
+        noisy = UnaryFirFilter(
+            epoch, h, pulse_loss_rate=0.3, exact_counting=False, seed=1
+        ).process(x)
+        error = noisy - clean
+        assert np.abs(np.mean(error)) < 0.01  # no DC shift
+        assert np.std(error) > 0.0
+
+    def test_rl_loss_reads_full_scale(self):
+        epoch = EpochSpec(bits=8)
+        fir = UnaryFirFilter(
+            epoch, _coeffs(), rl_loss_rate=1.0, exact_counting=False, seed=2
+        )
+        out = fir.process(np.zeros(16))
+        # Every tap sees x = +1: output ~ sum(h).
+        assert np.allclose(out, np.sum(_coeffs()), atol=0.05)
+
+    def test_rl_delay_shifts_by_single_slots(self):
+        epoch = EpochSpec(bits=8)
+        x = np.sin(np.linspace(0, 4 * np.pi, 100)) * 0.5
+        clean = UnaryFirFilter(epoch, _coeffs(), exact_counting=False).process(x)
+        jittery = UnaryFirFilter(
+            epoch, _coeffs(), rl_delay_rate=1.0, exact_counting=False, seed=3
+        ).process(x)
+        # Worst case: every tap off by one slot -> error <= sum|h| * 2/256,
+        # plus one pulse-count rounding step (2/256) on the summed output.
+        bound = np.sum(np.abs(_coeffs())) * 2 / 256 + 2 / 256
+        assert np.max(np.abs(jittery - clean)) <= bound + 1e-9
+
+    def test_seeded_error_injection_is_reproducible(self):
+        epoch = EpochSpec(bits=8)
+        x = np.sin(np.linspace(0, 4 * np.pi, 50)) * 0.5
+        a = UnaryFirFilter(epoch, _coeffs(), pulse_loss_rate=0.2, seed=11).process(x)
+        b = UnaryFirFilter(epoch, _coeffs(), pulse_loss_rate=0.2, seed=11).process(x)
+        assert np.array_equal(a, b)
+
+    def test_empty_input(self):
+        fir = UnaryFirFilter(EpochSpec(bits=6), _coeffs())
+        assert fir.process([]).size == 0
+
+    def test_validation(self):
+        epoch = EpochSpec(bits=6)
+        with pytest.raises(ConfigurationError):
+            UnaryFirFilter(epoch, [])
+        with pytest.raises(ConfigurationError):
+            UnaryFirFilter(epoch, [1.5])
+        with pytest.raises(ConfigurationError):
+            UnaryFirFilter(epoch, _coeffs(), pulse_loss_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            UnaryFirFilter(epoch, _coeffs(), rl_delay_slots=0)
+        fir = UnaryFirFilter(epoch, _coeffs())
+        with pytest.raises(ConfigurationError):
+            fir.process([2.0])
+        with pytest.raises(ConfigurationError):
+            fir.process(np.zeros((2, 2)))
+
+    def test_tap_padding_to_power_of_two(self):
+        fir = UnaryFirFilter(EpochSpec(bits=6), np.full(5, 0.1))
+        assert fir.taps == 5
+        assert fir.length == 8
+
+    def test_jj_count_uses_area_model(self):
+        fir = UnaryFirFilter(EpochSpec(bits=8), np.full(32, 0.01))
+        from repro.models import area
+
+        assert fir.jj_count == area.fir_unary_jj(32, 8)
+
+    def test_ideal_response_is_plain_convolution(self):
+        fir = UnaryFirFilter(EpochSpec(bits=6), _coeffs())
+        x = np.sin(np.linspace(0, 2 * np.pi, 20))
+        assert np.allclose(fir.ideal_response(x), np.convolve(x, _coeffs())[:20])
+
+
+class TestBinaryFir:
+    def test_high_resolution_matches_float(self):
+        fir = BinaryFirFilter(16, _coeffs())
+        x = np.sin(np.linspace(0, 8 * np.pi, 100)) * 0.8
+        want = np.convolve(x, _coeffs())[:100]
+        assert np.max(np.abs(fir.process(x) - want)) < 0.005
+
+    def test_quantisation_noise_grows_at_low_bits(self):
+        x = np.sin(np.linspace(0, 8 * np.pi, 200)) * 0.8
+        want = np.convolve(x, _coeffs())[:200]
+        err4 = np.mean((BinaryFirFilter(4, _coeffs()).process(x) - want) ** 2)
+        err12 = np.mean((BinaryFirFilter(12, _coeffs()).process(x) - want) ** 2)
+        assert err4 > err12
+
+    def test_bit_flips_change_output(self):
+        x = np.sin(np.linspace(0, 8 * np.pi, 200)) * 0.8
+        clean = BinaryFirFilter(12, _coeffs()).process(x)
+        flipped = BinaryFirFilter(12, _coeffs(), bit_flip_rate=0.5, seed=4).process(x)
+        assert not np.array_equal(clean, flipped)
+
+    def test_seeded_flips_reproducible(self):
+        x = np.ones(50) * 0.5
+        a = BinaryFirFilter(10, _coeffs(), bit_flip_rate=0.3, seed=5).process(x)
+        b = BinaryFirFilter(10, _coeffs(), bit_flip_rate=0.3, seed=5).process(x)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BinaryFirFilter(1, _coeffs())
+        with pytest.raises(ConfigurationError):
+            BinaryFirFilter(8, [])
+        with pytest.raises(ConfigurationError):
+            BinaryFirFilter(8, _coeffs(), bit_flip_rate=2.0)
+
+    def test_empty_input(self):
+        assert BinaryFirFilter(8, _coeffs()).process([]).size == 0

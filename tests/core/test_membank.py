@@ -1,0 +1,79 @@
+"""Coefficient memory bank."""
+
+import pytest
+
+from repro.core.membank import CoefficientBank, membank_jj
+from repro.core.pnm import pnm_tick_pattern
+from repro.encoding.epoch import EpochSpec
+from repro.errors import ConfigurationError
+from repro.models import technology as tech
+
+
+def bank(bits=4, n_words=4):
+    return CoefficientBank(EpochSpec(bits=bits), n_words)
+
+
+def test_write_read_roundtrip():
+    b = bank()
+    b.write(0, 13)
+    b.write(3, 0)
+    assert b.read(0) == 13
+    assert b.read(3) == 0
+
+
+def test_write_all():
+    b = bank()
+    b.write_all([1, 2, 3, 4])
+    assert [b.read(i) for i in range(4)] == [1, 2, 3, 4]
+    with pytest.raises(ConfigurationError):
+        b.write_all([1, 2])
+
+
+def test_word_width_enforced():
+    b = bank(bits=4)
+    with pytest.raises(ConfigurationError):
+        b.write(0, 16)
+    with pytest.raises(ConfigurationError):
+        b.write(0, -1)
+
+
+def test_index_bounds():
+    b = bank()
+    with pytest.raises(ConfigurationError):
+        b.read(4)
+    with pytest.raises(ConfigurationError):
+        b.write(-1, 0)
+
+
+def test_stream_count_equals_word():
+    b = bank()
+    b.write(1, 11)
+    assert b.stream_count(1) == 11
+    assert len(b.stream_times(1)) == 11
+
+
+def test_tick_pattern_matches_pnm():
+    b = bank()
+    b.write(2, 0b0100)
+    assert b.tick_pattern(2) == pnm_tick_pattern(0b0100, 4)
+
+
+def test_stream_times_respect_epoch_offset():
+    b = bank()
+    b.write(0, 4)
+    epoch0 = b.stream_times(0, epoch_index=0)
+    epoch2 = b.stream_times(0, epoch_index=2)
+    offset = 2 * b.epoch.duration_fs
+    assert [t + offset for t in epoch0] == epoch2
+
+
+def test_area_includes_ten_percent_readout_overhead():
+    binary_bank = 32 * 8 * tech.JJ_NDRO
+    assert membank_jj(32, 8) == round(binary_bank * 1.1)
+    with pytest.raises(ConfigurationError):
+        membank_jj(0, 8)
+
+
+def test_jj_property():
+    b = bank(bits=8, n_words=16)
+    assert b.jj_count == membank_jj(16, 8)

@@ -1,0 +1,158 @@
+"""U-SFQ multipliers: functional properties + structural cross-validation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.multiplier import (
+    BipolarMultiplier,
+    MULTIPLIER_BIPOLAR_JJ,
+    UnipolarMultiplier,
+    bipolar_product_count,
+    unipolar_product_count,
+)
+from repro.encoding.epoch import EpochSpec
+from repro.errors import ConfigurationError
+
+
+# -- functional model properties -------------------------------------------------
+@given(
+    bits=st.integers(min_value=1, max_value=12),
+    data=st.data(),
+)
+def test_unipolar_count_is_quantised_product(bits, data):
+    n_max = 1 << bits
+    n_a = data.draw(st.integers(min_value=0, max_value=n_max))
+    slot_b = data.draw(st.integers(min_value=0, max_value=n_max))
+    count = unipolar_product_count(n_a, slot_b, n_max)
+    exact = n_a * slot_b / n_max
+    assert 0 <= count <= n_max
+    assert abs(count - exact) < 1.0  # within one pulse of the true product
+
+
+@given(
+    bits=st.integers(min_value=1, max_value=12),
+    data=st.data(),
+)
+def test_unipolar_count_monotone_in_both_operands(bits, data):
+    n_max = 1 << bits
+    n_a = data.draw(st.integers(min_value=0, max_value=n_max - 1))
+    slot_b = data.draw(st.integers(min_value=0, max_value=n_max - 1))
+    base = unipolar_product_count(n_a, slot_b, n_max)
+    assert unipolar_product_count(n_a + 1, slot_b, n_max) >= base
+    assert unipolar_product_count(n_a, slot_b + 1, n_max) >= base
+
+
+def test_unipolar_identity_rows():
+    assert unipolar_product_count(16, 16, 16) == 16  # 1 x 1 = 1
+    assert unipolar_product_count(0, 9, 16) == 0
+    assert unipolar_product_count(9, 0, 16) == 0
+    assert unipolar_product_count(16, 5, 16) == 5    # 1 x b = b
+
+
+@given(
+    bits=st.integers(min_value=2, max_value=10),
+    data=st.data(),
+)
+def test_bipolar_count_decodes_to_product(bits, data):
+    n_max = 1 << bits
+    n_a = data.draw(st.integers(min_value=0, max_value=n_max))
+    slot_b = data.draw(st.integers(min_value=0, max_value=n_max))
+    count = bipolar_product_count(n_a, slot_b, n_max)
+    a_b = 2 * n_a / n_max - 1
+    b_b = 2 * slot_b / n_max - 1
+    decoded = 2 * count / n_max - 1
+    # The pass count ceils, which doubles through the complement branch:
+    # worst-case decoded error is 4 / n_max (two pulses).
+    assert -1e-12 <= decoded - a_b * b_b <= 4.0 / n_max + 1e-12
+
+
+def test_bipolar_sign_table():
+    n = 16
+    # (+1) x (+1) = +1 ; (-1) x (+1) = -1 ; (-1) x (-1) = +1 ; (+1) x (-1) = -1
+    assert bipolar_product_count(16, 16, n) == 16
+    assert bipolar_product_count(0, 16, n) == 0
+    assert bipolar_product_count(0, 0, n) == 16
+    assert bipolar_product_count(16, 0, n) == 0
+    # 0 x anything ~= 0 (count n/2, +1 from the ceil when n*s/n_max is
+    # fractional: 8*13/16 = 6.5 -> pass 7 -> count 9 instead of 8).
+    assert bipolar_product_count(8, 13, n) == 9
+    assert bipolar_product_count(8, 12, n) == 8  # exact when divisible
+
+
+def test_count_validation():
+    with pytest.raises(ConfigurationError):
+        unipolar_product_count(17, 3, 16)
+    with pytest.raises(ConfigurationError):
+        unipolar_product_count(3, 17, 16)
+    with pytest.raises(ConfigurationError):
+        unipolar_product_count(1, 1, 0)
+
+
+def test_explicit_tick_pattern_filtering():
+    # Ticks {0, 4, 8, 12}; RL slot 5 passes {0, 4}.
+    assert unipolar_product_count(4, 5, 16, ticks=[0, 4, 8, 12]) == 2
+    assert bipolar_product_count(4, 5, 16, ticks=[0, 4, 8, 12]) == 2 + (16 - 5) - 2
+
+
+# -- structural vs functional ------------------------------------------------------
+@settings(deadline=None, max_examples=25)
+@given(data=st.data())
+def test_structural_unipolar_matches_functional(data):
+    epoch = EpochSpec(bits=4)
+    mult = UnipolarMultiplier(epoch)
+    n_a = data.draw(st.integers(min_value=0, max_value=16))
+    slot_b = data.draw(st.integers(min_value=0, max_value=16))
+    assert mult.run_counts(n_a, slot_b) == unipolar_product_count(n_a, slot_b, 16)
+
+
+@settings(deadline=None, max_examples=25)
+@given(data=st.data())
+def test_structural_bipolar_matches_functional(data):
+    epoch = EpochSpec(bits=4)
+    mult = BipolarMultiplier(epoch)
+    n_a = data.draw(st.integers(min_value=0, max_value=16))
+    slot_b = data.draw(st.integers(min_value=0, max_value=16))
+    assert mult.run_counts(n_a, slot_b) == bipolar_product_count(n_a, slot_b, 16)
+
+
+def test_multiply_value_interface(epoch6):
+    mult = UnipolarMultiplier(epoch6)
+    assert mult.multiply(0.5, 0.75) == pytest.approx(0.375, abs=1 / 64)
+    bip = BipolarMultiplier(epoch6)
+    assert bip.multiply(-0.5, 0.5) == pytest.approx(-0.25, abs=2 / 64)
+    assert bip.multiply(-1.0, -1.0) == pytest.approx(1.0, abs=2 / 64)
+
+
+def test_paper_area_anchor():
+    assert MULTIPLIER_BIPOLAR_JJ == 46  # 370x under the 17 kJJ BP multiplier
+
+
+def test_rerun_is_deterministic(epoch4):
+    mult = UnipolarMultiplier(epoch4)
+    first = mult.run_counts(7, 9)
+    second = mult.run_counts(7, 9)
+    assert first == second
+
+
+def test_rl_zero_blocks_the_whole_stream(epoch4):
+    """Slot 0 means value 0: the reset lands before any stream pulse, so
+    nothing passes — the SETUP-offset convention this depends on."""
+    mult = UnipolarMultiplier(epoch4)
+    assert mult.run_counts(16, 0) == 0
+    bip = BipolarMultiplier(epoch4)
+    # Bipolar: b = -1 -> out = -a; for a = +1 the output is all-complement.
+    assert bip.run_counts(16, 0) == 0
+    assert bip.run_counts(0, 0) == 16
+
+
+def test_missing_rl_pulse_means_full_scale(epoch4):
+    """Slot n_max (no pulse this epoch) encodes 1.0: everything passes."""
+    mult = UnipolarMultiplier(epoch4)
+    assert mult.run_counts(11, 16) == 11
+
+
+def test_single_pulse_boundaries(epoch4):
+    mult = UnipolarMultiplier(epoch4)
+    # One stream pulse at slot 0 passes iff the RL operand is >= 1.
+    assert mult.run_counts(1, 0) == 0
+    assert mult.run_counts(1, 1) == 1

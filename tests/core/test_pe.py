@@ -1,0 +1,96 @@
+"""Processing element: structural vs functional MAC, arrays."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pe import PE_JJ, PEArray, PEModel, ProcessingElement
+from repro.encoding.epoch import EpochSpec
+from repro.errors import ConfigurationError
+
+
+def test_pe_area_anchor():
+    assert PE_JJ == 126  # the paper's stated PE budget
+
+
+@settings(deadline=None, max_examples=20)
+@given(data=st.data())
+def test_structural_matches_functional(data):
+    epoch = EpochSpec(bits=4)
+    pe = ProcessingElement(epoch)
+    model = PEModel(epoch)
+    in1 = data.draw(st.integers(min_value=0, max_value=16))
+    in2 = data.draw(st.integers(min_value=0, max_value=16))
+    in3 = data.draw(st.integers(min_value=0, max_value=16))
+    assert pe.run_mac(in1, in2, in3) == model.mac_counts(in1, in2, in3)
+
+
+def test_mac_value_semantics(epoch6):
+    model = PEModel(epoch6)
+    # (0.5 * 0.5 + 0.25) / 2 = 0.25
+    assert model.mac(0.5, 0.5, 0.25) == pytest.approx(0.25, abs=2 / 64)
+
+
+def test_mac_saturates(epoch4):
+    model = PEModel(epoch4)
+    assert model.mac_counts(16, 16, 16) == 16
+
+
+def test_structural_value_interface(epoch4):
+    pe = ProcessingElement(epoch4)
+    assert pe.mac(1.0, 1.0, 1.0) == pytest.approx(1.0)
+    assert pe.mac(0.0, 0.0, 0.0) == 0.0
+
+
+def test_accumulate_over_epochs(epoch6):
+    model = PEModel(epoch6)
+    pairs = [(0.5, 0.5)] * 4  # 4 x 0.25, halved each epoch -> 0.5
+    assert model.accumulate(pairs) == pytest.approx(0.5, abs=4 / 64)
+
+
+def test_accumulate_saturates(epoch4):
+    model = PEModel(epoch4)
+    assert model.accumulate([(1.0, 1.0)] * 10) == 1.0
+
+
+class TestPEArray:
+    def test_geometry_and_area(self):
+        array = PEArray(EpochSpec(bits=6), rows=3, cols=4)
+        assert array.n_pes == 12
+        assert array.jj_count == 12 * 126
+
+    def test_matmul_close_to_float(self):
+        rng = np.random.default_rng(42)
+        array = PEArray(EpochSpec(bits=8), rows=2, cols=2)
+        a = rng.uniform(0, 0.5, (2, 3))
+        b = rng.uniform(0, 0.5, (3, 2))
+        got = array.matmul(a, b)
+        want = a @ b
+        assert np.allclose(got, want, atol=0.05)
+
+    def test_matmul_shape_validation(self):
+        array = PEArray(EpochSpec(bits=4), 1, 1)
+        with pytest.raises(ConfigurationError):
+            array.matmul(np.ones((2, 3)), np.ones((2, 3)))
+
+    def test_conv2d_close_to_float(self):
+        rng = np.random.default_rng(7)
+        array = PEArray(EpochSpec(bits=8), 2, 2)
+        image = rng.uniform(0, 0.5, (4, 4))
+        kernel = rng.uniform(0, 0.3, (3, 3))
+        got = array.conv2d(image, kernel)
+        want = np.zeros((2, 2))
+        for i in range(2):
+            for j in range(2):
+                want[i, j] = np.sum(image[i : i + 3, j : j + 3] * kernel)
+        assert got.shape == (2, 2)
+        assert np.allclose(got, np.minimum(want, 1.0), atol=0.08)
+
+    def test_conv2d_validation(self):
+        array = PEArray(EpochSpec(bits=4), 1, 1)
+        with pytest.raises(ConfigurationError):
+            array.conv2d(np.ones((2, 2)), np.ones((3, 3)))
+
+    def test_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            PEArray(EpochSpec(bits=4), 0, 3)

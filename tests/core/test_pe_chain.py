@@ -1,0 +1,93 @@
+"""Structural PE-to-PE chaining: the Race-Logic inter-PE interface.
+
+Section 5.2: the integrator "returns the accumulated result in a RL
+format facilitating the interface among PEs".  This integration test
+wires one PE's RL output straight into a second PE's RL input and checks
+the two-stage computation against the functional composition, across the
+epoch boundary the integrator introduces.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.multiplier import SETUP_FS
+from repro.core.pe import PEModel, build_processing_element
+from repro.encoding.epoch import EpochSpec
+from repro.models import technology as tech
+from repro.pulsesim import Circuit, Simulator
+from repro.pulsesim.schedule import uniform_stream_times
+
+
+def _run_chain(epoch, in1, in2a, in3a, in2b, in3b):
+    """PE A computes in epoch 0; its RL output drives PE B in epoch 1."""
+    circuit = Circuit("pe_chain")
+    pe_a = build_processing_element(circuit, "peA", epoch)
+    pe_b = build_processing_element(circuit, "peB", epoch)
+    out_element, out_port = pe_a.output("out")
+    in_element, in_port = pe_b.input("in1")
+    # The inter-PE link carries one setup offset of JTL delay so that PE
+    # A's slot-k pulse lands exactly on PE B's slot-k grid (and a slot-0
+    # pulse cannot beat PE B's epoch marker).
+    circuit.connect(out_element, out_port, in_element, in_port, delay=SETUP_FS)
+    probe = pe_b.probe_output("out")
+
+    sim = Simulator(circuit)
+    duration = epoch.duration_fs
+    slot = epoch.slot_fs
+
+    def drive_stream(block, alias, count, base, offset):
+        block.drive(
+            sim,
+            alias,
+            [base + SETUP_FS + offset + t for t in uniform_stream_times(count, epoch.n_max, slot)],
+        )
+
+    # Epoch 0: PE A computes (in1 x in2a + in3a) / 2.
+    pe_a.drive(sim, "epoch_start", 0)
+    if in1 < epoch.n_max:
+        pe_a.drive(sim, "in1", SETUP_FS + epoch.slot_time(in1))
+    drive_stream(pe_a, "in2", in2a, 0, 0)
+    drive_stream(pe_a, "in3", in3a, 0, tech.T_NDRO_FS)
+    pe_a.drive(sim, "epoch_end", SETUP_FS + duration)
+    # Epoch 1: PE B consumes A's RL output with fresh stream operands.
+    base_b = SETUP_FS + duration
+    pe_b.drive(sim, "epoch_start", base_b)
+    drive_stream(pe_b, "in2", in2b, base_b, 0)
+    drive_stream(pe_b, "in3", in3b, base_b, tech.T_NDRO_FS)
+    pe_b.drive(sim, "epoch_end", base_b + SETUP_FS + duration)
+    sim.run()
+
+    read_time = base_b + SETUP_FS + duration
+    assert probe.times, "PE B produced no output"
+    return (probe.times[-1] - read_time) // slot
+
+
+@settings(deadline=None, max_examples=12)
+@given(data=st.data())
+def test_chain_matches_functional_composition(data):
+    epoch = EpochSpec(bits=4)
+    model = PEModel(epoch)
+    in1 = data.draw(st.integers(min_value=0, max_value=16))
+    in2a = data.draw(st.integers(min_value=0, max_value=16))
+    in3a = data.draw(st.integers(min_value=0, max_value=16))
+    in2b = data.draw(st.integers(min_value=0, max_value=16))
+    in3b = data.draw(st.integers(min_value=0, max_value=16))
+
+    intermediate = model.mac_counts(in1, in2a, in3a)
+    expected = model.mac_counts(intermediate, in2b, in3b)
+    got = _run_chain(epoch, in1, in2a, in3a, in2b, in3b)
+    assert got == expected
+
+
+def test_chain_full_scale():
+    epoch = EpochSpec(bits=4)
+    # A: (1 x 1 + 1)/2 = 1 -> B: (1 x 1 + 1)/2 = 1 (saturated all the way).
+    assert _run_chain(epoch, 16, 16, 16, 16, 16) == 16
+
+
+def test_chain_zero_propagates():
+    epoch = EpochSpec(bits=4)
+    # A outputs (0 + 0)/2 = 0 -> no RL pulse -> B sees in1 = 0 and only in3.
+    model = PEModel(epoch)
+    expected = model.mac_counts(0, 10, 6)
+    assert _run_chain(epoch, 0, 0, 0, 10, 6) == expected

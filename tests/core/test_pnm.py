@@ -1,0 +1,135 @@
+"""Pulse-number multipliers: tick patterns, structural chain, bursts."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pnm import (
+    BurstPnm,
+    build_tff2_pnm,
+    pnm_jj,
+    pnm_pass_counts,
+    pnm_tick_pattern,
+)
+from repro.errors import ConfigurationError
+from repro.models import technology as tech
+from repro.pulsesim import Circuit, Simulator
+from repro.pulsesim.schedule import clock_times
+
+
+# -- tick pattern properties -----------------------------------------------------
+@given(bits=st.integers(min_value=1, max_value=10), data=st.data())
+def test_pattern_length_equals_word(bits, data):
+    word = data.draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+    assert len(pnm_tick_pattern(word, bits)) == word
+
+
+@given(bits=st.integers(min_value=1, max_value=10), data=st.data())
+def test_pattern_sorted_unique_in_range(bits, data):
+    word = data.draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+    ticks = pnm_tick_pattern(word, bits)
+    assert ticks == sorted(set(ticks))
+    assert all(0 <= t < (1 << bits) - 1 for t in ticks)
+
+
+@given(bits=st.integers(min_value=2, max_value=8))
+def test_bit_patterns_are_disjoint(bits):
+    """Each power-of-two word owns its own tick set; they never overlap."""
+    seen = set()
+    for bit in range(bits):
+        ticks = set(pnm_tick_pattern(1 << bit, bits))
+        assert not (ticks & seen)
+        seen |= ticks
+
+
+def test_paper_examples():
+    assert len(pnm_tick_pattern(0b1111, 4)) == 15  # "1111" -> 15 pulses
+    assert pnm_tick_pattern(0b0100, 4) == [1, 5, 9, 13]  # "0100" -> 4 pulses
+
+
+def test_msb_owns_every_other_tick():
+    assert pnm_tick_pattern(0b1000, 4) == [0, 2, 4, 6, 8, 10, 12, 14]
+
+
+@given(bits=st.integers(min_value=1, max_value=10), data=st.data())
+def test_pass_counts_match_pattern(bits, data):
+    n_max = 1 << bits
+    word = data.draw(st.integers(min_value=0, max_value=n_max - 1))
+    slot = data.draw(st.integers(min_value=0, max_value=n_max))
+    want = sum(1 for t in pnm_tick_pattern(word, bits) if t < slot)
+    assert int(pnm_pass_counts(word, slot, bits)) == want
+
+
+def test_pass_counts_broadcasts():
+    import numpy as np
+
+    words = np.array([[3, 7], [1, 15]])
+    slots = np.array([[8, 8], [16, 16]])
+    out = pnm_pass_counts(words, slots, 4)
+    assert out.shape == (2, 2)
+    assert int(out[1, 1]) == 15
+
+
+def test_pattern_validation():
+    with pytest.raises(ConfigurationError):
+        pnm_tick_pattern(16, 4)
+    with pytest.raises(ConfigurationError):
+        pnm_tick_pattern(-1, 4)
+    with pytest.raises(ConfigurationError):
+        pnm_pass_counts(1, 17, 4)
+
+
+# -- structural TFF2 chain ---------------------------------------------------------
+def _run_chain(word, bits=4):
+    circuit = Circuit()
+    pnm = build_tff2_pnm(circuit, "pnm", bits)
+    probe = pnm.probe_output("out")
+    sim = Simulator(circuit)
+    for bit in range(bits):
+        port = f"set{bit}" if (word >> bit) & 1 else f"reset{bit}"
+        pnm.drive(sim, port, 0)
+    pnm.drive(
+        sim, "clk", clock_times(tech.T_TFF2_FS, 1 << bits, start=tech.T_TFF2_FS)
+    )
+    sim.run()
+    return sorted(probe.times)
+
+
+@settings(deadline=None, max_examples=16)
+@given(word=st.integers(min_value=0, max_value=15))
+def test_structural_chain_emits_word_pulses(word):
+    assert len(_run_chain(word)) == word
+
+
+def test_structural_ticks_match_pattern():
+    times = _run_chain(0b0100)
+    # Recover tick indices from arrival times (subtract chain delays).
+    base = times[0]
+    gaps = [(t - base) for t in times]
+    period = 4 * tech.T_TFF2_FS  # ticks 1, 5, 9, 13 are 4 clock ticks apart
+    assert gaps == [0, period, 2 * period, 3 * period]
+
+
+def test_jj_model():
+    assert pnm_jj(4) == 4 * tech.JJ_TFF2 + 4 * tech.JJ_NDRO + 3 * tech.JJ_MERGER
+    with pytest.raises(ConfigurationError):
+        pnm_jj(0)
+
+
+# -- burst PNM ----------------------------------------------------------------------
+def test_burst_pnm_emits_programmed_count():
+    circuit = Circuit()
+    burst = circuit.add(BurstPnm("b", count=5, bits=4))
+    probe = circuit.probe(burst, "out")
+    sim = Simulator(circuit)
+    sim.schedule_input(burst, "trigger", 0)
+    sim.run()
+    assert probe.count() == 5
+    assert probe.inter_pulse_intervals() == [tech.T_TFF2_FS] * 4  # bursty
+
+
+def test_burst_pnm_reprogram():
+    burst = BurstPnm("b", count=5, bits=4)
+    burst.program(9)
+    assert burst.count == 9
+    with pytest.raises(ConfigurationError):
+        burst.program(16)

@@ -1,0 +1,160 @@
+"""Race-Logic temporal operators: min, max, add-constant, inhibit."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.racelogic_ops import (
+    RaceLogicAlu,
+    add_constant,
+    build_delay_chain,
+    inhibit_slots,
+    max_slots,
+    min_slots,
+)
+from repro.encoding.epoch import EpochSpec
+from repro.errors import ConfigurationError
+from repro.pulsesim import Circuit, Simulator
+
+
+# -- functional algebra ----------------------------------------------------------
+@given(a=st.integers(0, 64), b=st.integers(0, 64), c=st.integers(0, 64))
+def test_min_max_lattice_properties(a, b, c):
+    assert min_slots(a, b) == min_slots(b, a)
+    assert max_slots(a, b) == max_slots(b, a)
+    assert min_slots(a, max_slots(a, b)) == a  # absorption
+    assert max_slots(a, min_slots(a, b)) == a
+    assert min_slots(min_slots(a, b), c) == min_slots(a, min_slots(b, c))
+
+
+@given(a=st.integers(0, 64), c=st.integers(0, 32))
+def test_add_constant_saturates(a, c):
+    out = add_constant(a, c, 64)
+    assert out == min(a + c, 64)
+
+
+def test_inhibit_semantics():
+    assert inhibit_slots(3, 7) == 3
+    assert inhibit_slots(7, 3) is None
+    assert inhibit_slots(5, 5) is None  # strict precedence
+
+
+def test_functional_validation():
+    with pytest.raises(ConfigurationError):
+        min_slots(-1, 0)
+    with pytest.raises(ConfigurationError):
+        add_constant(1, -1, 16)
+
+
+# -- structural ALU ---------------------------------------------------------------
+@settings(deadline=None, max_examples=30)
+@given(a=st.integers(0, 15), b=st.integers(0, 15))
+def test_alu_min_matches_functional(a, b):
+    alu = RaceLogicAlu(EpochSpec(bits=4), "min")
+    assert alu.run_slots(a, b) == min_slots(a, b)
+
+
+@settings(deadline=None, max_examples=30)
+@given(a=st.integers(0, 15), b=st.integers(0, 15))
+def test_alu_max_matches_functional(a, b):
+    alu = RaceLogicAlu(EpochSpec(bits=4), "max")
+    assert alu.run_slots(a, b) == max_slots(a, b)
+
+
+@settings(deadline=None, max_examples=30)
+@given(a=st.integers(0, 15), b=st.integers(0, 15))
+def test_alu_inhibit_matches_functional(a, b):
+    alu = RaceLogicAlu(EpochSpec(bits=4), "inhibit")
+    assert alu.run_slots(a, b) == inhibit_slots(a, b)
+
+
+def test_alu_missing_pulse_conventions():
+    epoch = EpochSpec(bits=4)
+    # n_max encodes "no pulse this epoch" (the value 1.0).
+    assert RaceLogicAlu(epoch, "min").run_slots(16, 5) == 5
+    assert RaceLogicAlu(epoch, "max").run_slots(16, 5) is None  # waits forever
+    assert RaceLogicAlu(epoch, "inhibit").run_slots(5, 16) == 5
+
+
+def test_alu_operation_validation():
+    with pytest.raises(ConfigurationError):
+        RaceLogicAlu(EpochSpec(bits=4), "xor")
+    alu = RaceLogicAlu(EpochSpec(bits=4), "min")
+    with pytest.raises(ConfigurationError):
+        alu.run_slots(17, 0)
+
+
+def test_alu_area_is_one_gate():
+    assert RaceLogicAlu(EpochSpec(bits=4), "min").jj_count == 8
+
+
+# -- Race-Logic max pooling -----------------------------------------------------------
+class TestMaxPooling:
+    def test_pools_windows(self):
+        from repro.core.racelogic_ops import max_pool2d_slots, max_pool_jj
+
+        grid = [
+            [1, 5, 2, 2],
+            [3, 4, 9, 0],
+            [7, 7, 1, 1],
+            [0, 8, 3, 6],
+        ]
+        assert max_pool2d_slots(grid, window=2) == [[5, 9], [8, 6]]
+        assert max_pool_jj(2) == 3 * 8  # three LA gates per 2x2 window
+
+    def test_truncates_ragged_edges(self):
+        from repro.core.racelogic_ops import max_pool2d_slots
+
+        grid = [[1, 2, 3], [4, 5, 6], [7, 8, 9]]
+        assert max_pool2d_slots(grid, window=2) == [[5]]
+
+    @given(data=st.data())
+    def test_matches_numpy_reduction(self, data):
+        import numpy as np
+
+        from repro.core.racelogic_ops import max_pool2d_slots
+
+        rows = data.draw(st.integers(min_value=2, max_value=6)) * 2
+        cols = data.draw(st.integers(min_value=2, max_value=6)) * 2
+        grid = data.draw(
+            st.lists(
+                st.lists(st.integers(0, 63), min_size=cols, max_size=cols),
+                min_size=rows,
+                max_size=rows,
+            )
+        )
+        pooled = np.asarray(max_pool2d_slots(grid, window=2))
+        arr = np.asarray(grid)
+        want = arr.reshape(rows // 2, 2, cols // 2, 2).max(axis=(1, 3))
+        assert np.array_equal(pooled, want)
+
+    def test_validation(self):
+        from repro.core.racelogic_ops import max_pool2d_slots, max_pool_jj
+
+        with pytest.raises(ConfigurationError):
+            max_pool2d_slots([[1]], window=2)
+        with pytest.raises(ConfigurationError):
+            max_pool2d_slots([1, 2, 3])
+        with pytest.raises(ConfigurationError):
+            max_pool2d_slots([[-1, 1], [1, 1]])
+        with pytest.raises(ConfigurationError):
+            max_pool_jj(0)
+
+
+# -- delay chain (add-constant) ------------------------------------------------------
+def test_delay_chain_adds_slots():
+    epoch = EpochSpec(bits=4)
+    circuit = Circuit()
+    chain = build_delay_chain(circuit, "d", n_slots=5, slot_fs=epoch.slot_fs)
+    probe = chain.probe_output("q")
+    sim = Simulator(circuit)
+    chain.drive(sim, "a", epoch.slot_time(3))
+    sim.run()
+    assert probe.times[0] // epoch.slot_fs == 8  # 3 + 5
+
+
+def test_delay_chain_area_scales_linearly():
+    circuit = Circuit()
+    chain = build_delay_chain(circuit, "d", n_slots=7, slot_fs=12_000)
+    assert chain.jj_count == 7 * 2  # one JTL per slot
+    with pytest.raises(ConfigurationError):
+        build_delay_chain(circuit, "d2", n_slots=0, slot_fs=12_000)

@@ -1,0 +1,63 @@
+"""Error-injection sweeps (the Fig 19 drivers)."""
+
+import numpy as np
+import pytest
+
+from repro.dsp import errorinjection as ei
+from repro.dsp.golden import make_golden_reference
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return make_golden_reference(n_samples=1_200)
+
+
+RATES = (0.0, 0.1, 0.3)
+
+
+def test_binary_sweep_monotone_degradation(golden):
+    sweep = ei.sweep_binary_bit_flips(golden, 16, RATES, trials=3)
+    assert sweep.mean_db[0] > sweep.mean_db[1] > sweep.mean_db[2]
+    assert len(sweep.error_rates) == 3
+    assert all(lo <= hi for lo, hi in zip(sweep.min_db, sweep.max_db))
+
+
+def test_unary_pulse_loss_degrades_gently(golden):
+    sweep = ei.sweep_unary_errors(golden, 16, RATES, "pulse_loss", trials=3)
+    drop = sweep.mean_db[0] - sweep.mean_db[-1]
+    assert 0.0 < drop < 8.0  # the paper's ~4 dB at 30 %
+
+
+def test_unary_beats_binary_under_errors(golden):
+    binary = ei.sweep_binary_bit_flips(golden, 16, RATES, trials=3)
+    unary = ei.sweep_unary_errors(golden, 16, RATES, "pulse_loss", trials=3)
+    assert unary.mean_db[-1] > binary.mean_db[-1] + 10
+
+
+def test_rl_loss_is_catastrophic(golden):
+    sweep = ei.sweep_unary_errors(golden, 16, (0.0, 0.05), "rl_loss", trials=3)
+    assert sweep.mean_db[0] - sweep.mean_db[1] > 10
+
+
+def test_unknown_mode_rejected(golden):
+    with pytest.raises(ConfigurationError):
+        ei.sweep_unary_errors(golden, 16, RATES, "gamma_rays")
+
+
+def test_binary_distribution_shape(golden):
+    samples = ei.binary_snr_distribution(golden, 16, 0.01, trials=10)
+    assert samples.shape == (10,)
+    assert np.all(np.isfinite(samples))
+
+
+def test_spectra_under_error_keys(golden):
+    outputs = ei.unary_spectra_under_error(golden, 12, (0.0, 0.25))
+    assert set(outputs) == {0.0, 0.25}
+    assert outputs[0.0].shape == golden.x.shape
+
+
+def test_sweep_reproducible(golden):
+    a = ei.sweep_unary_errors(golden, 12, (0.2,), "pulse_loss", trials=2, seed=5)
+    b = ei.sweep_unary_errors(golden, 12, (0.2,), "pulse_loss", trials=2, seed=5)
+    assert a.mean_db == b.mean_db

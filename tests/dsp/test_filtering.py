@@ -1,0 +1,71 @@
+"""Streaming FIR wrapper: chunking invariance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fir import UnaryFirFilter
+from repro.dsp.filtering import StreamingFir, process_in_chunks
+from repro.encoding.epoch import EpochSpec
+from repro.errors import ConfigurationError
+
+
+def _fir(bits=10):
+    return UnaryFirFilter(
+        EpochSpec(bits), [0.1, 0.3, 0.3, 0.1], exact_counting=False
+    )
+
+
+def _signal(n=120):
+    return np.sin(np.linspace(0, 6 * np.pi, n)) * 0.7
+
+
+@settings(deadline=None, max_examples=20)
+@given(chunk=st.integers(min_value=1, max_value=50))
+def test_any_chunking_matches_batch(chunk):
+    x = _signal()
+    batch = _fir().process(x)
+    streamed = process_in_chunks(_fir(), x, chunk)
+    assert np.allclose(streamed, batch)
+
+
+def test_sample_at_a_time():
+    x = _signal(40)
+    batch = _fir().process(x)
+    streamer = StreamingFir(_fir())
+    outputs = [streamer.push(float(v)) for v in x]
+    assert np.allclose(outputs, batch)
+    assert streamer.samples_processed == 40
+
+
+def test_reset_clears_the_delay_line():
+    streamer = StreamingFir(_fir())
+    streamer.push_block(_signal(10))
+    streamer.reset()
+    fresh = StreamingFir(_fir())
+    x = _signal(20)
+    assert np.allclose(streamer.push_block(x), fresh.push_block(x))
+
+
+def test_exact_counting_mode_streams_too():
+    fir_a = UnaryFirFilter(EpochSpec(6), [0.2, 0.4, 0.2], exact_counting=True)
+    fir_b = UnaryFirFilter(EpochSpec(6), [0.2, 0.4, 0.2], exact_counting=True)
+    x = _signal(30)
+    assert np.allclose(process_in_chunks(fir_a, x, 7), fir_b.process(x))
+
+
+def test_error_injecting_filters_rejected():
+    noisy = UnaryFirFilter(
+        EpochSpec(8), [0.5, 0.5], pulse_loss_rate=0.1, exact_counting=False
+    )
+    with pytest.raises(ConfigurationError, match="error-free"):
+        StreamingFir(noisy)
+
+
+def test_chunk_validation():
+    with pytest.raises(ConfigurationError):
+        process_in_chunks(_fir(), _signal(10), 0)
+    streamer = StreamingFir(_fir())
+    with pytest.raises(ConfigurationError):
+        streamer.push_block(np.zeros((2, 2)))
+    assert streamer.push_block([]).size == 0

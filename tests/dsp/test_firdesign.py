@@ -1,0 +1,62 @@
+"""Windowed-sinc FIR design."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.firdesign import design_lowpass, frequency_response, hamming_window
+from repro.errors import ConfigurationError
+
+
+def test_hamming_window_endpoints_and_symmetry():
+    w = hamming_window(16)
+    assert w[0] == pytest.approx(0.08, abs=1e-9)
+    assert np.allclose(w, w[::-1])
+    assert np.max(w) <= 1.0
+    assert hamming_window(1).tolist() == [1.0]
+    with pytest.raises(ConfigurationError):
+        hamming_window(0)
+
+
+def test_lowpass_unit_dc_gain():
+    h = design_lowpass(16, 3_000.0, 20_000.0)
+    assert np.sum(h) == pytest.approx(1.0)
+
+
+def test_lowpass_is_linear_phase():
+    h = design_lowpass(17, 3_000.0, 20_000.0)
+    assert np.allclose(h, h[::-1])
+
+
+def test_lowpass_passes_low_and_rejects_high():
+    fs = 20_000.0
+    h = design_lowpass(33, 3_000.0, fs)
+    freqs, magnitude = frequency_response(h, fs)
+    gain_at = lambda f: np.interp(f, freqs, magnitude)
+    assert gain_at(500.0) == pytest.approx(1.0, abs=0.05)
+    assert gain_at(8_000.0) < 0.05
+
+
+def test_cutoff_is_minus_6db_point():
+    fs = 20_000.0
+    h = design_lowpass(65, 5_000.0, fs)
+    freqs, magnitude = frequency_response(h, fs)
+    assert np.interp(5_000.0, freqs, magnitude) == pytest.approx(0.5, abs=0.05)
+
+
+def test_scale_parameter():
+    h = design_lowpass(16, 3_000.0, 20_000.0, scale=0.5)
+    assert np.sum(h) == pytest.approx(0.5)
+
+
+def test_design_validation():
+    with pytest.raises(ConfigurationError):
+        design_lowpass(1, 3_000.0, 20_000.0)
+    with pytest.raises(ConfigurationError):
+        design_lowpass(16, 0.0, 20_000.0)
+    with pytest.raises(ConfigurationError):
+        design_lowpass(16, 11_000.0, 20_000.0)  # beyond Nyquist
+
+
+def test_frequency_response_validation():
+    with pytest.raises(ConfigurationError):
+        frequency_response(np.zeros((2, 2)), 20_000.0)

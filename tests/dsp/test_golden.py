@@ -1,0 +1,50 @@
+"""The section 5.4.1 golden reference."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.golden import PAPER_CUTOFF_HZ, make_golden_reference
+
+
+def test_golden_snr_matches_paper():
+    golden = make_golden_reference()
+    assert golden.golden_snr_db == pytest.approx(25.7, abs=0.5)
+
+
+def test_components():
+    golden = make_golden_reference()
+    assert golden.x.size == 4_000
+    assert golden.h.size == 16
+    assert golden.y.size == golden.x.size
+    assert golden.target.size == golden.x.size
+    assert np.max(np.abs(golden.x)) <= 1.0
+
+
+def test_filter_recovers_the_1khz_tone():
+    golden = make_golden_reference()
+    from repro.dsp.snr import tone_power_db
+
+    region = golden.y[golden.skip:]
+    assert tone_power_db(region, golden.sample_rate_hz, 1_000.0) == pytest.approx(0.0, abs=0.5)
+    # High tones attenuated well below the 1 kHz peak.
+    assert tone_power_db(region, golden.sample_rate_hz, 8_000.0) < -20
+
+
+def test_target_is_a_pure_tone():
+    golden = make_golden_reference()
+    spectrum = np.abs(np.fft.rfft(golden.target))
+    freqs = np.fft.rfftfreq(golden.target.size, d=1 / golden.sample_rate_hz)
+    peak = freqs[int(np.argmax(spectrum))]
+    assert peak == pytest.approx(1_000.0, abs=10.0)
+
+
+def test_custom_parameters():
+    golden = make_golden_reference(n_samples=1_000, taps=8, cutoff_hz=4_000.0)
+    assert golden.h.size == 8
+    assert golden.x.size == 1_000
+
+
+def test_coefficients_fit_unary_range():
+    golden = make_golden_reference(coefficient_scale=1.0)
+    assert np.all(np.abs(golden.h) <= 1.0)
+    assert PAPER_CUTOFF_HZ == 5_500.0

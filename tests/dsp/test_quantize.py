@@ -1,0 +1,59 @@
+"""Fixed-point and unary quantisers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dsp.quantize import (
+    quantisation_snr_db,
+    quantise_fixed_point,
+    quantise_unary_bipolar,
+)
+from repro.errors import ConfigurationError
+
+
+@given(
+    bits=st.integers(min_value=2, max_value=16),
+    value=st.floats(min_value=-1.0, max_value=1.0),
+)
+def test_fixed_point_error_bounded(bits, value):
+    scale = 1 << (bits - 1)
+    got = float(quantise_fixed_point(np.array([value]), bits)[0])
+    # One LSB, except at +1.0 which clips to the largest positive code.
+    assert abs(got - value) <= 1.0 / scale + 1e-12
+
+
+@given(
+    bits=st.integers(min_value=2, max_value=16),
+    value=st.floats(min_value=-1.0, max_value=1.0),
+)
+def test_unary_error_bounded(bits, value):
+    n_max = 1 << bits
+    got = float(quantise_unary_bipolar(np.array([value]), bits)[0])
+    assert abs(got - value) <= 1.0 / n_max + 1e-12
+
+
+def test_fixed_point_two_complement_asymmetry():
+    assert quantise_fixed_point(np.array([1.0]), 8)[0] == pytest.approx(127 / 128)
+    assert quantise_fixed_point(np.array([-1.0]), 8)[0] == -1.0
+
+
+def test_unary_symmetric_endpoints():
+    assert quantise_unary_bipolar(np.array([-1.0, 1.0]), 8).tolist() == [-1.0, 1.0]
+
+
+def test_quantisation_snr_improves_with_bits():
+    x = np.sin(np.linspace(0, 40, 5_000)) * 0.9
+    assert quantisation_snr_db(x, 12) > quantisation_snr_db(x, 6) + 30
+
+
+def test_quantisation_snr_unary_flag():
+    x = np.sin(np.linspace(0, 40, 5_000)) * 0.9
+    assert quantisation_snr_db(x, 8, unary=True) > quantisation_snr_db(x, 8) - 1
+
+
+def test_bits_validation():
+    with pytest.raises(ConfigurationError):
+        quantise_fixed_point(np.zeros(3), 1)
+    with pytest.raises(ConfigurationError):
+        quantise_unary_bipolar(np.zeros(3), 25)

@@ -1,0 +1,62 @@
+"""Signal synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.signals import paper_input, sine, superposition, time_axis
+from repro.errors import ConfigurationError
+
+
+def test_time_axis():
+    t = time_axis(4, 1_000.0)
+    assert np.allclose(t, [0, 0.001, 0.002, 0.003])
+    with pytest.raises(ConfigurationError):
+        time_axis(0, 1_000.0)
+    with pytest.raises(ConfigurationError):
+        time_axis(4, 0.0)
+
+
+def test_sine_frequency_and_amplitude():
+    fs = 8_000.0
+    x = sine(1_000.0, 8_000, fs, amplitude=0.5)
+    assert np.max(x) == pytest.approx(0.5, abs=1e-3)
+    # Count zero crossings: 2 per cycle, 1000 cycles in 1 s.
+    crossings = np.sum(np.diff(np.signbit(x)))
+    assert crossings == pytest.approx(2_000, abs=2)
+
+
+def test_sine_rejects_negative_frequency():
+    with pytest.raises(ConfigurationError):
+        sine(-1.0, 10, 100.0)
+
+
+def test_superposition_normalised_to_unit_peak():
+    x = superposition([1_000.0, 3_000.0], 2_000, 20_000.0)
+    assert np.max(np.abs(x)) == pytest.approx(1.0)
+
+
+def test_superposition_unnormalised():
+    x = superposition([1_000.0], 2_000, 20_000.0, normalise=False, amplitudes=[2.0])
+    assert np.max(np.abs(x)) == pytest.approx(2.0, abs=1e-3)
+
+
+def test_superposition_validation():
+    with pytest.raises(ConfigurationError):
+        superposition([], 100, 1_000.0)
+    with pytest.raises(ConfigurationError):
+        superposition([1.0, 2.0], 100, 1_000.0, amplitudes=[1.0])
+
+
+def test_paper_input_in_range():
+    x = paper_input()
+    assert x.size == 4_000
+    assert np.max(np.abs(x)) <= 1.0
+
+
+def test_paper_input_contains_all_four_tones():
+    x = paper_input(n_samples=8_000)
+    spectrum = np.abs(np.fft.rfft(x))
+    freqs = np.fft.rfftfreq(x.size, d=1 / 20_000.0)
+    for tone in (1_000, 7_000, 8_000, 9_000):
+        bin_index = int(np.argmin(np.abs(freqs - tone)))
+        assert spectrum[bin_index] > 0.2 * np.max(spectrum)

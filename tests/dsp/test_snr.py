@@ -1,0 +1,70 @@
+"""SNR and spectra."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.snr import snr_db, spectrum, tone_power_db
+from repro.errors import ConfigurationError
+
+
+def test_perfect_match_is_infinite():
+    x = np.sin(np.linspace(0, 10, 100))
+    assert snr_db(x, x.copy()) == float("inf")
+
+
+def test_known_snr():
+    rng = np.random.default_rng(0)
+    signal = np.sin(np.linspace(0, 200, 20_000))
+    noise = rng.normal(0, np.sqrt(0.5) / 10, signal.size)  # 20 dB down
+    assert snr_db(signal, signal + noise) == pytest.approx(20.0, abs=0.3)
+
+
+def test_skip_excludes_transient():
+    signal = np.ones(100)
+    measured = signal.copy()
+    measured[:10] = 0  # start-up garbage
+    assert snr_db(signal, measured, skip=10) == float("inf")
+    assert snr_db(signal, measured) < 20
+
+
+def test_snr_validation():
+    with pytest.raises(ConfigurationError):
+        snr_db(np.ones(5), np.ones(6))
+    with pytest.raises(ConfigurationError):
+        snr_db(np.zeros(5), np.ones(5))
+    with pytest.raises(ConfigurationError):
+        snr_db(np.ones(5), np.ones(5), skip=5)
+
+
+def test_spectrum_peaks_at_tone():
+    fs = 8_000.0
+    t = np.arange(4_096) / fs
+    x = np.sin(2 * np.pi * 1_000.0 * t)
+    freqs, mag_db = spectrum(x, fs)
+    peak_freq = freqs[int(np.argmax(mag_db))]
+    assert peak_freq == pytest.approx(1_000.0, abs=5.0)
+    assert np.max(mag_db) == pytest.approx(0.0)
+
+
+def test_spectrum_of_silence():
+    freqs, mag_db = spectrum(np.zeros(256), 1_000.0)
+    assert np.all(mag_db == -200.0)
+
+
+def test_tone_power_db():
+    fs = 8_000.0
+    t = np.arange(4_096) / fs
+    x = np.sin(2 * np.pi * 1_000.0 * t) + 0.01 * np.sin(2 * np.pi * 3_000.0 * t)
+    assert tone_power_db(x, fs, 1_000.0) == pytest.approx(0.0, abs=0.5)
+    assert tone_power_db(x, fs, 3_000.0) < -30
+    with pytest.raises(ConfigurationError):
+        # 1000.3 Hz falls between bins (spacing ~1.95 Hz), so a sub-bin
+        # bandwidth matches nothing.
+        tone_power_db(x, fs, 1_000.3, bandwidth_hz=0.0001)
+
+
+def test_spectrum_validation():
+    with pytest.raises(ConfigurationError):
+        spectrum(np.ones(1), 100.0)
+    with pytest.raises(ConfigurationError):
+        spectrum(np.ones(10), 0.0)

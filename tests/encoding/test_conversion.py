@@ -1,0 +1,39 @@
+"""Binary <-> unary conversion functions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.encoding.conversion import (
+    binary_to_rl_slot,
+    pulse_count_to_binary,
+    rl_slot_to_binary,
+)
+from repro.errors import EncodingError
+
+
+@given(bits=st.integers(min_value=1, max_value=16), data=st.data())
+def test_binary_rl_roundtrip(bits, data):
+    word = data.draw(st.integers(min_value=0, max_value=(1 << bits) - 1))
+    assert rl_slot_to_binary(binary_to_rl_slot(word, bits), bits) == word
+
+
+def test_epoch_boundary_slot_saturates():
+    assert rl_slot_to_binary(16, 4) == 15
+
+
+def test_pulse_counter_saturates():
+    assert pulse_count_to_binary(5, 4) == 5
+    assert pulse_count_to_binary(100, 4) == 15
+
+
+def test_validation():
+    with pytest.raises(EncodingError):
+        binary_to_rl_slot(16, 4)
+    with pytest.raises(EncodingError):
+        binary_to_rl_slot(-1, 4)
+    with pytest.raises(EncodingError):
+        binary_to_rl_slot(0, 0)
+    with pytest.raises(EncodingError):
+        rl_slot_to_binary(17, 4)
+    with pytest.raises(EncodingError):
+        pulse_count_to_binary(-1, 4)

@@ -1,0 +1,65 @@
+"""Epoch geometry."""
+
+import pytest
+
+from repro.encoding.epoch import EpochSpec
+from repro.errors import ConfigurationError
+from repro.models import technology as tech
+
+
+def test_defaults():
+    epoch = EpochSpec(bits=4)
+    assert epoch.n_max == 16
+    assert epoch.slot_fs == tech.T_BFF_FS
+    assert epoch.duration_fs == 16 * tech.T_BFF_FS
+
+
+def test_slot_time_and_epoch_start():
+    epoch = EpochSpec(bits=3, slot_fs=10_000)
+    assert epoch.slot_time(0) == 0
+    assert epoch.slot_time(5) == 50_000
+    assert epoch.slot_time(2, epoch_index=3) == 3 * 80_000 + 20_000
+    assert epoch.epoch_start(2) == 160_000
+
+
+def test_epoch_window():
+    epoch = EpochSpec(bits=2, slot_fs=1_000)
+    assert epoch.epoch_window(0) == (0, 4_000)
+    assert epoch.epoch_window(5) == (20_000, 24_000)
+
+
+def test_slot_bounds():
+    epoch = EpochSpec(bits=2)
+    epoch.slot_time(4)  # n_max itself is allowed (epoch boundary)
+    with pytest.raises(ConfigurationError):
+        epoch.slot_time(5)
+    with pytest.raises(ConfigurationError):
+        epoch.slot_time(-1)
+
+
+def test_invalid_parameters():
+    with pytest.raises(ConfigurationError):
+        EpochSpec(bits=0)
+    with pytest.raises(ConfigurationError):
+        EpochSpec(bits=25)
+    with pytest.raises(ConfigurationError):
+        EpochSpec(bits=4, slot_fs=0)
+
+
+def test_with_slot_creates_modified_copy():
+    epoch = EpochSpec(bits=4)
+    wider = epoch.with_slot(20_000)
+    assert wider.bits == 4
+    assert wider.slot_fs == 20_000
+    assert epoch.slot_fs == tech.T_BFF_FS  # original unchanged
+
+
+def test_frozen():
+    epoch = EpochSpec(bits=4)
+    with pytest.raises(AttributeError):
+        epoch.bits = 8
+
+
+def test_str_mentions_geometry():
+    text = str(EpochSpec(bits=4))
+    assert "n_max=16" in text

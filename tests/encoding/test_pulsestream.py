@@ -1,0 +1,90 @@
+"""Pulse-stream codec: counts, times, complements, polarity."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.encoding.epoch import EpochSpec
+from repro.encoding.pulsestream import (
+    PulseStreamCodec,
+    bipolar_from_unipolar,
+    unipolar_from_bipolar,
+)
+from repro.errors import EncodingError
+
+
+def codec(bits=4):
+    return PulseStreamCodec(EpochSpec(bits=bits))
+
+
+@given(value=st.floats(min_value=-1.0, max_value=1.0))
+def test_polarity_conversion_roundtrip(value):
+    assert unipolar_from_bipolar(bipolar_from_unipolar((value + 1) / 2)) == pytest.approx(
+        (value + 1) / 2
+    )
+
+
+@given(
+    bits=st.integers(min_value=1, max_value=12),
+    value=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_encode_decode_unipolar_roundtrip(bits, value):
+    pc = codec(bits)
+    times = pc.encode_unipolar(value)
+    assert pc.decode_unipolar(times) == pc.quantise_unipolar(value)
+
+
+@given(
+    bits=st.integers(min_value=1, max_value=12),
+    value=st.floats(min_value=-1.0, max_value=1.0),
+)
+def test_encode_decode_bipolar_roundtrip(bits, value):
+    pc = codec(bits)
+    times = pc.encode_bipolar(value)
+    assert pc.decode_bipolar(times) == pytest.approx(pc.quantise_bipolar(value))
+
+
+@given(count=st.integers(min_value=0, max_value=16))
+def test_complement_count(count):
+    pc = codec(4)
+    assert pc.complement_count(count) == 16 - count
+    assert pc.complement_count(pc.complement_count(count)) == count
+
+
+def test_pulse_weight():
+    assert codec(4).pulse_weight == 1 / 16
+    assert codec(16).pulse_weight == pytest.approx(1.52587890625e-05)  # paper 5.4.1
+
+
+def test_count_in_epoch_windows():
+    pc = codec(2)  # 4 slots
+    times = pc.times_for_count(3, epoch_index=0) + pc.times_for_count(2, epoch_index=1)
+    assert pc.count_in_epoch(times, 0) == 3
+    assert pc.count_in_epoch(times, 1) == 2
+    assert pc.count_in_epoch(times, 2) == 0
+
+
+def test_decode_rejects_overfull_epoch():
+    pc = codec(2)
+    times = [0, 1, 2, 3, 4]  # five pulses in a 4-slot epoch
+    with pytest.raises(EncodingError, match="exceed"):
+        pc.decode_unipolar(times)
+
+
+def test_burst_and_uniform_have_same_count():
+    pc = codec(4)
+    uniform = pc.encode_unipolar(0.5, uniform=True)
+    burst = pc.encode_unipolar(0.5, uniform=False)
+    assert len(uniform) == len(burst) == 8
+    assert burst == [k * pc.epoch.slot_fs for k in range(8)]
+
+
+def test_value_range_validation():
+    pc = codec(4)
+    with pytest.raises(EncodingError):
+        pc.count_for_unipolar(-0.1)
+    with pytest.raises(EncodingError):
+        pc.count_for_bipolar(1.1)
+    with pytest.raises(EncodingError):
+        pc.times_for_count(17)
+    with pytest.raises(EncodingError):
+        pc.unipolar_of_count(-1)

@@ -1,0 +1,89 @@
+"""Race-Logic codec: quantisation, roundtrips, decode windows."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.encoding.epoch import EpochSpec
+from repro.encoding.racelogic import RaceLogicCodec
+from repro.errors import EncodingError
+
+
+def codec(bits=4):
+    return RaceLogicCodec(EpochSpec(bits=bits))
+
+
+@given(
+    bits=st.integers(min_value=1, max_value=12),
+    value=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_unipolar_quantisation_error_bounded(bits, value):
+    rc = codec(bits)
+    quantised = rc.quantise_unipolar(value)
+    assert abs(quantised - value) <= 0.5 / rc.epoch.n_max + 1e-12
+
+
+@given(
+    bits=st.integers(min_value=1, max_value=12),
+    value=st.floats(min_value=-1.0, max_value=1.0),
+)
+def test_bipolar_quantisation_error_bounded(bits, value):
+    rc = codec(bits)
+    quantised = rc.quantise_bipolar(value)
+    assert abs(quantised - value) <= 1.0 / rc.epoch.n_max + 1e-12
+
+
+@given(slot=st.integers(min_value=0, max_value=16))
+def test_slot_value_roundtrip(slot):
+    rc = codec(4)
+    assert rc.slot_for_unipolar(rc.unipolar_of_slot(slot)) == slot
+
+
+@given(
+    slot=st.integers(min_value=0, max_value=16),
+    epoch_index=st.integers(min_value=0, max_value=5),
+)
+def test_encode_decode_time_roundtrip(slot, epoch_index):
+    rc = codec(4)
+    time = rc.epoch.slot_time(slot, epoch_index)
+    if slot < rc.epoch.n_max:
+        assert rc.decode_time(time, epoch_index) == slot
+
+
+def test_decode_rounds_down_within_slot():
+    rc = codec(4)
+    time = rc.epoch.slot_time(3) + rc.epoch.slot_fs // 2
+    assert rc.decode_time(time) == 3
+
+
+def test_decode_rejects_out_of_window_pulse():
+    rc = codec(4)
+    with pytest.raises(EncodingError):
+        rc.decode_time(rc.epoch.duration_fs + 1, epoch_index=0)
+
+
+def test_decode_pulse_train_variants(epoch4):
+    rc = RaceLogicCodec(epoch4)
+    assert rc.decode_pulse_train([]) is None
+    time = rc.epoch.slot_time(7)
+    assert rc.decode_pulse_train([time]) == 7
+    # Pulses in other epochs are ignored.
+    assert rc.decode_pulse_train([time, rc.epoch.slot_time(2, 1)]) == 7
+    with pytest.raises(EncodingError, match="2 pulses"):
+        rc.decode_pulse_train([time, time + rc.epoch.slot_fs])
+
+
+def test_bipolar_mapping_endpoints():
+    rc = codec(4)
+    assert rc.slot_for_bipolar(-1.0) == 0
+    assert rc.slot_for_bipolar(1.0) == 16
+    assert rc.bipolar_of_slot(8) == 0.0
+
+
+def test_value_range_validation():
+    rc = codec(4)
+    with pytest.raises(EncodingError):
+        rc.slot_for_unipolar(1.5)
+    with pytest.raises(EncodingError):
+        rc.slot_for_bipolar(-1.5)
+    with pytest.raises(EncodingError):
+        rc.unipolar_of_slot(17)

@@ -1,0 +1,33 @@
+"""The usfq-experiments CLI."""
+
+from repro.experiments.cli import main
+
+
+def test_list_option(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig18" in out
+    assert "table3" in out
+
+
+def test_run_single_experiment(capsys):
+    assert main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert "table2" in out
+    assert "done: 1 experiment(s)" in out
+
+
+def test_run_reports_claim_summary(capsys):
+    main(["fig12"])
+    out = capsys.readouterr().out
+    assert "claims" in out
+    assert "all claims hold" in out
+
+
+def test_output_directory_written(tmp_path, capsys):
+    assert main(["table2", "fig12", "--output", str(tmp_path / "reports")]) == 0
+    capsys.readouterr()
+    table2 = (tmp_path / "reports" / "table2.txt").read_text()
+    fig12 = (tmp_path / "reports" / "fig12.txt").read_text()
+    assert "nagaoka2019" in table2
+    assert "Shift-register" in fig12

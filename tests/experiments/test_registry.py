@@ -1,0 +1,64 @@
+"""Experiment harness: registry, reports, and end-to-end claim checks."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.registry import EXPERIMENTS, run_all, run_experiment
+from repro.experiments.report import Claim, ExperimentResult, format_result
+
+
+def test_registry_covers_every_table_and_figure():
+    expected = {
+        "table1", "table2", "table3", "fig02", "fig03", "fig04", "fig05", "fig07",
+        "fig08", "fig09", "fig11", "fig12", "fig14", "fig16", "fig18",
+        "fig19", "fig20", "fig21", "validation",
+    }
+    assert set(EXPERIMENTS) == expected
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(ConfigurationError, match="unknown experiment"):
+        run_experiment("fig99")
+
+
+FAST_EXPERIMENTS = sorted(set(EXPERIMENTS) - {"fig19"})
+
+
+@pytest.mark.parametrize("experiment_id", FAST_EXPERIMENTS)
+def test_every_fast_experiment_claims_hold(experiment_id):
+    result = run_experiment(experiment_id)
+    assert result.rows, f"{experiment_id} produced no rows"
+    assert result.claims, f"{experiment_id} checked no claims"
+    failed = [c.description for c in result.claims if not c.holds]
+    assert not failed, f"{experiment_id} claims failed: {failed}"
+
+
+def test_fig19_claims_hold():
+    from repro.experiments import fig19_accuracy
+
+    result = fig19_accuracy.run(trials=2)
+    failed = [c.description for c in result.claims if not c.holds]
+    assert not failed, f"fig19 claims failed: {failed}"
+
+
+def test_format_result_renders_table_and_claims():
+    result = ExperimentResult("t", "title", ["a", "b"])
+    result.add_row(1, 2.5)
+    result.add_claim("check", "1", "1", True)
+    result.notes.append("a note")
+    text = format_result(result)
+    assert "== t: title ==" in text
+    assert "2.5" in text
+    assert "[OK ]" in text
+    assert "note: a note" in text
+
+
+def test_add_row_arity_checked():
+    result = ExperimentResult("t", "title", ["a", "b"])
+    with pytest.raises(ValueError):
+        result.add_row(1)
+
+
+def test_claim_render_marks_diffs():
+    claim = Claim("d", "1", "2", False)
+    assert "[DIFF]" in claim.render()

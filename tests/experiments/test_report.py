@@ -1,0 +1,38 @@
+"""Report rendering details."""
+
+from repro.experiments.report import ExperimentResult, _cell, format_result
+
+
+def test_cell_formats_floats_sensibly():
+    assert _cell(0.0) == "0"
+    assert _cell(1234.5) == "1,234.5"
+    assert _cell(0.125) == "0.125"
+    assert _cell(1.23e8) == "1.23e+08"
+    assert _cell(4.2e-6) == "4.2e-06"
+    assert _cell("text") == "text"
+    assert _cell(42) == "42"
+
+
+def test_format_without_rows_or_claims():
+    result = ExperimentResult("x", "empty", ["a"])
+    text = format_result(result)
+    assert "== x: empty ==" in text
+    assert "claims" not in text
+
+
+def test_columns_align_to_widest_cell():
+    result = ExperimentResult("x", "t", ["col", "very-long-column-name"])
+    result.add_row("much-longer-cell-content", 1)
+    lines = format_result(result).splitlines()
+    header, separator, row = lines[1], lines[2], lines[3]
+    assert len(separator) == len(header)
+    assert row.startswith("much-longer-cell-content")
+
+
+def test_claims_held_counter():
+    result = ExperimentResult("x", "t", ["a"])
+    result.add_claim("good", "1", "1", True)
+    result.add_claim("bad", "1", "2", False)
+    assert result.claims_held == 1
+    text = format_result(result)
+    assert "claims (1/2 hold)" in text

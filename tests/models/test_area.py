@@ -1,0 +1,83 @@
+"""Area models: anchors, monotonicity, crossovers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models import area
+
+
+def test_block_anchors():
+    assert area.multiplier_unary_jj() == 46
+    assert area.multiplier_unary_jj(bipolar=False) == 16
+    assert area.adder_unary_balancer_jj() == 56
+    assert area.adder_unary_merger_jj() == 5
+    assert area.pe_unary_jj() == 126
+
+
+def test_unary_areas_are_bit_independent():
+    assert area.dpu_unary_jj(32) == area.dpu_unary_jj(32)
+    for bits in (4, 8, 16):
+        assert area.shift_register_buffer_jj(bits) == 122
+
+
+def test_binary_areas_grow_with_bits():
+    assert area.multiplier_binary_jj(16) > area.multiplier_binary_jj(8)
+    assert area.adder_binary_jj(16) > area.adder_binary_jj(8)
+    assert area.pe_binary_jj(16) > area.pe_binary_jj(8)
+    assert area.fir_binary_jj(32, 16) > area.fir_binary_jj(32, 8)
+
+
+def test_shift_register_fig12_anchors():
+    assert area.shift_register_binary_jj(8) == 48
+    assert area.shift_register_b2rc_jj(8) == round(3.2 * 48)
+    assert area.shift_register_dff_rl_jj(8) == 256 * 6
+    # 2.5x at 8 bits, 1.3x at 16 bits.
+    assert area.shift_register_buffer_jj(8) / 48 == pytest.approx(2.5, abs=0.05)
+    assert area.shift_register_buffer_jj(16) / 96 == pytest.approx(1.3, abs=0.05)
+
+
+def test_dpu_linear_in_length():
+    assert area.dpu_unary_jj(64) - area.dpu_unary_jj(32) == 32 * 46 + 32 * 56
+
+
+def test_dpu_crossovers():
+    # Unary wins for every L <= 64; binary wins for L = 256 at all bits.
+    for bits in range(6, 17):
+        assert area.dpu_unary_jj(64) < area.dpu_binary_jj(bits)
+        assert area.dpu_unary_jj(256) > area.dpu_binary_jj(bits)
+
+
+def test_fir_area_crossovers_match_fig18c():
+    first = next(
+        b for b in range(4, 17) if area.fir_unary_jj(32, b) < area.fir_binary_jj(32, b)
+    )
+    assert first in (8, 9)
+    assert all(
+        area.fir_unary_jj(256, b) > area.fir_binary_jj(256, b) for b in range(4, 17)
+    )
+
+
+def test_fir_unary_rl_output_option():
+    base = area.fir_unary_jj(32, 8)
+    assert area.fir_unary_jj(32, 8, rl_output=True) == base + 122
+
+
+def test_pe_array_area():
+    assert area.pe_array_unary_jj(10) == 1_260
+    with pytest.raises(ConfigurationError):
+        area.pe_array_unary_jj(0)
+
+
+def test_pe_binary_bp_reference():
+    assert area.pe_binary_bp_jj(8) > 17_000  # the BP multiplier alone
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        area.fir_unary_jj(0, 8)
+    with pytest.raises(ConfigurationError):
+        area.fir_binary_jj(32, 0)
+    with pytest.raises(ConfigurationError):
+        area.dpu_unary_jj(3)
+    with pytest.raises(ConfigurationError):
+        area.shift_register_binary_jj(30)

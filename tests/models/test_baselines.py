@@ -1,0 +1,68 @@
+"""Table 2 dataset and fits."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models import baselines
+
+
+def test_dataset_has_five_adders_and_five_multipliers():
+    assert len(baselines.entries("adder")) == 5
+    assert len(baselines.entries("multiplier")) == 5
+
+
+def test_arch_filtering():
+    wp_adders = baselines.entries("adder", (baselines.WAVE_PIPELINED,))
+    assert all(e.arch == "WP" for e in wp_adders)
+    assert len(wp_adders) == 4
+    with pytest.raises(ConfigurationError):
+        baselines.entries("adder", ("XX",))
+    with pytest.raises(ConfigurationError):
+        baselines.entries("divider")
+
+
+def test_fit_matches_manual_least_squares():
+    points = [(1.0, 2.0), (2.0, 4.0), (3.0, 6.0)]
+    fit = baselines.fit(points, floor=0.0)
+    assert fit.slope == pytest.approx(2.0)
+    assert fit.intercept == pytest.approx(0.0)
+
+
+def test_fit_requires_two_distinct_bit_widths():
+    with pytest.raises(ConfigurationError):
+        baselines.fit([(8, 100)], floor=0)
+    with pytest.raises(ConfigurationError):
+        baselines.fit([(8, 100), (8, 200)], floor=0)
+
+
+def test_fit_floor_applies():
+    fit = baselines.LinearFit(slope=10.0, intercept=-100.0, floor=50.0)
+    assert fit(2) == 50.0
+    assert fit(20) == 100.0
+
+
+def test_multiplier_area_fit_excludes_bp_outlier():
+    # The 17 kJJ BP design would drag the trend; the fit at 8 bits must sit
+    # near the WP/SA designs (~4.6-6 kJJ), far below 17 kJJ.
+    assert baselines.multiplier_binary_jj(8) < 8_000
+
+
+def test_fit_values_anchor_headline_ratios():
+    # These two ratios are the paper's 25-200x / 370x anchors (fig04).
+    assert baselines.multiplier_binary_jj(16) / 46 == pytest.approx(205, abs=5)
+    assert baselines.NAGAOKA_BP_MULTIPLIER.jj_count / 46 == pytest.approx(370, abs=1)
+
+
+def test_latency_fits_increase_with_bits():
+    assert baselines.multiplier_binary_latency_ps(16) > baselines.multiplier_binary_latency_ps(8)
+    assert baselines.adder_binary_latency_ps(16) > baselines.adder_binary_latency_ps(4)
+
+
+def test_bp_pipeline_period_is_48ghz():
+    assert baselines.BP_PIPELINE_PERIOD_FS == pytest.approx(20_833, abs=1)
+
+
+def test_entries_are_frozen():
+    entry = baselines.TABLE2[0]
+    with pytest.raises(AttributeError):
+        entry.jj_count = 0

@@ -1,0 +1,47 @@
+"""Throughput-per-JJ models."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models import efficiency
+from repro.units import ns
+
+
+def test_kops_per_jj_basic():
+    # 1 op per ns over 1000 JJs = 1e9 ops/s / 1e3 JJ = 1e6 ops/s/JJ = 1000 kOPs/JJ.
+    assert efficiency.kops_per_jj(ns(1), 1_000) == pytest.approx(1_000)
+    with pytest.raises(ConfigurationError):
+        efficiency.kops_per_jj(ns(1), 0)
+
+
+def test_fir_efficiency_advantage_at_low_bits():
+    assert efficiency.fir_unary_efficiency(32, 6) > efficiency.fir_binary_efficiency(32, 6)
+
+
+def test_fir_efficiency_loses_at_high_bits():
+    assert efficiency.fir_unary_efficiency(32, 16) < efficiency.fir_binary_efficiency(32, 16)
+
+
+def test_fir_efficiency_gain_grows_with_taps():
+    gain_32 = efficiency.fir_unary_efficiency(32, 8) / efficiency.fir_binary_efficiency(32, 8)
+    gain_256 = efficiency.fir_unary_efficiency(256, 8) / efficiency.fir_binary_efficiency(256, 8)
+    assert gain_256 > gain_32
+
+
+def test_pe_efficiency_positive_and_finite():
+    for bits in (4, 8, 16):
+        assert efficiency.pe_unary_efficiency(bits) > 0
+        assert efficiency.pe_binary_efficiency(bits) > 0
+
+
+def test_dpu_efficiency_unary_wins_small_vectors():
+    assert efficiency.dpu_unary_efficiency(32, 8) > efficiency.dpu_binary_efficiency(32, 8)
+
+
+def test_dpu_binary_sequential_cost():
+    # Doubling L halves the binary DPU's rate (sequential MACs).
+    e64 = efficiency.dpu_binary_efficiency(64, 8)
+    e128 = efficiency.dpu_binary_efficiency(128, 8)
+    assert e128 == pytest.approx(e64 / 2)
+    with pytest.raises(ConfigurationError):
+        efficiency.dpu_binary_efficiency(0, 8)

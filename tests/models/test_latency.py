@@ -1,0 +1,66 @@
+"""Latency/throughput models and the paper's crossover points."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models import latency, technology as tech
+from repro.units import ns, to_ns, us
+
+
+def test_unary_formulas():
+    assert latency.multiplier_unary_latency_fs(8) == 256 * tech.T_INV_FS
+    assert latency.adder_unary_balancer_latency_fs(8) == 256 * tech.T_BFF_FS
+    assert latency.adder_unary_merger_latency_fs(4, m_inputs=4) == 16 * 4 * tech.T_MERGER_DEAD_FS
+    assert latency.fir_unary_latency_fs(8) == 256 * 8 * tech.T_TFF2_FS
+
+
+def test_fir_unary_latency_is_tap_independent():
+    assert latency.fir_unary_latency_fs(10) == latency.fir_unary_latency_fs(10)
+    # and reaches the Fig 18a scale at 16 bits (~21 us).
+    assert latency.fir_unary_latency_fs(16) == pytest.approx(us(21), rel=0.05)
+
+
+def test_binary_fir_scales_with_taps():
+    assert latency.fir_binary_latency_fs(256, 8) == 8 * latency.fir_binary_latency_fs(32, 8)
+
+
+def test_paper_crossovers():
+    # Fig 18a: unary faster below 9 bits (32 taps) / 12 bits (256 taps).
+    assert latency.fir_unary_latency_fs(8) < latency.fir_binary_latency_fs(32, 8)
+    assert latency.fir_unary_latency_fs(9) > latency.fir_binary_latency_fs(32, 9)
+    assert latency.fir_unary_latency_fs(11) < latency.fir_binary_latency_fs(256, 11)
+    assert latency.fir_unary_latency_fs(12) > latency.fir_binary_latency_fs(256, 12)
+
+
+def test_multiplier_crossover_at_8_bits():
+    assert latency.multiplier_unary_latency_fs(7) < latency.multiplier_binary_latency_fs(7)
+    assert latency.multiplier_unary_latency_fs(8) > latency.multiplier_binary_latency_fs(8)
+
+
+def test_pes_for_equal_throughput():
+    assert latency.pes_for_equal_throughput(4) >= 1
+    assert latency.pes_for_equal_throughput(16) > latency.pes_for_equal_throughput(8)
+
+
+def test_pes_for_bp_throughput_at_8_bits():
+    # 2^8 * 12 ps / (1/48 GHz) ~ 148 PEs.
+    assert latency.pes_for_bp_throughput(8) == 148
+
+
+def test_throughput_gops():
+    assert latency.throughput_gops(ns(1)) == pytest.approx(1.0)
+    with pytest.raises(ConfigurationError):
+        latency.throughput_gops(0)
+
+
+def test_bp_fir_latency():
+    assert to_ns(latency.fir_binary_bp_latency_fs(48)) == pytest.approx(1.0, rel=0.01)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        latency.multiplier_unary_latency_fs(0)
+    with pytest.raises(ConfigurationError):
+        latency.fir_binary_latency_fs(0, 8)
+    with pytest.raises(ConfigurationError):
+        latency.adder_unary_merger_latency_fs(8, m_inputs=1)

@@ -1,0 +1,84 @@
+"""Power models: Table 3 calibration and the Fig 21 envelope."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models import power
+from repro.units import to_mw, to_nw
+
+
+def test_table3_multiplier_row():
+    assert to_mw(power.multiplier_active_w()) == pytest.approx(9e-5, rel=0.05)
+    assert to_mw(power.MULTIPLIER_PASSIVE_W) == pytest.approx(0.05)
+
+
+def test_table3_balancer_row():
+    assert to_mw(power.balancer_active_w()) == pytest.approx(17e-5, rel=0.05)
+    assert to_mw(power.BALANCER_PASSIVE_W) == pytest.approx(0.1)
+
+
+def test_table3_dpu_row_composes():
+    active = power.dpu_active_w(32)
+    passive = power.dpu_passive_w(32)
+    assert to_mw(active) == pytest.approx(84e-4, rel=0.1)
+    assert to_mw(passive) == pytest.approx(4.8, rel=0.05)
+    assert active == pytest.approx(
+        32 * power.multiplier_active_w() + 31 * power.balancer_active_w()
+    )
+
+
+def test_active_power_scales_with_activity():
+    assert power.multiplier_active_w(1.0) == pytest.approx(
+        2 * power.multiplier_active_w(0.5)
+    )
+    assert power.multiplier_active_w(0.0) == 0.0
+
+
+def test_fig21_envelope():
+    assert to_nw(power.bipolar_multiplier_active_w(-1, -1)) == pytest.approx(135)
+    assert to_nw(power.bipolar_multiplier_active_w(1, -1)) == pytest.approx(68)
+    assert to_nw(power.bipolar_multiplier_active_w(-1, 1)) == pytest.approx(68)
+    assert to_nw(power.bipolar_multiplier_active_w(1, 1)) == pytest.approx(135)
+
+
+def test_fig21_zero_stream_is_flat():
+    values = [
+        power.bipolar_multiplier_active_w(rl / 10, 0.0) for rl in range(-10, 11)
+    ]
+    assert max(values) - min(values) < 1e-12
+    assert to_nw(values[0]) == pytest.approx(101.5)
+
+
+def test_activity_fraction_bounds():
+    assert power.bipolar_multiplier_activity(0.0, 0.0) == pytest.approx(0.5)
+    assert 0.0 <= power.bipolar_multiplier_activity(0.3, -0.7) <= 1.0
+    with pytest.raises(ConfigurationError):
+        power.bipolar_multiplier_activity(2.0, 0.0)
+
+
+def test_passive_fallback_per_jj():
+    # Calibrated so 46 JJs -> 0.05 mW.
+    assert to_mw(power.passive_power_w(46)) == pytest.approx(0.05)
+
+
+def test_ersfq_removes_passive_power():
+    assert power.ersfq_power_w(1e-6) == 1e-6
+
+
+def test_table3_rows_structure():
+    rows = power.table3_rows(32)
+    assert [r.component for r in rows] == [
+        "multiplier", "balancer", "dpu-32 w/o cooling",
+    ]
+    assert all(r.total_w == r.active_w + r.passive_w for r in rows)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        power.multiplier_active_w(1.5)
+    with pytest.raises(ConfigurationError):
+        power.dpu_active_w(1)
+    with pytest.raises(ConfigurationError):
+        power.passive_power_w(-1)
+    with pytest.raises(ConfigurationError):
+        power.active_power_w(0, 1_000, 0.5)

@@ -1,0 +1,70 @@
+"""Fig 20 savings grids and application regions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models import regions
+
+
+def test_grid_shapes():
+    for metric in ("latency", "area", "efficiency"):
+        grid = regions.savings_grid(metric)
+        assert grid.shape == (len(regions.DEFAULT_BITS), len(regions.DEFAULT_TAPS))
+
+
+def test_unknown_metric_rejected():
+    with pytest.raises(ConfigurationError):
+        regions.savings_grid("energy")
+
+
+def test_latency_savings_monotone_in_taps():
+    """Unary latency is tap-independent, so more taps = more savings."""
+    for bits in (6, 8, 10):
+        assert regions.latency_savings(256, bits) > regions.latency_savings(32, bits)
+
+
+def test_latency_savings_decrease_with_bits():
+    for taps in (32, 256):
+        assert regions.latency_savings(taps, 6) > regions.latency_savings(taps, 14)
+
+
+def test_savings_sign_flips_at_crossover():
+    assert regions.latency_savings(32, 8) > 0
+    assert regions.latency_savings(32, 9) < 0
+
+
+def test_region_membership():
+    assert regions.IR_SENSORS.contains(32, 7)
+    assert not regions.IR_SENSORS.contains(128, 7)
+    assert regions.SDR.contains(512, 10)
+    assert not regions.SDR.contains(512, 16)
+
+
+def test_region_summary_keys():
+    summary = regions.region_summary(regions.SDR)
+    assert summary["region"] == "SDR"
+    for key in ("latency_savings_pct", "area_savings_pct", "efficiency_gain_pct"):
+        low, high = summary[key]
+        assert low <= high
+
+
+def test_reference_point_summary():
+    rtl = regions.reference_point_summary(regions.RTL2832U_POINT, "RTL-2832U")
+    assert rtl["taps"] == 256
+    assert rtl["latency_savings_pct"] > 80  # "90 % lower latency"
+    assert rtl["area_savings_pct"] < 0      # "60 % larger"
+    assert rtl["efficiency_gain_pct"] > 0   # "80 % better efficiency"
+
+
+def test_render_grid_ascii_marks_binary_wins():
+    grid = np.array([[50.0, -10.0]])
+    lines = regions.render_grid_ascii(grid, taps_values=(32, 64), bits_values=(8,))
+    assert "...." in lines[1]
+    assert "50" in lines[1]
+
+
+def test_empty_region_rejected():
+    tiny = regions.ApplicationRegion("none", 5, 6, 2, 3)
+    with pytest.raises(ConfigurationError):
+        regions.region_summary(tiny)

@@ -1,0 +1,55 @@
+"""Design-report budgets."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models import area, summary, technology as tech
+
+
+def test_fir_report_matches_area_model():
+    report = summary.fir_report(32, 8)
+    assert report.jj_total == pytest.approx(area.fir_unary_jj(32, 8), abs=1)
+    assert report.latency_fs > 0
+    assert report.active_power_w > 0
+    assert report.passive_power_w > report.active_power_w  # RSFQ bias dominates
+
+
+def test_fir_report_line_items():
+    report = summary.fir_report(32, 8)
+    blocks = {line.block: line for line in report.lines}
+    assert blocks["bipolar multiplier"].count == 32
+    assert blocks["counting-network balancer"].count == 31
+    assert blocks["RL memory cell (delay line)"].count == 31
+    assert blocks["bipolar multiplier"].jj_each == 46
+
+
+def test_dpu_report_matches_area_model():
+    report = summary.dpu_report(32, 8)
+    assert report.jj_total == area.dpu_unary_jj(32)
+
+
+def test_pe_array_report():
+    report = summary.pe_array_report(8, 8, 8)
+    assert report.jj_total == 64 * 126
+    assert report.fits()  # 8k JJs fits the 20k practical budget
+
+
+def test_fits_detects_oversized_designs():
+    report = summary.fir_report(256, 16)
+    assert report.jj_total > tech.MITLL_SFQ5EE.max_practical_jjs
+    assert not report.fits()
+
+
+def test_render_contains_totals():
+    text = summary.fir_report(16, 6).render()
+    assert "U-SFQ FIR" in text
+    assert "total" in text
+    assert "latency" in text
+    assert "uW" in text
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        summary.fir_report(0, 8)
+    with pytest.raises(ConfigurationError):
+        summary.pe_array_report(0, 1, 8)

@@ -1,0 +1,52 @@
+"""Technology constants: the paper's stated anchors."""
+
+import pytest
+
+from repro.models import technology as tech
+from repro.units import frequency_ghz
+
+
+def test_paper_stated_delays():
+    assert tech.T_INV_FS == 9_000    # 9 ps inverter (section 4.1)
+    assert tech.T_BFF_FS == 12_000   # 12 ps BFF transition (section 4.2)
+    assert tech.T_TFF2_FS == 20_000  # 20 ps TFF2 (section 5.4.2)
+
+
+def test_inverter_rate_is_111ghz():
+    assert frequency_ghz(tech.T_INV_FS) == pytest.approx(111.1, abs=0.1)
+
+
+def test_merger_dead_time_is_its_intrinsic_delay():
+    assert tech.T_MERGER_DEAD_FS == tech.T_MERGER_FS
+
+
+def test_paper_stated_cell_jjs():
+    assert tech.JJ_MERGER == 5  # Fig 5a
+    assert tech.JJ_FA == 8      # section 2.2.1
+
+
+def test_switching_energy_is_physical():
+    # I_c * Phi_0 for ~100 uA: 1e-4 A * 2.07e-15 Wb ~ 2e-19 J.
+    assert 1e-19 < tech.E_SWITCH_J < 5e-19
+
+
+def test_passive_power_calibration():
+    # 46 JJs at the per-JJ rate reproduce the Table 3 multiplier row.
+    assert 46 * tech.P_PASSIVE_PER_JJ_W == pytest.approx(0.05e-3)
+
+
+def test_fig21_envelope_constants():
+    assert tech.P_MULT_ACTIVE_MIN_W == pytest.approx(68e-9)
+    assert tech.P_MULT_ACTIVE_MAX_W == pytest.approx(135e-9)
+
+
+def test_process_catalogue():
+    assert len(tech.PROCESSES) == 3
+    assert tech.MITLL_SFQ5EE in tech.PROCESSES
+    for process in tech.PROCESSES:
+        assert process.max_practical_jjs > 0
+        assert process.name in process.describe()
+
+
+def test_ersfq_area_factor():
+    assert tech.ERSFQ_AREA_FACTOR == pytest.approx(1.4)

@@ -1,0 +1,105 @@
+"""Composite block helper: aliases, drive, probes, JJ budget."""
+
+import pytest
+
+from repro.cells.interconnect import Jtl, Merger, Splitter
+from repro.errors import NetlistError
+from repro.pulsesim import Block, Circuit, Simulator
+
+
+def _two_stage_block():
+    circuit = Circuit()
+    block = Block(circuit, "stage")
+    first = block.add(Jtl(block.subname("first"), delay=1_000))
+    second = block.add(Jtl(block.subname("second"), delay=1_000))
+    circuit.connect(first, "q", second, "a")
+    block.expose_input("in", first, "a")
+    block.expose_output("out", second, "q")
+    return circuit, block
+
+
+def test_namespaced_cell_names():
+    _, block = _two_stage_block()
+    assert block.elements[0].name == "stage.first"
+
+
+def test_drive_and_probe_roundtrip():
+    circuit, block = _two_stage_block()
+    probe = block.probe_output("out")
+    sim = Simulator(circuit)
+    block.drive(sim, "in", [0, 10_000])
+    sim.run()
+    assert probe.times == [2_000, 12_000]
+
+
+def test_drive_accepts_scalar_time():
+    circuit, block = _two_stage_block()
+    probe = block.probe_output("out")
+    sim = Simulator(circuit)
+    block.drive(sim, "in", 500)
+    sim.run()
+    assert probe.count() == 1
+
+
+def test_unknown_aliases_rejected():
+    _, block = _two_stage_block()
+    with pytest.raises(NetlistError, match="no input"):
+        block.input("bogus")
+    with pytest.raises(NetlistError, match="no output"):
+        block.output("bogus")
+
+
+def test_duplicate_aliases_rejected():
+    circuit = Circuit()
+    block = Block(circuit, "b")
+    cell = block.add(Jtl(block.subname("j")))
+    block.expose_input("in", cell, "a")
+    with pytest.raises(NetlistError, match="already has input"):
+        block.expose_input("in", cell, "a")
+    block.expose_output("out", cell, "q")
+    with pytest.raises(NetlistError, match="already has output"):
+        block.expose_output("out", cell, "q")
+
+
+def test_expose_validates_ports():
+    circuit = Circuit()
+    block = Block(circuit, "b")
+    cell = block.add(Jtl(block.subname("j")))
+    with pytest.raises(NetlistError):
+        block.expose_input("x", cell, "nope")
+    with pytest.raises(NetlistError):
+        block.expose_output("x", cell, "nope")
+
+
+def test_jj_count_covers_only_member_cells():
+    circuit = Circuit()
+    block = Block(circuit, "b")
+    block.add(Splitter(block.subname("s")))  # 3
+    block.add(Merger(block.subname("m")))    # 5
+    circuit.add(Jtl("outsider"))             # not in block
+    assert block.jj_count == 8
+    assert circuit.jj_count == 10
+
+
+def test_connect_blocks_together():
+    circuit = Circuit()
+    a_block = Block(circuit, "a")
+    a_cell = a_block.add(Jtl(a_block.subname("j"), delay=100))
+    a_block.expose_input("in", a_cell, "a")
+    a_block.expose_output("out", a_cell, "q")
+    b_block = Block(circuit, "b")
+    b_cell = b_block.add(Jtl(b_block.subname("j"), delay=100))
+    b_block.expose_input("in", b_cell, "a")
+    b_block.expose_output("out", b_cell, "q")
+    a_block.connect_output_to("out", b_block, "in")
+    probe = b_block.probe_output("out")
+    sim = Simulator(circuit)
+    a_block.drive(sim, "in", 0)
+    sim.run()
+    assert probe.times == [200]
+
+
+def test_input_and_output_alias_listing():
+    _, block = _two_stage_block()
+    assert block.input_aliases == ("in",)
+    assert block.output_aliases == ("out",)

@@ -1,0 +1,58 @@
+"""Element base class: port declarations, priorities, validation."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.pulsesim.element import Element, PortSpec
+
+
+class _Sample(Element):
+    INPUTS = (PortSpec("ctrl", priority=0), "data")
+    OUTPUTS = ("q", "nq")
+
+    def handle(self, sim, port, time):
+        pass
+
+
+def test_string_ports_become_specs_with_default_priority():
+    cell = _Sample("s")
+    assert cell.input_priority("data") == 0
+    assert cell.input_priority("ctrl") == 0
+    assert cell.input_names == ("ctrl", "data")
+    assert cell.output_names == ("q", "nq")
+
+
+def test_unknown_input_port_raises():
+    cell = _Sample("s")
+    with pytest.raises(NetlistError, match="no input port"):
+        cell.input_priority("bogus")
+
+
+def test_unknown_output_port_raises():
+    cell = _Sample("s")
+    with pytest.raises(NetlistError, match="no output port"):
+        cell.check_output("bogus")
+
+
+def test_handle_is_abstract():
+    class _Bare(Element):
+        INPUTS = ("a",)
+        OUTPUTS = ("q",)
+
+    with pytest.raises(NotImplementedError):
+        _Bare("b").handle(None, "a", 0)
+
+
+def test_portspec_is_frozen():
+    spec = PortSpec("a", priority=3)
+    with pytest.raises(AttributeError):
+        spec.priority = 0
+
+
+def test_repr_mentions_class_and_name():
+    assert "_Sample" in repr(_Sample("xyz"))
+    assert "xyz" in repr(_Sample("xyz"))
+
+
+def test_default_reset_is_a_no_op():
+    _Sample("s").reset()  # must not raise

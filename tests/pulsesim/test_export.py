@@ -1,0 +1,62 @@
+"""Netlist export: JSON description, census, DOT."""
+
+import json
+
+from repro.core.dpu import build_dpu
+from repro.pulsesim import Circuit
+from repro.pulsesim.export import cell_census, netlist_description, to_dot
+
+
+def _small_dpu():
+    circuit = Circuit("small_dpu")
+    build_dpu(circuit, "dpu", 4)
+    return circuit
+
+
+def test_description_is_json_serialisable():
+    description = netlist_description(_small_dpu())
+    encoded = json.dumps(description)
+    decoded = json.loads(encoded)
+    assert decoded["name"] == "small_dpu"
+    assert decoded["cell_count"] == len(decoded["cells"])
+    assert decoded["wire_count"] == len(decoded["wires"])
+
+
+def test_description_totals_match_circuit():
+    circuit = _small_dpu()
+    description = netlist_description(circuit)
+    assert description["jj_count"] == circuit.jj_count
+    assert description["cell_count"] == len(circuit.elements)
+
+
+def test_wires_reference_existing_cells():
+    circuit = _small_dpu()
+    description = netlist_description(circuit)
+    names = {cell["name"] for cell in description["cells"]}
+    for wire in description["wires"]:
+        assert wire["from"].rsplit(".", 1)[0] in names
+        assert wire["to"].rsplit(".", 1)[0] in names
+        assert wire["delay_fs"] >= 0
+
+
+def test_census_counts_cell_types():
+    census = cell_census(_small_dpu())
+    assert census["Ndro"] == 4        # one multiplier NDRO per lane
+    assert census["Balancer"] == 3    # the 4:1 counting network
+
+
+def test_dot_renders_every_cell_and_wire():
+    circuit = _small_dpu()
+    dot = to_dot(circuit)
+    assert dot.startswith('digraph "small_dpu"')
+    for element in circuit.elements:
+        assert f'"{element.name}"' in dot
+    assert dot.count("->") == netlist_description(circuit)["wire_count"]
+    assert dot.rstrip().endswith("}")
+
+
+def test_empty_circuit():
+    circuit = Circuit("empty")
+    description = netlist_description(circuit)
+    assert description["cells"] == []
+    assert "digraph" in to_dot(circuit)

@@ -1,0 +1,133 @@
+"""Fault-injection channels and their effect on structural blocks."""
+
+import pytest
+
+from repro.core.balancer import Balancer
+from repro.core.multiplier import SETUP_FS, build_unipolar_multiplier, unipolar_product_count
+from repro.encoding.epoch import EpochSpec
+from repro.errors import ConfigurationError
+from repro.pulsesim import Circuit, Simulator
+from repro.pulsesim.faults import DropChannel, JitterChannel
+from repro.pulsesim.schedule import uniform_stream_times
+
+
+class TestJitterChannel:
+    def test_zero_std_is_a_plain_wire(self):
+        circuit = Circuit()
+        channel = circuit.add(JitterChannel("j", std_fs=0))
+        probe = circuit.probe(channel, "q")
+        sim = Simulator(circuit)
+        sim.schedule_train(channel, "a", [0, 10_000])
+        sim.run()
+        assert probe.times == [0, 10_000]
+
+    def test_jitter_displaces_but_preserves_pulses(self):
+        circuit = Circuit()
+        channel = circuit.add(JitterChannel("j", std_fs=2_000, seed=7))
+        probe = circuit.probe(channel, "q")
+        sim = Simulator(circuit)
+        inputs = [k * 50_000 for k in range(40)]
+        sim.schedule_train(channel, "a", inputs)
+        sim.run()
+        assert probe.count() == 40
+        assert channel.max_displacement_fs > 0
+        assert probe.times != inputs
+
+    def test_seeded_runs_reproduce(self):
+        times = []
+        for _ in range(2):
+            circuit = Circuit()
+            channel = circuit.add(JitterChannel("j", std_fs=3_000, seed=11))
+            probe = circuit.probe(channel, "q")
+            sim = Simulator(circuit)
+            sim.schedule_train(channel, "a", [k * 50_000 for k in range(20)])
+            sim.run()
+            times.append(tuple(probe.times))
+        assert times[0] == times[1]
+
+    def test_reset_restores_rng(self):
+        circuit = Circuit()
+        channel = circuit.add(JitterChannel("j", std_fs=3_000, seed=3))
+        probe = circuit.probe(channel, "q")
+        sim = Simulator(circuit)
+        sim.schedule_train(channel, "a", [k * 50_000 for k in range(10)])
+        sim.run()
+        first = tuple(probe.times)
+        sim.reset()
+        sim.schedule_train(channel, "a", [k * 50_000 for k in range(10)])
+        sim.run()
+        assert tuple(probe.times) == first
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            JitterChannel("j", std_fs=-1)
+
+
+class TestDropChannel:
+    def test_drop_rate_zero_passes_everything(self):
+        circuit = Circuit()
+        channel = circuit.add(DropChannel("d", drop_rate=0.0))
+        probe = circuit.probe(channel, "q")
+        sim = Simulator(circuit)
+        sim.schedule_train(channel, "a", range(0, 1_000, 100))
+        sim.run()
+        assert probe.count() == 10
+
+    def test_drop_rate_one_blocks_everything(self):
+        circuit = Circuit()
+        channel = circuit.add(DropChannel("d", drop_rate=1.0))
+        probe = circuit.probe(channel, "q")
+        sim = Simulator(circuit)
+        sim.schedule_train(channel, "a", range(0, 1_000, 100))
+        sim.run()
+        assert probe.count() == 0
+        assert channel.pulses_dropped == 10
+
+    def test_partial_loss_accounting(self):
+        circuit = Circuit()
+        channel = circuit.add(DropChannel("d", drop_rate=0.3, seed=5))
+        probe = circuit.probe(channel, "q")
+        sim = Simulator(circuit)
+        sim.schedule_train(channel, "a", range(0, 100_000, 100))
+        sim.run()
+        assert probe.count() + channel.pulses_dropped == 1_000
+        assert 200 < channel.pulses_dropped < 400
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DropChannel("d", drop_rate=1.5)
+
+
+class TestStructuralFaultEffects:
+    def test_jittery_lane_provokes_balancer_hazards(self):
+        """Delay variation inside t_BFF biases the balancer (section 5.4.1)."""
+        circuit = Circuit()
+        channel = circuit.add(JitterChannel("j", std_fs=6_000, seed=2))
+        balancer = circuit.add(Balancer("bal"))
+        circuit.connect(channel, "q", balancer, "a")
+        circuit.probe(balancer, "y1")
+        sim = Simulator(circuit)
+        sim.schedule_train(channel, "a", [k * 12_000 for k in range(64)])
+        sim.run()
+        assert balancer.hazard_events > 0
+
+    def test_dropped_rl_pulse_reads_full_scale(self):
+        """Losing the Race-Logic pulse passes the whole stream (error ii)."""
+        epoch = EpochSpec(bits=4)
+        circuit = Circuit()
+        mult = build_unipolar_multiplier(circuit, "mul")
+        channel = circuit.add(DropChannel("d", drop_rate=1.0))
+        b_element, b_port = mult.input("b")
+        circuit.connect(channel, "q", b_element, b_port)
+        probe = mult.probe_output("out")
+        sim = Simulator(circuit)
+        mult.drive(sim, "epoch", 0)
+        mult.drive(
+            sim, "a",
+            [t + SETUP_FS for t in uniform_stream_times(8, 16, epoch.slot_fs)],
+        )
+        sim.schedule_input(channel, "a", SETUP_FS + epoch.slot_time(4))
+        sim.run()
+        # Without the loss the product would be ceil(8 * 4 / 16) = 2.
+        assert unipolar_product_count(8, 4, 16) == 2
+        assert probe.count() == 8  # the whole stream passed

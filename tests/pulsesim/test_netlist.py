@@ -1,0 +1,89 @@
+"""Circuit construction rules and introspection."""
+
+import pytest
+
+from repro.cells.interconnect import Jtl, Merger, Splitter
+from repro.errors import NetlistError
+from repro.pulsesim import Circuit, Simulator
+
+
+def test_duplicate_element_names_rejected():
+    circuit = Circuit()
+    circuit.add(Jtl("x"))
+    with pytest.raises(NetlistError, match="duplicate"):
+        circuit.add(Jtl("x"))
+
+
+def test_element_cannot_join_two_circuits():
+    c1, c2 = Circuit("a"), Circuit("b")
+    cell = c1.add(Jtl("x"))
+    with pytest.raises(NetlistError, match="already belongs"):
+        c2.add(cell)
+
+
+def test_lookup_by_name():
+    circuit = Circuit()
+    cell = circuit.add(Jtl("x"))
+    assert circuit["x"] is cell
+    with pytest.raises(NetlistError, match="no element"):
+        circuit["missing"]
+
+
+def test_connect_validates_ports():
+    circuit = Circuit()
+    a = circuit.add(Jtl("a"))
+    b = circuit.add(Jtl("b"))
+    with pytest.raises(NetlistError):
+        circuit.connect(a, "nope", b, "a")
+    with pytest.raises(NetlistError):
+        circuit.connect(a, "q", b, "nope")
+    with pytest.raises(NetlistError):
+        circuit.connect(a, "q", b, "a", delay=-1)
+
+
+def test_connect_rejects_foreign_elements():
+    c1, c2 = Circuit("a"), Circuit("b")
+    a = c1.add(Jtl("a"))
+    b = c2.add(Jtl("b"))
+    with pytest.raises(NetlistError, match="does not belong"):
+        c1.connect(a, "q", b, "a")
+
+
+def test_fanout_reaches_all_sinks():
+    circuit = Circuit()
+    src = circuit.add(Jtl("src", delay=0))
+    sinks = [circuit.add(Jtl(f"s{i}", delay=0)) for i in range(3)]
+    probes = [circuit.probe(s, "q") for s in sinks]
+    for sink in sinks:
+        circuit.connect(src, "q", sink, "a")
+    sim = Simulator(circuit)
+    sim.schedule_input(src, "a", 5)
+    sim.run()
+    assert all(p.count() == 1 for p in probes)
+
+
+def test_jj_count_sums_cells():
+    circuit = Circuit()
+    circuit.add(Jtl("a"))        # 2
+    circuit.add(Splitter("s"))   # 3
+    circuit.add(Merger("m"))     # 5
+    assert circuit.jj_count == 10
+
+
+def test_probe_validates_port():
+    circuit = Circuit()
+    cell = circuit.add(Jtl("a"))
+    with pytest.raises(NetlistError):
+        circuit.probe(cell, "nope")
+
+
+def test_circuit_reset_clears_merger_state():
+    circuit = Circuit()
+    merger = circuit.add(Merger("m"))
+    sim = Simulator(circuit)
+    sim.schedule_input(merger, "a", 0)
+    sim.schedule_input(merger, "b", 0)  # collides
+    sim.run()
+    assert merger.collisions == 1
+    circuit.reset()
+    assert merger.collisions == 0

@@ -1,0 +1,68 @@
+"""Pulse recorders and waveform probes."""
+
+import numpy as np
+import pytest
+
+from repro.pulsesim.probe import PulseRecorder, WaveformProbe, merge_timelines
+
+
+def _recorder(times, label="x"):
+    probe = PulseRecorder(label)
+    for t in times:
+        probe.record(t)
+    return probe
+
+
+def test_count_whole_history_and_window():
+    probe = _recorder([10, 20, 30, 40])
+    assert probe.count() == 4
+    assert probe.count(15, 35) == 2
+    assert probe.count(start=25) == 2
+
+
+def test_first_and_empty_error():
+    assert _recorder([30, 10]).first() == 10
+    with pytest.raises(ValueError):
+        _recorder([]).first()
+
+
+def test_in_window_sorted():
+    probe = _recorder([30, 10, 20])
+    assert probe.in_window(0, 25) == [10, 20]
+
+
+def test_inter_pulse_intervals():
+    assert _recorder([10, 40, 20]).inter_pulse_intervals() == [10, 20]
+    assert _recorder([5]).inter_pulse_intervals() == []
+
+
+def test_len_and_reset():
+    probe = _recorder([1, 2, 3])
+    assert len(probe) == 3
+    probe.reset()
+    assert len(probe) == 0
+
+
+def test_merge_timelines_interleaves_sorted():
+    a = _recorder([10, 30], "a")
+    b = _recorder([20], "b")
+    assert merge_timelines([a, b]) == [(10, "a"), (20, "b"), (30, "a")]
+
+
+def test_waveform_render_peaks_at_pulses():
+    probe = WaveformProbe("w", pulse_width_fs=2_000, amplitude_mv=0.5)
+    probe.record(50_000)
+    time, voltage = probe.render(0, 100_000, n_samples=1001)
+    peak_index = int(np.argmax(voltage))
+    assert abs(time[peak_index] - 50_000) < 200
+    assert voltage[peak_index] == pytest.approx(0.5, rel=0.05)
+    assert voltage[0] == pytest.approx(0.0, abs=1e-6)
+
+
+def test_waveform_render_superposes_pulses():
+    probe = WaveformProbe("w")
+    probe.record(40_000)
+    probe.record(60_000)
+    _, voltage = probe.render(0, 100_000)
+    # Two distinct peaks -> total integrated energy roughly doubles.
+    assert np.sum(voltage) == pytest.approx(2 * 0.5 * np.sqrt(2 * np.pi) * (2_000 / 2.355) / (100_000 / 1999), rel=0.1)

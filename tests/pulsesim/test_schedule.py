@@ -1,0 +1,83 @@
+"""Stimulus generators: uniform/burst streams, RL pulses, clocks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import EncodingError
+from repro.pulsesim.schedule import (
+    burst_stream_times,
+    clock_times,
+    rl_pulse_time,
+    uniform_stream_times,
+)
+
+
+@given(
+    bits=st.integers(min_value=1, max_value=10),
+    fraction=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_uniform_stream_properties(bits, fraction):
+    n_max = 1 << bits
+    n = round(fraction * n_max)
+    times = uniform_stream_times(n, n_max, 1_000)
+    # Exactly n pulses, strictly increasing, all inside the epoch.
+    assert len(times) == n
+    assert all(b > a for a, b in zip(times, times[1:]))
+    assert all(0 <= t < n_max * 1_000 for t in times)
+    # Pulses land on slot boundaries.
+    assert all(t % 1_000 == 0 for t in times)
+
+
+@given(
+    bits=st.integers(min_value=2, max_value=10),
+    fraction=st.floats(min_value=0.05, max_value=1.0),
+)
+def test_uniform_stream_is_spread_not_bursty(bits, fraction):
+    n_max = 1 << bits
+    n = max(2, round(fraction * n_max))
+    uniform = uniform_stream_times(n, n_max, 1_000)
+    # The last pulse of a uniform stream sits in the last 1/n of the epoch
+    # neighbourhood, far beyond where a burst would stop.
+    assert uniform[-1] >= (n - 1) * n_max // n * 1_000
+
+
+def test_uniform_full_rate_hits_every_slot():
+    assert uniform_stream_times(8, 8, 10) == [0, 10, 20, 30, 40, 50, 60, 70]
+
+
+def test_burst_stream_is_contiguous():
+    assert burst_stream_times(3, 8, 10) == [0, 10, 20]
+
+
+def test_zero_pulses_is_empty():
+    assert uniform_stream_times(0, 8, 10) == []
+    assert burst_stream_times(0, 8, 10) == []
+
+
+def test_stream_bounds_validated():
+    with pytest.raises(EncodingError):
+        uniform_stream_times(9, 8, 10)
+    with pytest.raises(EncodingError):
+        uniform_stream_times(-1, 8, 10)
+    with pytest.raises(EncodingError):
+        uniform_stream_times(4, 8, 0)
+    with pytest.raises(EncodingError):
+        burst_stream_times(9, 8, 10)
+
+
+def test_rl_pulse_time():
+    assert rl_pulse_time(3, 12_000) == 36_000
+    assert rl_pulse_time(0, 12_000, start=500) == 500
+    with pytest.raises(EncodingError):
+        rl_pulse_time(-1, 12_000)
+    with pytest.raises(EncodingError):
+        rl_pulse_time(1, 0)
+
+
+def test_clock_times():
+    assert clock_times(20_000, 3, start=100) == [100, 20_100, 40_100]
+    assert clock_times(20_000, 0) == []
+    with pytest.raises(EncodingError):
+        clock_times(0, 5)
+    with pytest.raises(EncodingError):
+        clock_times(10, -1)

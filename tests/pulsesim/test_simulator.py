@@ -1,0 +1,128 @@
+"""The event-queue kernel: ordering, priorities, causality, limits."""
+
+import pytest
+
+from repro.cells.interconnect import Jtl
+from repro.cells.storage import Ndro
+from repro.errors import SimulationError
+from repro.pulsesim import Circuit, Simulator
+from repro.pulsesim.element import Element, PortSpec
+
+
+class _Recorder(Element):
+    """Test cell that logs (port, time) arrivals."""
+
+    INPUTS = (PortSpec("hi", priority=0), PortSpec("lo", priority=5))
+    OUTPUTS = ("q",)
+
+    def __init__(self, name):
+        super().__init__(name)
+        self.log = []
+
+    def handle(self, sim, port, time):
+        self.log.append((port, time))
+
+    def reset(self):
+        self.log.clear()
+
+
+def test_events_processed_in_time_order():
+    circuit = Circuit()
+    cell = circuit.add(_Recorder("r"))
+    sim = Simulator(circuit)
+    for t in (500, 100, 300):
+        sim.schedule_input(cell, "hi", t)
+    sim.run()
+    assert [t for _, t in cell.log] == [100, 300, 500]
+
+
+def test_equal_time_events_processed_by_port_priority():
+    circuit = Circuit()
+    cell = circuit.add(_Recorder("r"))
+    sim = Simulator(circuit)
+    sim.schedule_input(cell, "lo", 100)
+    sim.schedule_input(cell, "hi", 100)
+    sim.run()
+    assert cell.log == [("hi", 100), ("lo", 100)]
+
+
+def test_equal_time_equal_priority_preserves_insertion_order():
+    circuit = Circuit()
+    cell = circuit.add(_Recorder("r"))
+    sim = Simulator(circuit)
+    sim.schedule_input(cell, "hi", 100)
+    sim.schedule_input(cell, "hi", 100)
+    sim.run()
+    assert len(cell.log) == 2
+
+
+def test_run_until_leaves_later_events_queued():
+    circuit = Circuit()
+    cell = circuit.add(_Recorder("r"))
+    sim = Simulator(circuit)
+    sim.schedule_input(cell, "hi", 100)
+    sim.schedule_input(cell, "hi", 900)
+    sim.run(until=500)
+    assert len(cell.log) == 1
+    assert sim.pending_events == 1
+    sim.run()
+    assert len(cell.log) == 2
+
+
+def test_negative_schedule_time_rejected():
+    circuit = Circuit()
+    cell = circuit.add(_Recorder("r"))
+    sim = Simulator(circuit)
+    with pytest.raises(SimulationError):
+        sim.schedule_input(cell, "hi", -1)
+
+
+def test_max_events_guard_trips():
+    circuit = Circuit()
+    a = circuit.add(Jtl("a"))
+    b = circuit.add(Jtl("b"))
+    circuit.connect(a, "q", b, "a")
+    circuit.connect(b, "q", a, "a")  # oscillator
+    sim = Simulator(circuit, max_events=100)
+    sim.schedule_input(a, "a", 0)
+    with pytest.raises(SimulationError, match="max_events"):
+        sim.run()
+
+
+def test_reset_clears_queue_state_and_probes():
+    circuit = Circuit()
+    ndro = circuit.add(Ndro("n"))
+    probe = circuit.probe(ndro, "q")
+    sim = Simulator(circuit)
+    sim.schedule_input(ndro, "set", 0)
+    sim.schedule_input(ndro, "clk", 10)
+    sim.run()
+    assert probe.count() == 1
+    sim.reset()
+    assert probe.count() == 0
+    assert ndro.state == 0
+    assert sim.now == 0
+    assert sim.pending_events == 0
+
+
+def test_stats_track_events_and_pulses():
+    circuit = Circuit()
+    jtl = circuit.add(Jtl("j"))
+    circuit.probe(jtl, "q")
+    sim = Simulator(circuit)
+    sim.schedule_train(jtl, "a", [0, 10, 20])
+    stats = sim.run()
+    assert stats.events_processed == 3
+    assert stats.pulses_emitted == 3
+    assert stats.end_time == 20
+
+
+def test_wire_delay_applies():
+    circuit = Circuit()
+    a = circuit.add(Jtl("a", delay=0))
+    b = circuit.add(_Recorder("b"))
+    circuit.connect(a, "q", b, "hi", delay=7_000)
+    sim = Simulator(circuit)
+    sim.schedule_input(a, "a", 0)
+    sim.run()
+    assert b.log == [("hi", 7_000)]

@@ -1,0 +1,25 @@
+"""The top-level package exposes a coherent public API."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_quickstart_snippet_from_docstring():
+    epoch = repro.EpochSpec(bits=6)
+    mult = repro.UnipolarMultiplier(epoch)
+    assert abs(mult.multiply(0.5, 0.75) - 0.375) <= 1 / 64
+
+
+def test_error_hierarchy():
+    assert issubclass(repro.SimulationError, repro.ReproError)
+    assert issubclass(repro.NetlistError, repro.ReproError)
+    assert issubclass(repro.EncodingError, repro.ReproError)
+    assert issubclass(repro.ConfigurationError, repro.ReproError)

@@ -1,0 +1,51 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_ps_roundtrip():
+    assert units.ps(9) == 9_000
+    assert units.to_ps(units.ps(9)) == 9.0
+
+
+def test_ns_and_us():
+    assert units.ns(1) == 1_000_000
+    assert units.us(2) == 2_000_000_000
+    assert units.to_ns(units.ns(3.5)) == pytest.approx(3.5)
+    assert units.to_us(units.us(0.25)) == pytest.approx(0.25)
+
+
+def test_rounding_to_nearest_femtosecond():
+    assert units.ps(0.0004) == 0
+    assert units.ps(0.0006) == 1
+
+
+def test_frequency_of_9ps_is_111ghz():
+    assert units.frequency_ghz(units.ps(9)) == pytest.approx(111.11, abs=0.01)
+
+
+def test_period_of_48ghz():
+    assert units.period_fs(48.0) == pytest.approx(20833, abs=1)
+
+
+def test_frequency_rejects_nonpositive_period():
+    with pytest.raises(ValueError):
+        units.frequency_ghz(0)
+    with pytest.raises(ValueError):
+        units.period_fs(-1)
+
+
+def test_to_seconds():
+    assert units.to_seconds(units.ns(1)) == pytest.approx(1e-9)
+
+
+def test_power_conversions_roundtrip():
+    assert units.to_nw(units.nw(68)) == pytest.approx(68)
+    assert units.to_uw(units.uw(8.45)) == pytest.approx(8.45)
+    assert units.to_mw(units.mw(4.8)) == pytest.approx(4.8)
+
+
+def test_gops():
+    assert units.gops(48e9) == pytest.approx(48.0)
