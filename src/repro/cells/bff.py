@@ -23,7 +23,7 @@ C1 and C2 — the balancer's Mealy machine (Fig 6c).
 from __future__ import annotations
 
 from repro.models import technology as tech
-from repro.pulsesim.element import Element, PortSpec
+from repro.pulsesim.element import CellRole, Element, PortSpec
 
 
 class Bff(Element):
@@ -36,6 +36,7 @@ class Bff(Element):
         PortSpec("r2", priority=1),
     )
     OUTPUTS = ("q1", "nq1", "q2", "nq2")
+    ROLES = frozenset({CellRole.STORAGE})
     jj_count = tech.JJ_BFF
 
     def __init__(self, name: str, delay: int = tech.T_DFF_FS):

@@ -12,7 +12,7 @@ substrate for structural unary-vs-binary comparisons.
 from __future__ import annotations
 
 from repro.models import technology as tech
-from repro.pulsesim.element import Element, PortSpec
+from repro.pulsesim.element import CellRole, Element, PortSpec
 
 #: JJ budgets for clocked Boolean gates (RSFQ cell libraries [11, 58]).
 JJ_AND = 11
@@ -29,6 +29,8 @@ class _ClockedGate(Element):
         PortSpec("clk", priority=1),
     )
     OUTPUTS = ("q",)
+    ROLES = frozenset({CellRole.STORAGE, CellRole.CLOCKED})
+    CLOCK_PORTS = ("clk",)
 
     def __init__(self, name: str, delay: int = tech.T_DFF_FS):
         super().__init__(name)

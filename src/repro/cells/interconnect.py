@@ -9,7 +9,7 @@ pulse-loss statistics.
 from __future__ import annotations
 
 from repro.models import technology as tech
-from repro.pulsesim.element import Element, PortSpec
+from repro.pulsesim.element import CellRole, Element
 
 
 class Jtl(Element):
@@ -17,6 +17,7 @@ class Jtl(Element):
 
     INPUTS = ("a",)
     OUTPUTS = ("q",)
+    ROLES = frozenset({CellRole.BUFFER})
     jj_count = tech.JJ_JTL
 
     def __init__(self, name: str, delay: int = tech.T_JTL_FS):
@@ -32,6 +33,7 @@ class Splitter(Element):
 
     INPUTS = ("a",)
     OUTPUTS = ("q1", "q2")
+    ROLES = frozenset({CellRole.SPLITTER})
     jj_count = tech.JJ_SPLITTER
 
     def __init__(self, name: str, delay: int = tech.T_SPLITTER_FS):
@@ -55,6 +57,7 @@ class Merger(Element):
 
     INPUTS = ("a", "b")
     OUTPUTS = ("q",)
+    ROLES = frozenset({CellRole.MERGER})
     jj_count = tech.JJ_MERGER
 
     def __init__(

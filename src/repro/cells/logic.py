@@ -9,7 +9,7 @@ gate computes the Race-Logic ``min`` (Fig 2a) in 8 JJs.
 from __future__ import annotations
 
 from repro.models import technology as tech
-from repro.pulsesim.element import Element, PortSpec
+from repro.pulsesim.element import CellRole, Element, PortSpec
 
 
 class Inverter(Element):
@@ -23,6 +23,8 @@ class Inverter(Element):
 
     INPUTS = (PortSpec("a", priority=0), PortSpec("clk", priority=1))
     OUTPUTS = ("q",)
+    ROLES = frozenset({CellRole.STORAGE, CellRole.CLOCKED})
+    CLOCK_PORTS = ("clk",)
     jj_count = tech.JJ_INVERTER
 
     def __init__(self, name: str, delay: int = tech.T_INV_FS):
@@ -52,6 +54,7 @@ class LastArrival(Element):
 
     INPUTS = (PortSpec("reset", priority=0), PortSpec("a", priority=1), PortSpec("b", priority=1))
     OUTPUTS = ("q",)
+    ROLES = frozenset({CellRole.STORAGE})
     jj_count = tech.JJ_FA  # same SQUID complexity class as the FA gate
 
     def __init__(self, name: str, delay: int = tech.T_FA_FS):
@@ -84,6 +87,7 @@ class FirstArrival(Element):
 
     INPUTS = (PortSpec("reset", priority=0), PortSpec("a", priority=1), PortSpec("b", priority=1))
     OUTPUTS = ("q",)
+    ROLES = frozenset({CellRole.STORAGE})
     jj_count = tech.JJ_FA
 
     def __init__(self, name: str, delay: int = tech.T_FA_FS):

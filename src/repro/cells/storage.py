@@ -14,7 +14,7 @@ pulses coincide exactly (see :mod:`repro.pulsesim.element`):
 from __future__ import annotations
 
 from repro.models import technology as tech
-from repro.pulsesim.element import Element, PortSpec
+from repro.pulsesim.element import CellRole, Element, PortSpec
 
 
 class Dff(Element):
@@ -22,6 +22,8 @@ class Dff(Element):
 
     INPUTS = (PortSpec("d", priority=0), PortSpec("clk", priority=1))
     OUTPUTS = ("q",)
+    ROLES = frozenset({CellRole.STORAGE, CellRole.CLOCKED})
+    CLOCK_PORTS = ("clk",)
     jj_count = tech.JJ_DFF
 
     def __init__(self, name: str, delay: int = tech.T_DFF_FS):
@@ -55,6 +57,8 @@ class Dff2(Element):
         PortSpec("c2", priority=1),
     )
     OUTPUTS = ("y1", "y2")
+    ROLES = frozenset({CellRole.STORAGE, CellRole.CLOCKED})
+    CLOCK_PORTS = ("c1", "c2")
     jj_count = tech.JJ_DFF2
 
     def __init__(self, name: str, delay: int = tech.T_DFF2_FS):
@@ -89,6 +93,8 @@ class Ndro(Element):
         PortSpec("clk", priority=2),
     )
     OUTPUTS = ("q",)
+    ROLES = frozenset({CellRole.STORAGE, CellRole.CLOCKED})
+    CLOCK_PORTS = ("clk",)
     jj_count = tech.JJ_NDRO
 
     def __init__(self, name: str, delay: int = tech.T_NDRO_FS):

@@ -9,7 +9,7 @@ uniform rate" (Fig 9b).
 from __future__ import annotations
 
 from repro.models import technology as tech
-from repro.pulsesim.element import Element
+from repro.pulsesim.element import CellRole, Element
 
 
 class Tff(Element):
@@ -21,6 +21,7 @@ class Tff(Element):
 
     INPUTS = ("a",)
     OUTPUTS = ("q",)
+    ROLES = frozenset({CellRole.STORAGE})
     jj_count = tech.JJ_TFF
 
     def __init__(self, name: str, delay: int = tech.T_TFF_FS):
@@ -43,6 +44,7 @@ class Tff2(Element):
 
     INPUTS = ("a",)
     OUTPUTS = ("q1", "q2")
+    ROLES = frozenset({CellRole.STORAGE})
     jj_count = tech.JJ_TFF2
 
     def __init__(self, name: str, delay: int = tech.T_TFF_FS):

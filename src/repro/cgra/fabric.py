@@ -11,7 +11,7 @@ the fabric edge at no hop cost (the usual CGRA I/O assumption).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List
 
 from repro.core.buffer import MEMORY_CELL_JJ
 from repro.core.pe import PE_JJ
@@ -87,6 +87,23 @@ class Fabric:
             f"epochs ({self.epoch.n_max} slots @ {ghz:.0f} GHz pulse rate), "
             f"{self.pe_array_jj:,} JJs of PEs"
         )
+
+
+def build_fabric_netlist(circuit, fabric: "Fabric"):
+    """Instantiate every PE of ``fabric`` as a pulse-level netlist.
+
+    Returns the per-site PE :class:`~repro.pulsesim.block.Block` objects in
+    row-major order.  Inter-PE routing is Race-Logic over buffered memory
+    cells and is modelled analytically (:meth:`Fabric.link_jj`); the
+    netlist view exists so the static analyzer (:mod:`repro.lint`) can
+    check the full PE array the same way it checks single blocks.
+    """
+    from repro.core.pe import build_processing_element
+
+    return [
+        build_processing_element(circuit, f"pe_r{site.row}c{site.col}", fabric.epoch)
+        for site in fabric.sites
+    ]
 
 
 def equivalent_binary_fabric_jj(n_pes: int, bits: int) -> float:

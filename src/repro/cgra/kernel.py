@@ -14,8 +14,8 @@ are unipolar ([0, 1]) — the PE array of Fig 13 is a unipolar fabric.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
 
 from repro.errors import ConfigurationError
 

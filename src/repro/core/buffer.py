@@ -23,7 +23,7 @@ from typing import Optional
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.models import technology as tech
-from repro.pulsesim.element import Element, PortSpec
+from repro.pulsesim.element import CellRole, Element, PortSpec
 
 #: JJ budgets (DESIGN.md section 5).  The PE's integrator stage (integration
 #: loop, comparator JJs, readout) completes the 126-JJ PE.  A standalone RL
@@ -49,6 +49,8 @@ class PulseIntegrator(Element):
 
     INPUTS = (PortSpec("a", priority=1), PortSpec("epoch", priority=0))
     OUTPUTS = ("out",)
+    ROLES = frozenset({CellRole.STORAGE, CellRole.CLOCKED})
+    CLOCK_PORTS = ("epoch",)
     jj_count = INTEGRATOR_STAGE_JJ
 
     def __init__(self, name: str, slot_fs: int, n_max: int):
@@ -88,6 +90,7 @@ class RlBuffer(Element):
 
     INPUTS = (PortSpec("in"),)
     OUTPUTS = ("out",)
+    ROLES = frozenset({CellRole.STORAGE})
     jj_count = RL_BUFFER_JJ
 
     def __init__(self, name: str, epoch_fs: int):
@@ -121,6 +124,7 @@ class RlMemoryCell(Element):
 
     INPUTS = (PortSpec("in"),)
     OUTPUTS = ("out",)
+    ROLES = frozenset({CellRole.STORAGE})
     jj_count = MEMORY_CELL_JJ
 
     def __init__(self, name: str, epoch_fs: int):
@@ -161,6 +165,7 @@ class RlShiftRegister(Element):
 
     INPUTS = (PortSpec("in"),)
     OUTPUTS = ("out",)
+    ROLES = frozenset({CellRole.STORAGE})
 
     def __init__(self, name: str, epoch_fs: int, depth: int):
         super().__init__(name)

@@ -41,11 +41,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.core.buffer import MEMORY_CELL_JJ
-from repro.core.counting import counting_network_jj
-from repro.core.membank import membank_jj
-from repro.core.multiplier import MULTIPLIER_BIPOLAR_JJ
-from repro.core.pnm import pnm_jj, pnm_pass_counts
+from repro.core.pnm import pnm_pass_counts
 from repro.encoding.epoch import EpochSpec
 from repro.errors import ConfigurationError
 

@@ -17,7 +17,7 @@ of the 98-99 % area savings vs an 8-bit binary PE.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 

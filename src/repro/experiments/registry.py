@@ -21,6 +21,7 @@ from repro.experiments import (
     fig19_accuracy,
     fig20_regions,
     fig21_power,
+    lint_blocks,
     table1,
     table2,
     table3,
@@ -47,6 +48,7 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "fig19": fig19_accuracy.run,
     "fig20": fig20_regions.run,
     "fig21": fig21_power.run,
+    "lint": lint_blocks.run,
     "validation": validation.run,
 }
 

@@ -1,0 +1,290 @@
+"""Registry of the shipped structural blocks, pre-wired for linting.
+
+Every netlist builder the library ships is represented here with the
+entry points it is designed to be driven through, the epoch geometry its
+datapath clocks at (t_INV for multipliers, t_BFF for balancer adders,
+t_TFF2 for PNM-fed paths — paper section 4), and the analytical JJ figure
+from :mod:`repro.models` it must stay calibrated against.  The CLI's
+``--all-blocks`` sweep, the ``lint`` experiment, and the regression tests
+all iterate this one registry, so a new structural builder becomes lint
+coverage by adding one entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.encoding.epoch import EpochSpec
+from repro.errors import ConfigurationError
+from repro.lint.api import LintConfig, lint_block, lint_circuit
+from repro.lint.report import Report
+from repro.models import technology as tech
+
+
+@dataclass(frozen=True)
+class ShippedBlock:
+    """One lintable structural block."""
+
+    name: str
+    description: str
+    run: Callable[[], Report]
+
+
+def _lint_unipolar_multiplier() -> Report:
+    from repro.core.multiplier import MULTIPLIER_UNIPOLAR_JJ, build_unipolar_multiplier
+    from repro.pulsesim.netlist import Circuit
+
+    circuit = Circuit("multiplier_unipolar")
+    block = build_unipolar_multiplier(circuit, "mul")
+    config = LintConfig(
+        epoch=EpochSpec(bits=8, slot_fs=tech.T_INV_FS),
+        expected_jj=MULTIPLIER_UNIPOLAR_JJ,
+    )
+    return lint_block(block, config)
+
+
+def _lint_bipolar_multiplier() -> Report:
+    from repro.core.multiplier import MULTIPLIER_BIPOLAR_JJ, build_bipolar_multiplier
+    from repro.pulsesim.netlist import Circuit
+
+    circuit = Circuit("multiplier_bipolar")
+    block = build_bipolar_multiplier(circuit, "mul")
+    config = LintConfig(
+        epoch=EpochSpec(bits=8, slot_fs=tech.T_INV_FS),
+        expected_jj=MULTIPLIER_BIPOLAR_JJ,
+    )
+    return lint_block(block, config)
+
+
+def _lint_balancer() -> Report:
+    from repro.core.balancer import BALANCER_JJ, build_structural_balancer
+    from repro.pulsesim.netlist import Circuit
+
+    circuit = Circuit("balancer")
+    block = build_structural_balancer(circuit, "bal")
+    config = LintConfig(
+        epoch=EpochSpec(bits=8, slot_fs=tech.T_BFF_FS),
+        expected_jj=BALANCER_JJ,
+    )
+    return lint_block(block, config)
+
+
+def _lint_merger_adder() -> Report:
+    from repro.core.adder import build_merger_tree, merger_tree_jj
+    from repro.pulsesim.netlist import Circuit
+
+    circuit = Circuit("merger_adder")
+    block = build_merger_tree(circuit, "add", m_inputs=4)
+    config = LintConfig(
+        epoch=EpochSpec(bits=8, slot_fs=tech.T_BFF_FS),
+        expected_jj=merger_tree_jj(4),
+        # The M:1 merger tree is the paper's collision-prone adder (Fig 5):
+        # equal-length lanes collide by construction and the cure is the
+        # staggered-offset schedule, not a netlist change.
+        suppress=frozenset({"merger-collision"}),
+    )
+    return lint_block(block, config)
+
+
+def _lint_counting_network() -> Report:
+    from repro.core.counting import build_counting_network, counting_network_jj
+    from repro.pulsesim.netlist import Circuit
+
+    circuit = Circuit("counting_network")
+    block = build_counting_network(circuit, "cn", m_inputs=4)
+    config = LintConfig(
+        epoch=EpochSpec(bits=8, slot_fs=tech.T_BFF_FS),
+        expected_jj=counting_network_jj(4),
+    )
+    return lint_block(block, config)
+
+
+def _lint_pnm() -> Report:
+    from repro.core.pnm import build_tff2_pnm, pnm_jj
+    from repro.pulsesim.netlist import Circuit
+
+    bits = 4
+    circuit = Circuit("pnm")
+    block = build_tff2_pnm(circuit, "pnm", bits=bits)
+    config = LintConfig(
+        epoch=EpochSpec(bits=bits, slot_fs=tech.T_TFF2_FS),
+        expected_jj=pnm_jj(bits),
+    )
+    return lint_block(block, config)
+
+
+def _lint_dpu() -> Report:
+    from repro.core.dpu import build_dpu, dpu_compute_jj
+    from repro.pulsesim.netlist import Circuit
+
+    length = 4
+    circuit = Circuit("dpu")
+    block = build_dpu(circuit, "dpu", length=length)
+    config = LintConfig(
+        epoch=EpochSpec(bits=8, slot_fs=tech.T_BFF_FS),
+        expected_jj=dpu_compute_jj(length),
+    )
+    return lint_block(block, config)
+
+
+def _unipolar_pe_jj() -> int:
+    """Analytical figure for the *unipolar* PE netlist we actually build.
+
+    The paper's 126-JJ anchor assumes the bipolar multiplier; the shipped
+    netlist uses the 16-JJ unipolar variant, so the model figure swaps
+    multipliers accordingly.
+    """
+    from repro.core.balancer import BALANCER_JJ
+    from repro.core.buffer import INTEGRATOR_STAGE_JJ
+    from repro.core.multiplier import MULTIPLIER_UNIPOLAR_JJ
+
+    return MULTIPLIER_UNIPOLAR_JJ + BALANCER_JJ + INTEGRATOR_STAGE_JJ
+
+
+def _lint_pe() -> Report:
+    from repro.core.pe import build_processing_element
+    from repro.pulsesim.netlist import Circuit
+
+    epoch = EpochSpec(bits=8, slot_fs=tech.T_BFF_FS)
+    circuit = Circuit("processing_element")
+    block = build_processing_element(circuit, "pe", epoch)
+    config = LintConfig(epoch=epoch, expected_jj=_unipolar_pe_jj())
+    return lint_block(block, config)
+
+
+def _structural_fir_jj(taps: int, bits: int) -> int:
+    """Analytical area of the structural FIR, piece by piece.
+
+    Per-tap unipolar multipliers + the counting network + the memory-cell
+    delay line with its fanout splitters + the head splitter + the
+    NDRO coefficient bank (a functional model, but its JJs are real).
+    """
+    from repro.core.buffer import MEMORY_CELL_JJ
+    from repro.core.counting import counting_network_jj
+    from repro.core.membank import membank_jj
+    from repro.core.multiplier import MULTIPLIER_UNIPOLAR_JJ
+
+    datapath = taps * MULTIPLIER_UNIPOLAR_JJ + counting_network_jj(taps)
+    delay_line = (taps - 1) * (MEMORY_CELL_JJ + tech.JJ_SPLITTER)
+    return datapath + delay_line + tech.JJ_SPLITTER + membank_jj(taps, bits)
+
+
+def _lint_structural_fir() -> Report:
+    from repro.core.fir_structural import StructuralUnaryFir
+
+    epoch = EpochSpec(bits=4, slot_fs=tech.T_TFF2_FS)
+    fir = StructuralUnaryFir(epoch, coefficient_words=[3, 5, 7, 9])
+    entry_points = [(fir._head, "a")]
+    for mult in fir.multipliers:
+        entry_points.append(mult.input("a"))
+        entry_points.append(mult.input("epoch"))
+    observed = [fir.network.output("y"), fir.network.output("y_alt")]
+    config = LintConfig(
+        epoch=epoch, expected_jj=_structural_fir_jj(fir.taps, epoch.bits)
+    )
+    return lint_circuit(
+        fir.circuit,
+        entry_points=entry_points,
+        observed_outputs=observed,
+        config=config,
+        actual_jj=fir.jj_count,
+        target="structural_fir",
+    )
+
+
+def _lint_cgra_fabric() -> Report:
+    from repro.cgra.fabric import Fabric, build_fabric_netlist
+    from repro.pulsesim.netlist import Circuit
+
+    epoch = EpochSpec(bits=6, slot_fs=tech.T_BFF_FS)
+    fabric = Fabric(rows=2, cols=2, epoch=epoch)
+    circuit = Circuit("cgra_fabric")
+    pes = build_fabric_netlist(circuit, fabric)
+    entry_points: List = []
+    observed: List = []
+    for pe in pes:
+        entry_points.extend(pe.input(alias) for alias in pe.input_aliases)
+        observed.extend(pe.output(alias) for alias in pe.output_aliases)
+    config = LintConfig(epoch=epoch, expected_jj=fabric.n_pes * _unipolar_pe_jj())
+    return lint_circuit(
+        circuit,
+        entry_points=entry_points,
+        observed_outputs=observed,
+        config=config,
+        target=fabric.describe(),
+    )
+
+
+SHIPPED_BLOCKS: Dict[str, ShippedBlock] = {
+    block.name: block
+    for block in (
+        ShippedBlock(
+            "multiplier-unipolar",
+            "one-NDRO unipolar multiplier (Fig 3c left)",
+            _lint_unipolar_multiplier,
+        ),
+        ShippedBlock(
+            "multiplier-bipolar",
+            "two-NDRO + inverter bipolar multiplier (Fig 3c right)",
+            _lint_bipolar_multiplier,
+        ),
+        ShippedBlock(
+            "balancer",
+            "BFF routing unit + DFF2 output stage (Fig 6)",
+            _lint_balancer,
+        ),
+        ShippedBlock(
+            "adder-merger",
+            "4:1 merger-tree adder (Fig 5)",
+            _lint_merger_adder,
+        ),
+        ShippedBlock(
+            "counting-network",
+            "4:1 balancer counting network (Fig 8)",
+            _lint_counting_network,
+        ),
+        ShippedBlock(
+            "pnm",
+            "4-bit TFF2-chain pulse-number multiplier (Fig 9b)",
+            _lint_pnm,
+        ),
+        ShippedBlock(
+            "dpu",
+            "length-4 unipolar dot-product unit (Fig 15)",
+            _lint_dpu,
+        ),
+        ShippedBlock(
+            "pe",
+            "unipolar processing element (Fig 13a)",
+            _lint_pe,
+        ),
+        ShippedBlock(
+            "structural-fir",
+            "4-tap structural unary FIR (Fig 17)",
+            _lint_structural_fir,
+        ),
+        ShippedBlock(
+            "cgra-fabric",
+            "2x2 CGRA fabric of PEs (Fig 13b)",
+            _lint_cgra_fabric,
+        ),
+    )
+}
+
+
+def lint_shipped_block(name: str) -> Report:
+    """Lint one registry entry by name."""
+    try:
+        entry = SHIPPED_BLOCKS[name]
+    except KeyError:
+        known = ", ".join(sorted(SHIPPED_BLOCKS))
+        raise ConfigurationError(
+            f"unknown block {name!r}; known blocks: {known}"
+        ) from None
+    return entry.run()
+
+
+def lint_all_blocks() -> List[Report]:
+    """Lint every shipped block, in registry order."""
+    return [entry.run() for entry in SHIPPED_BLOCKS.values()]

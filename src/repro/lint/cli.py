@@ -1,0 +1,139 @@
+"""Command-line interface for the netlist linter.
+
+Usage::
+
+    python -m repro.lint --all-blocks            # lint every shipped block
+    python -m repro.lint pnm dpu                 # lint a subset by name
+    python -m repro.lint --list-blocks           # show lintable blocks
+    python -m repro.lint --list-rules            # show the rule catalogue
+    python -m repro.lint --all-blocks --json     # machine-readable output
+    python -m repro.lint --all-blocks --fail-on warning
+    usfq-lint --all-blocks                       # console-script alias
+
+The exit code is 0 when no diagnostic reaches the ``--fail-on`` severity
+(default ``error``) and 1 otherwise, so CI can gate on it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import replace
+from typing import List, Optional
+
+from repro.lint.blocks import SHIPPED_BLOCKS, lint_shipped_block
+from repro.lint.report import Report, Severity
+from repro.lint.rules import RULES, rule_catalogue
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="usfq-lint",
+        description=(
+            "Design-rule check, static timing analysis, and JJ-budget "
+            "cross-check for the shipped U-SFQ netlists."
+        ),
+    )
+    parser.add_argument(
+        "blocks",
+        nargs="*",
+        metavar="BLOCK",
+        help="shipped block names to lint (see --list-blocks)",
+    )
+    parser.add_argument(
+        "--all-blocks",
+        action="store_true",
+        help="lint every shipped structural block",
+    )
+    parser.add_argument(
+        "--list-blocks", action="store_true", help="list lintable block names"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list the rule catalogue"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit one JSON document instead of text"
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also print info-level diagnostics in text output",
+    )
+    parser.add_argument(
+        "--suppress",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="drop a rule's diagnostics (repeatable)",
+    )
+    parser.add_argument(
+        "--fail-on",
+        default="error",
+        choices=["info", "warning", "error", "never"],
+        help="lowest severity that makes the exit code non-zero (default: error)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_blocks:
+        for entry in SHIPPED_BLOCKS.values():
+            print(f"{entry.name:20s} {entry.description}")
+        return 0
+    if args.list_rules:
+        for info in rule_catalogue():
+            print(f"{info.name:20s} [{info.category}/{info.severity}] {info.summary}")
+        return 0
+
+    names = list(SHIPPED_BLOCKS) if args.all_blocks else args.blocks
+    if not names:
+        parser.error("nothing to lint: pass block names or --all-blocks")
+
+    unknown_rules = set(args.suppress) - set(RULES)
+    if unknown_rules:
+        parser.error(
+            f"--suppress: unknown rule(s) {', '.join(sorted(unknown_rules))}; "
+            "see --list-rules"
+        )
+    unknown_blocks = [name for name in names if name not in SHIPPED_BLOCKS]
+    if unknown_blocks:
+        parser.error(
+            f"unknown block(s) {', '.join(unknown_blocks)}; see --list-blocks"
+        )
+
+    reports: List[Report] = []
+    for name in names:
+        report = lint_shipped_block(name)
+        if args.suppress:
+            report = _resuppress(report, frozenset(args.suppress))
+        reports.append(report)
+
+    if args.json:
+        print(json.dumps([report.to_dict() for report in reports], indent=2))
+    else:
+        for report in reports:
+            print(report.format_text(verbose=args.verbose))
+            print()
+        errors = sum(len(r.errors) for r in reports)
+        warnings = sum(len(r.warnings) for r in reports)
+        print(
+            f"linted {len(reports)} block(s): "
+            f"{errors} error(s), {warnings} warning(s)"
+        )
+
+    if args.fail_on == "never":
+        return 0
+    level = Severity.parse(args.fail_on)
+    return 1 if any(report.fails_at(level) for report in reports) else 0
+
+
+def _resuppress(report: Report, rules: frozenset) -> Report:
+    """Apply CLI-level rule suppression on top of a finished report."""
+    kept = [d for d in report.diagnostics if d.rule not in rules]
+    dropped = [d for d in report.diagnostics if d.rule in rules]
+    return replace(
+        report, diagnostics=kept, suppressed=report.suppressed + dropped
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,250 @@
+"""Graph view of a :class:`~repro.pulsesim.netlist.Circuit` for analysis.
+
+The linter's rules all consume this one pre-computed view: per-port fan-in
+and fan-out indexes, element-level adjacency, reachability from the
+stimulus entry points, combinational strongly-connected components, and
+worst-case arrival times (the static-timing substrate).
+
+Storage-role cells (:class:`~repro.pulsesim.element.CellRole.STORAGE`)
+play the role registers play in synchronous STA: they absorb pulses, so
+they legally break feedback loops and terminate timing paths.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.pulsesim.element import CellRole, Element
+from repro.pulsesim.netlist import Circuit, Wire
+
+#: An (element, port) endpoint, the currency of the whole linter.
+Endpoint = Tuple[Element, str]
+
+
+class CircuitGraph:
+    """Immutable analysis indexes over one circuit.
+
+    Args:
+        circuit: The netlist under analysis.
+        entry_points: ``(element, input_port)`` pairs driven by external
+            stimulus (block inputs, testbench drives).  These seed
+            reachability and timing; a port that is neither wired nor an
+            entry point is *floating*.
+        observed_outputs: ``(element, output_port)`` pairs that are
+            architecturally observed (block outputs).  Probed ports are
+            always considered observed.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        entry_points: Iterable[Endpoint] = (),
+        observed_outputs: Iterable[Endpoint] = (),
+    ):
+        self.circuit = circuit
+        self.entry_points: Set[Tuple[int, str]] = {
+            (id(element), port) for element, port in entry_points
+        }
+        self.entry_elements: Dict[int, Element] = {
+            id(element): element for element, _ in entry_points
+        }
+        self.observed: Set[Tuple[int, str]] = {
+            (id(element), port) for element, port in observed_outputs
+        }
+        for element, port in circuit.probed_ports():
+            self.observed.add((id(element), port))
+
+        # Per-port indexes.
+        self.out_wires: Dict[Tuple[int, str], List[Wire]] = {}
+        self.in_wires: Dict[Tuple[int, str], List[Wire]] = {}
+        # Element-level adjacency (ids, stable under mutation-free analysis).
+        self.successors: Dict[int, List[Wire]] = {id(e): [] for e in circuit.elements}
+        self.predecessors: Dict[int, List[Wire]] = {id(e): [] for e in circuit.elements}
+        for wire in circuit.iter_wires():
+            self.out_wires.setdefault((id(wire.source), wire.source_port), []).append(wire)
+            self.in_wires.setdefault((id(wire.sink), wire.sink_port), []).append(wire)
+            self.successors[id(wire.source)].append(wire)
+            self.predecessors[id(wire.sink)].append(wire)
+
+        self._arrivals: Optional[Dict[int, int]] = None
+
+    # -- port-level queries -------------------------------------------------
+    def fan_out(self, element: Element, port: str) -> List[Wire]:
+        return self.out_wires.get((id(element), port), [])
+
+    def fan_in(self, element: Element, port: str) -> List[Wire]:
+        return self.in_wires.get((id(element), port), [])
+
+    def is_entry(self, element: Element, port: str) -> bool:
+        return (id(element), port) in self.entry_points
+
+    def is_driven(self, element: Element, port: str) -> bool:
+        """Whether an input port receives pulses (wired or external)."""
+        return bool(self.fan_in(element, port)) or self.is_entry(element, port)
+
+    def is_observed(self, element: Element, port: str) -> bool:
+        return (id(element), port) in self.observed
+
+    # -- reachability --------------------------------------------------------
+    def reachable_elements(self) -> Set[int]:
+        """Ids of elements reachable from any entry point (BFS over wires)."""
+        frontier = deque(self.entry_elements.values())
+        seen: Set[int] = {id(e) for e in frontier}
+        while frontier:
+            element = frontier.popleft()
+            for wire in self.successors[id(element)]:
+                sink_id = id(wire.sink)
+                if sink_id not in seen:
+                    seen.add(sink_id)
+                    frontier.append(wire.sink)
+        return seen
+
+    # -- combinational loops -------------------------------------------------
+    def combinational_cycles(self) -> List[List[Element]]:
+        """Cycles whose every member lacks the STORAGE role.
+
+        Uses Tarjan's SCC algorithm restricted to the subgraph of
+        non-storage elements; an SCC of size > 1 (or a self-loop) is a
+        pulse racetrack: every cell re-emits immediately, so one pulse
+        circulates forever.
+        """
+        elements = [
+            e for e in self.circuit.elements if not e.has_role(CellRole.STORAGE)
+        ]
+        member = {id(e): e for e in elements}
+        index: Dict[int, int] = {}
+        lowlink: Dict[int, int] = {}
+        on_stack: Set[int] = set()
+        stack: List[int] = []
+        counter = [0]
+        cycles: List[List[Element]] = []
+
+        def neighbours(eid: int) -> List[int]:
+            return [
+                id(w.sink) for w in self.successors[eid] if id(w.sink) in member
+            ]
+
+        def strongconnect(root: int) -> None:
+            # Iterative Tarjan (netlists can be deep chains).
+            work = [(root, iter(neighbours(root)))]
+            index[root] = lowlink[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                eid, it = work[-1]
+                advanced = False
+                for succ in it:
+                    if succ not in index:
+                        index[succ] = lowlink[succ] = counter[0]
+                        counter[0] += 1
+                        stack.append(succ)
+                        on_stack.add(succ)
+                        work.append((succ, iter(neighbours(succ))))
+                        advanced = True
+                        break
+                    if succ in on_stack:
+                        lowlink[eid] = min(lowlink[eid], index[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[eid])
+                if lowlink[eid] == index[eid]:
+                    component: List[int] = []
+                    while True:
+                        node = stack.pop()
+                        on_stack.discard(node)
+                        component.append(node)
+                        if node == eid:
+                            break
+                    if len(component) > 1 or any(
+                        id(w.sink) == component[0]
+                        for w in self.successors[component[0]]
+                    ):
+                        cycles.append([member[n] for n in reversed(component)])
+
+        for element in elements:
+            if id(element) not in index:
+                strongconnect(id(element))
+        return cycles
+
+    # -- static timing -------------------------------------------------------
+    def arrival_times(self) -> Dict[int, int]:
+        """Worst-case pulse arrival time (fs) at each element's inputs.
+
+        Longest-path analysis from the entry points: a pulse entering at
+        time 0 reaches element ``e`` no later than ``arrival[e]``, where
+        each hop adds the source cell's propagation delay plus the wire
+        delay.  Back edges (feedback already reported by the loop rule, or
+        loops broken by storage cells) are not followed, so the analysis
+        terminates on any netlist.
+        """
+        if self._arrivals is not None:
+            return self._arrivals
+        arrivals: Dict[int, int] = {}
+        WHITE, GRAY, BLACK = 0, 1, 2
+        colour: Dict[int, int] = {}
+        elements = {id(e): e for e in self.circuit.elements}
+
+        order: List[int] = []  # reverse-topological finish order
+
+        for start in self.entry_elements:
+            if colour.get(start, WHITE) != WHITE:
+                continue
+            work: List[Tuple[int, Iterable[Wire]]] = [
+                (start, iter(self.successors[start]))
+            ]
+            colour[start] = GRAY
+            while work:
+                eid, it = work[-1]
+                advanced = False
+                for wire in it:
+                    sid = id(wire.sink)
+                    if colour.get(sid, WHITE) == WHITE:
+                        colour[sid] = GRAY
+                        work.append((sid, iter(self.successors[sid])))
+                        advanced = True
+                        break
+                if not advanced:
+                    colour[eid] = BLACK
+                    order.append(eid)
+                    work.pop()
+
+        # Relax in topological order (reverse of finish order).
+        for eid in self.entry_elements:
+            arrivals[eid] = 0
+        for eid in reversed(order):
+            if eid not in arrivals:
+                continue
+            element = elements[eid]
+            departure = arrivals[eid] + element.propagation_delay_fs
+            for wire in self.successors[eid]:
+                sid = id(wire.sink)
+                if colour.get(sid) != BLACK:
+                    continue
+                candidate = departure + wire.delay
+                if candidate > arrivals.get(sid, -1):
+                    # Back/cross edges into GRAY nodes were skipped above;
+                    # re-relaxation over the DAG is monotone and exact.
+                    arrivals[sid] = candidate
+        self._arrivals = arrivals
+        return arrivals
+
+    def wire_arrival(self, wire: Wire) -> Optional[int]:
+        """Worst-case arrival time of pulses delivered by one wire."""
+        arrivals = self.arrival_times()
+        source_arrival = arrivals.get(id(wire.source))
+        if source_arrival is None:
+            return None
+        return source_arrival + wire.source.propagation_delay_fs + wire.delay
+
+    def output_arrival(self, element: Element, port: str) -> Optional[int]:
+        """Worst-case time a pulse leaves ``element.port``."""
+        arrivals = self.arrival_times()
+        arrival = arrivals.get(id(element))
+        if arrival is None:
+            return None
+        return arrival + element.propagation_delay_fs

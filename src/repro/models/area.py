@@ -8,7 +8,7 @@ functions regenerate the area panels of Figs 4, 8, 12, 14, 16, 18 and 20.
 from __future__ import annotations
 
 from repro.core.balancer import BALANCER_JJ
-from repro.core.buffer import INTEGRATOR_STAGE_JJ, MEMORY_CELL_JJ, RL_BUFFER_JJ
+from repro.core.buffer import MEMORY_CELL_JJ, RL_BUFFER_JJ
 from repro.core.counting import counting_network_jj
 from repro.core.membank import membank_jj
 from repro.core.multiplier import (

@@ -24,9 +24,9 @@ Typical usage::
 """
 
 from repro.pulsesim.block import Block
-from repro.pulsesim.element import Element, PortSpec
+from repro.pulsesim.element import CellRole, Element, PortSpec
 from repro.pulsesim.faults import DropChannel, JitterChannel
-from repro.pulsesim.netlist import Circuit
+from repro.pulsesim.netlist import Circuit, Wire
 from repro.pulsesim.probe import PulseRecorder, WaveformProbe
 from repro.pulsesim.schedule import (
     burst_stream_times,
@@ -38,6 +38,7 @@ from repro.pulsesim.simulator import Simulator
 
 __all__ = [
     "Block",
+    "CellRole",
     "Circuit",
     "DropChannel",
     "Element",
@@ -46,6 +47,7 @@ __all__ = [
     "PulseRecorder",
     "Simulator",
     "WaveformProbe",
+    "Wire",
     "burst_stream_times",
     "clock_times",
     "rl_pulse_time",

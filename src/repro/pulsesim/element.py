@@ -42,6 +42,29 @@ class PortSpec:
     priority: int = 0
 
 
+class CellRole:
+    """Structural roles a cell can declare for static analysis.
+
+    The design-rule checker (:mod:`repro.lint`) reasons about netlists
+    through these tags rather than concrete cell classes, so new cells
+    participate in linting by declaring roles instead of patching rules.
+    """
+
+    #: The cell provides legal fanout (one input pulse, several outputs).
+    SPLITTER = "splitter"
+    #: The cell legally combines several pulse sources into one output.
+    MERGER = "merger"
+    #: The cell holds flux state and can absorb pulses: it breaks
+    #: combinational loops and terminates timing paths.
+    STORAGE = "storage"
+    #: The cell only functions when a clock/readout port is driven; its
+    #: clock ports are listed in ``Element.CLOCK_PORTS``.
+    CLOCKED = "clocked"
+    #: The cell is a pass-through buffer; a dangling output on it is an
+    #: intentional termination, not a forgotten net.
+    BUFFER = "buffer"
+
+
 class Element:
     """A behavioural SFQ cell participating in a :class:`Circuit`.
 
@@ -53,6 +76,13 @@ class Element:
 
     INPUTS: Tuple = ()
     OUTPUTS: Tuple = ()
+
+    #: Structural roles (:class:`CellRole` tags) the lint rules consult.
+    ROLES: frozenset = frozenset()
+
+    #: Input ports that must be driven for the cell to function at all
+    #: (clock / readout strobes); consulted by the ``no-clock-driver`` rule.
+    CLOCK_PORTS: Tuple[str, ...] = ()
 
     #: Number of Josephson junctions in the cell (area model unit).
     jj_count: int = 0
@@ -90,6 +120,19 @@ class Element:
     def check_output(self, port: str) -> None:
         if port not in self._output_names:
             raise NetlistError(f"{self!r} has no output port {port!r}")
+
+    def has_role(self, role: str) -> bool:
+        """Whether this cell declares the given :class:`CellRole` tag."""
+        return role in type(self).ROLES
+
+    @property
+    def propagation_delay_fs(self) -> int:
+        """Worst-case input-to-output delay used by static timing analysis.
+
+        Cells store their delay on ``self.delay``; elements without one
+        (pure behavioural models) contribute zero.
+        """
+        return getattr(self, "delay", 0)
 
     # -- simulation interface ------------------------------------------------
     def handle(self, sim: "Simulator", port: str, time: int) -> None:

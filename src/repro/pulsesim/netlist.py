@@ -9,8 +9,8 @@ pulse emitted there.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
 
 from repro.errors import NetlistError
 from repro.pulsesim.element import Element
@@ -25,6 +25,13 @@ class Wire:
     sink: Element
     sink_port: str
     delay: int = 0
+
+    def __repr__(self) -> str:
+        delay = f", {self.delay} fs" if self.delay else ""
+        return (
+            f"<Wire {self.source.name}.{self.source_port} -> "
+            f"{self.sink.name}.{self.sink_port}{delay}>"
+        )
 
 
 @dataclass
@@ -108,6 +115,13 @@ class Circuit:
         source.check_output(source_port)
         if probe is None:
             probe = PulseRecorder(f"{source.name}.{source_port}")
+        label = getattr(probe, "label", None)
+        for tap in self._taps.get((id(source), source_port), ()):
+            if getattr(tap.probe, "label", None) == label:
+                raise NetlistError(
+                    f"port {source.name}.{source_port} already has a probe "
+                    f"named {label!r}; give the second recorder a distinct label"
+                )
         tap = _OutputTap(probe, source, source_port)
         self._taps.setdefault((id(source), source_port), []).append(tap)
         return probe
@@ -118,7 +132,35 @@ class Circuit:
 
     # -- simulation support ---------------------------------------------------
     def fanout(self, source: Element, source_port: str) -> List[Wire]:
-        return self._fanout.get((id(source), source_port), ())
+        """Wires leaving ``source.source_port`` (empty list if none)."""
+        return self._fanout.get((id(source), source_port), [])
+
+    # -- introspection (linting, export, debugging) ---------------------------
+    @property
+    def wires(self) -> List[Wire]:
+        """Every wire in the circuit, in insertion order per source port."""
+        return list(self.iter_wires())
+
+    def iter_wires(self) -> Iterator[Wire]:
+        """Iterate over all wires without materialising a list."""
+        for wires in self._fanout.values():
+            yield from wires
+
+    def wires_into(self, sink: Element, sink_port: str) -> List[Wire]:
+        """Wires arriving at ``sink.sink_port`` (the fan-in of one input)."""
+        return [
+            wire
+            for wire in self.iter_wires()
+            if wire.sink is sink and wire.sink_port == sink_port
+        ]
+
+    def probed_ports(self) -> List[Tuple[Element, str]]:
+        """``(element, output_port)`` pairs that have at least one probe."""
+        return [
+            (taps[0].source, taps[0].source_port)
+            for taps in self._taps.values()
+            if taps
+        ]
 
     def notify_probes(self, source: Element, source_port: str, time: int) -> None:
         for tap in self._taps.get((id(source), source_port), ()):

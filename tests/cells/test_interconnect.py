@@ -1,6 +1,5 @@
 """JTL, splitter, merger semantics."""
 
-import pytest
 
 from repro.cells.interconnect import IdealMerger, Jtl, Merger, Splitter
 from repro.models import technology as tech

@@ -1,6 +1,5 @@
 """Balancer: Mealy machine, coincidence, hazard bias, structural netlist."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.balancer import (

@@ -7,7 +7,6 @@ multiplier's NDRO) and checks the filtered pulse count against
 Also covers multi-epoch (wave-pipelined) multiplier operation.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.multiplier import (

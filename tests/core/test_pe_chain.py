@@ -7,7 +7,6 @@ the two-stage computation against the functional composition, across the
 epoch boundary the integrator introduces.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.multiplier import SETUP_FS

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.experiments.registry import EXPERIMENTS, run_all, run_experiment
+from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.experiments.report import Claim, ExperimentResult, format_result
 
 
@@ -11,7 +11,7 @@ def test_registry_covers_every_table_and_figure():
     expected = {
         "table1", "table2", "table3", "fig02", "fig03", "fig04", "fig05", "fig07",
         "fig08", "fig09", "fig11", "fig12", "fig14", "fig16", "fig18",
-        "fig19", "fig20", "fig21", "validation",
+        "fig19", "fig20", "fig21", "lint", "validation",
     }
     assert set(EXPERIMENTS) == expected
 

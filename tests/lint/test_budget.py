@@ -1,0 +1,64 @@
+"""JJ-budget cross-check: structural counts vs the analytical area models."""
+
+import pytest
+
+from repro.cells import Jtl
+from repro.errors import ConfigurationError
+from repro.lint import LintConfig, Severity, lint_circuit
+from repro.pulsesim import Circuit
+
+
+def _probe_chain():
+    circuit = Circuit()
+    jtl = circuit.add(Jtl("j"))
+    circuit.probe(jtl, "q")
+    return circuit, [(jtl, "a")]
+
+
+def _budget_report(expected, actual, tolerance=0.15):
+    circuit, entries = _probe_chain()
+    config = LintConfig(expected_jj=expected, jj_tolerance=tolerance)
+    return lint_circuit(
+        circuit, entry_points=entries, config=config, actual_jj=actual
+    )
+
+
+def test_exact_match_is_an_info_note():
+    report = _budget_report(expected=100, actual=100)
+    (hit,) = report.by_rule("jj-budget")
+    assert hit.severity is Severity.INFO
+    assert "matches" in hit.message
+
+
+def test_divergence_within_tolerance_is_info():
+    report = _budget_report(expected=100, actual=110)
+    (hit,) = report.by_rule("jj-budget")
+    assert hit.severity is Severity.INFO
+
+
+def test_divergence_beyond_tolerance_is_warning():
+    report = _budget_report(expected=100, actual=150)
+    (hit,) = report.by_rule("jj-budget")
+    assert hit.severity is Severity.WARNING
+    assert "100" in hit.message and "150" in hit.message
+
+
+def test_budget_rule_skipped_without_expectation():
+    circuit, entries = _probe_chain()
+    report = lint_circuit(circuit, entry_points=entries, actual_jj=123)
+    assert not report.by_rule("jj-budget")
+
+
+def test_structural_count_defaults_to_circuit_jj_count():
+    circuit, entries = _probe_chain()
+    config = LintConfig(expected_jj=circuit.jj_count)
+    report = lint_circuit(circuit, entry_points=entries, config=config)
+    (hit,) = report.by_rule("jj-budget")
+    assert hit.severity is Severity.INFO
+
+
+def test_tolerance_validation():
+    with pytest.raises(ConfigurationError):
+        LintConfig(jj_tolerance=1.5)
+    with pytest.raises(ConfigurationError):
+        LintConfig(jj_tolerance=-0.1)

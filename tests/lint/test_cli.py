@@ -1,0 +1,90 @@
+"""The ``usfq-lint`` / ``python -m repro.lint`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.lint.blocks import SHIPPED_BLOCKS
+from repro.lint.cli import main
+from repro.lint.rules import RULES
+
+
+def test_list_blocks(capsys):
+    assert main(["--list-blocks"]) == 0
+    out = capsys.readouterr().out
+    for name in SHIPPED_BLOCKS:
+        assert name in out
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for name in RULES:
+        assert name in out
+
+
+def test_single_block_text_output(capsys):
+    assert main(["pnm"]) == 0
+    out = capsys.readouterr().out
+    assert "lint pnm" in out
+    assert "linted 1 block(s)" in out
+
+
+def test_all_blocks_exits_zero_on_errors_policy(capsys):
+    # Acceptance criterion: zero errors over every shipped block.
+    assert main(["--all-blocks"]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s)" in out
+
+
+def test_json_output_is_machine_readable(capsys):
+    assert main(["--json", "multiplier-unipolar", "balancer"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    targets = [r["target"] for r in payload]
+    assert targets[0].startswith("multiplier_unipolar")
+    assert targets[1].startswith("balancer")
+    assert all(r["ok"] for r in payload)
+
+
+def test_fail_on_warning_trips_exit_code():
+    # The balancer legitimately warns (coincident merger arrivals), so
+    # gating at `warning` must flip the exit code despite zero errors.
+    assert main(["balancer", "--fail-on", "warning"]) == 1
+    assert main(["balancer", "--fail-on", "error"]) == 0
+    assert main(["balancer", "--fail-on", "never"]) == 0
+
+
+def test_cli_suppress_drops_rule_and_accounts_for_it(capsys):
+    assert main(["balancer", "--suppress", "merger-collision",
+                 "--fail-on", "warning"]) == 0
+    out = capsys.readouterr().out
+    assert "suppressed" in out
+    assert "[warning] merger-collision" not in out
+
+
+def test_verbose_shows_info_notes(capsys):
+    main(["pnm", "--verbose"])
+    out = capsys.readouterr().out
+    assert "jj-budget" in out
+
+
+def test_unknown_block_is_a_usage_error(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["no-such-block"])
+    assert excinfo.value.code == 2
+    assert "unknown block" in capsys.readouterr().err
+
+
+def test_unknown_suppress_rule_is_a_usage_error(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["pnm", "--suppress", "no-such-rule"])
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "unknown rule" in err and "no-such-rule" in err
+
+
+def test_no_targets_is_a_usage_error(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main([])
+    assert excinfo.value.code == 2
+    assert "nothing to lint" in capsys.readouterr().err

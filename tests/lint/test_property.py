@@ -1,0 +1,95 @@
+"""Property test: randomly generated *legal* netlists always lint clean.
+
+The generator only ever uses the constructions the design rules permit —
+splitter-mediated fanout, merger-mediated fan-in, every input driven,
+every leaf output probed — so whatever topology Hypothesis assembles,
+the DRC must have nothing to say at error severity.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.cells import Jtl, Merger, Splitter  # noqa: E402
+from repro.lint import Severity, lint_circuit  # noqa: E402
+from repro.pulsesim import Circuit  # noqa: E402
+
+
+def build_legal_netlist(ops, fanout_choices):
+    """Grow a legal netlist from a random op sequence.
+
+    Maintains a frontier of open (element, port) outputs.  Each op either
+    extends an output through a JTL, legally doubles it through a
+    splitter, or legally merges two outputs.  Finally every remaining
+    open output is probed, so nothing dangles.
+    """
+    circuit = Circuit("random")
+    first = circuit.add(Jtl("entry"))
+    entries = [(first, "a")]
+    frontier = [(first, "q")]
+    counter = 0
+
+    for op in ops:
+        counter += 1
+        if op == "extend":
+            src, port = frontier.pop(0)
+            jtl = circuit.add(Jtl(f"jtl{counter}"))
+            circuit.connect(src, port, jtl, "a")
+            frontier.append((jtl, "q"))
+        elif op == "split":
+            src, port = frontier.pop(0)
+            split = circuit.add(Splitter(f"split{counter}"))
+            circuit.connect(src, port, split, "a")
+            frontier.append((split, "q1"))
+            frontier.append((split, "q2"))
+        elif op == "merge" and len(frontier) >= 2:
+            pick = fanout_choices[counter % len(fanout_choices)]
+            a = frontier.pop(pick % len(frontier))
+            b = frontier.pop(0)
+            # Generous dead time would trip the (warning-level) collision
+            # rule; a zero-window merger keeps the *error* claim sharp.
+            merger = circuit.add(Merger(f"merge{counter}", dead_time=0))
+            circuit.connect(a[0], a[1], merger, "a")
+            circuit.connect(b[0], b[1], merger, "b")
+            frontier.append((merger, "q"))
+
+    for element, port in frontier:
+        circuit.probe(element, port)
+    return circuit, entries
+
+
+@given(
+    ops=st.lists(
+        st.sampled_from(["extend", "split", "merge"]), min_size=1, max_size=40
+    ),
+    fanout_choices=st.lists(st.integers(0, 7), min_size=1, max_size=8),
+)
+@settings(max_examples=60, deadline=None)
+def test_random_legal_netlists_lint_clean(ops, fanout_choices):
+    circuit, entries = build_legal_netlist(ops, fanout_choices)
+    report = lint_circuit(circuit, entry_points=entries)
+    assert not report.errors, report.format_text()
+    # Legal constructions also produce no structural warnings (collision
+    # windows were generated away; everything is driven and observed).
+    non_timing = [d for d in report.warnings if d.rule != "merger-collision"]
+    assert not non_timing, report.format_text()
+
+
+@given(extra_sinks=st.integers(1, 5))
+@settings(max_examples=20, deadline=None)
+def test_random_illegal_fanout_always_caught(extra_sinks):
+    """Dual property: implicit fanout of any width is always an error."""
+    circuit = Circuit("bad")
+    src = circuit.add(Jtl("src"))
+    for i in range(1 + extra_sinks):
+        sink = circuit.add(Jtl(f"sink{i}"))
+        circuit.connect(src, "q", sink, "a")
+        circuit.probe(sink, "q")
+    report = lint_circuit(circuit, entry_points=[(src, "a")])
+    hits = [
+        d
+        for d in report.by_rule("implicit-fanout")
+        if d.severity is Severity.ERROR
+    ]
+    assert hits

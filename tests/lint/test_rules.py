@@ -1,0 +1,259 @@
+"""Every lint rule: one minimal failing circuit and one passing circuit.
+
+Each test builds the smallest netlist that violates exactly one design
+rule, asserts the rule fires there, and asserts it stays silent on the
+corrected construction.
+"""
+
+import pytest
+
+from repro.cells import Dff, Inverter, Jtl, Merger, Ndro, Splitter
+from repro.cells.interconnect import IdealMerger
+from repro.lint import LintConfig, Severity, lint_circuit
+from repro.pulsesim import Circuit
+
+
+def rule_hits(report, rule, severity=None):
+    hits = report.by_rule(rule)
+    if severity is not None:
+        hits = [d for d in hits if d.severity is severity]
+    return hits
+
+
+# -- implicit-fanout -----------------------------------------------------------
+def test_implicit_fanout_flagged():
+    circuit = Circuit()
+    src = circuit.add(Jtl("src"))
+    s1 = circuit.add(Jtl("s1"))
+    s2 = circuit.add(Jtl("s2"))
+    circuit.connect(src, "q", s1, "a")
+    circuit.connect(src, "q", s2, "a")
+    report = lint_circuit(circuit, entry_points=[(src, "a")])
+    (hit,) = rule_hits(report, "implicit-fanout", Severity.ERROR)
+    assert hit.element == "src" and hit.port == "q"
+
+
+def test_splitter_mediated_fanout_clean():
+    circuit = Circuit()
+    src = circuit.add(Jtl("src"))
+    split = circuit.add(Splitter("split"))
+    s1 = circuit.add(Jtl("s1"))
+    s2 = circuit.add(Jtl("s2"))
+    circuit.connect(src, "q", split, "a")
+    circuit.connect(split, "q1", s1, "a")
+    circuit.connect(split, "q2", s2, "a")
+    circuit.probe(s1, "q")
+    circuit.probe(s2, "q")
+    report = lint_circuit(circuit, entry_points=[(src, "a")])
+    assert not rule_hits(report, "implicit-fanout")
+    assert report.ok
+
+
+# -- unmerged-fanin ------------------------------------------------------------
+def test_unmerged_fanin_flagged():
+    circuit = Circuit()
+    a = circuit.add(Jtl("a"))
+    b = circuit.add(Jtl("b"))
+    sink = circuit.add(Jtl("sink"))
+    circuit.connect(a, "q", sink, "a")
+    circuit.connect(b, "q", sink, "a")
+    circuit.probe(sink, "q")
+    report = lint_circuit(circuit, entry_points=[(a, "a"), (b, "a")])
+    (hit,) = rule_hits(report, "unmerged-fanin", Severity.ERROR)
+    assert hit.element == "sink" and hit.port == "a"
+
+
+def test_merger_mediated_fanin_clean():
+    circuit = Circuit()
+    a = circuit.add(Jtl("a"))
+    b = circuit.add(Jtl("b"))
+    merger = circuit.add(Merger("m"))
+    sink = circuit.add(Jtl("sink"))
+    circuit.connect(a, "q", merger, "a")
+    circuit.connect(b, "q", merger, "b")
+    circuit.connect(merger, "q", sink, "a")
+    circuit.probe(sink, "q")
+    report = lint_circuit(circuit, entry_points=[(a, "a"), (b, "a")])
+    assert not rule_hits(report, "unmerged-fanin", Severity.ERROR)
+
+
+def test_shared_merger_input_port_is_an_info_note():
+    circuit = Circuit()
+    a = circuit.add(Jtl("a"))
+    b = circuit.add(Jtl("b"))
+    merger = circuit.add(Merger("m"))
+    circuit.connect(a, "q", merger, "a")
+    circuit.connect(b, "q", merger, "a")  # both onto one merger leg
+    circuit.probe(merger, "q")
+    report = lint_circuit(circuit, entry_points=[(a, "a"), (b, "a")])
+    (hit,) = rule_hits(report, "unmerged-fanin")
+    assert hit.severity is Severity.INFO
+
+
+# -- floating-input ------------------------------------------------------------
+def test_floating_input_flagged():
+    circuit = Circuit()
+    merger = circuit.add(Merger("m"))
+    circuit.probe(merger, "q")
+    report = lint_circuit(circuit, entry_points=[(merger, "a")])
+    (hit,) = rule_hits(report, "floating-input", Severity.WARNING)
+    assert hit.element == "m" and hit.port == "b"
+
+
+def test_fully_driven_inputs_clean():
+    circuit = Circuit()
+    merger = circuit.add(Merger("m"))
+    circuit.probe(merger, "q")
+    report = lint_circuit(circuit, entry_points=[(merger, "a"), (merger, "b")])
+    assert not rule_hits(report, "floating-input")
+
+
+# -- dead-element --------------------------------------------------------------
+def test_dead_element_flagged():
+    circuit = Circuit()
+    live = circuit.add(Jtl("live"))
+    dead = circuit.add(Jtl("dead"))
+    orphan = circuit.add(Jtl("orphan"))
+    circuit.connect(dead, "q", orphan, "a")
+    circuit.probe(live, "q")
+    circuit.probe(orphan, "q")
+    report = lint_circuit(circuit, entry_points=[(live, "a")])
+    names = {d.element for d in rule_hits(report, "dead-element")}
+    assert names == {"dead", "orphan"}
+
+
+def test_reachable_elements_clean():
+    circuit = Circuit()
+    a = circuit.add(Jtl("a"))
+    b = circuit.add(Jtl("b"))
+    circuit.connect(a, "q", b, "a")
+    circuit.probe(b, "q")
+    report = lint_circuit(circuit, entry_points=[(a, "a")])
+    assert not rule_hits(report, "dead-element")
+
+
+def test_missing_entry_points_reported_once():
+    circuit = Circuit()
+    circuit.add(Jtl("a"))
+    report = lint_circuit(circuit)
+    (hit,) = rule_hits(report, "dead-element")
+    assert "no entry points" in hit.message
+
+
+# -- dangling-output -----------------------------------------------------------
+def test_dangling_output_flagged():
+    circuit = Circuit()
+    ndro = circuit.add(Ndro("cell"))
+    report = lint_circuit(
+        circuit, entry_points=[(ndro, "set"), (ndro, "clk")]
+    )
+    (hit,) = rule_hits(report, "dangling-output", Severity.WARNING)
+    assert hit.element == "cell" and hit.port == "q"
+
+
+def test_probed_output_clean():
+    circuit = Circuit()
+    ndro = circuit.add(Ndro("cell"))
+    circuit.probe(ndro, "q")
+    report = lint_circuit(circuit, entry_points=[(ndro, "set"), (ndro, "clk")])
+    assert not rule_hits(report, "dangling-output", Severity.WARNING)
+
+
+def test_jtl_termination_is_an_info_note():
+    circuit = Circuit()
+    jtl = circuit.add(Jtl("term"))
+    report = lint_circuit(circuit, entry_points=[(jtl, "a")])
+    (hit,) = rule_hits(report, "dangling-output")
+    assert hit.severity is Severity.INFO
+
+
+# -- combinational-loop --------------------------------------------------------
+def test_combinational_loop_flagged():
+    circuit = Circuit()
+    merger = circuit.add(Merger("m"))
+    jtl = circuit.add(Jtl("j"))
+    circuit.connect(merger, "q", jtl, "a")
+    circuit.connect(jtl, "q", merger, "b")
+    circuit.probe(merger, "q")
+    report = lint_circuit(circuit, entry_points=[(merger, "a")])
+    (hit,) = rule_hits(report, "combinational-loop", Severity.ERROR)
+    assert "m" in hit.message and "j" in hit.message
+
+
+def test_storage_gated_loop_clean():
+    circuit = Circuit()
+    merger = circuit.add(Merger("m"))
+    dff = circuit.add(Dff("d"))
+    circuit.connect(merger, "q", dff, "d")
+    circuit.connect(dff, "q", merger, "b")
+    circuit.probe(merger, "q")
+    report = lint_circuit(
+        circuit, entry_points=[(merger, "a"), (dff, "clk")]
+    )
+    assert not rule_hits(report, "combinational-loop")
+
+
+def test_self_loop_flagged():
+    circuit = Circuit()
+    merger = circuit.add(IdealMerger("m"))
+    circuit.connect(merger, "q", merger, "b")
+    circuit.probe(merger, "q")
+    report = lint_circuit(circuit, entry_points=[(merger, "a")])
+    assert rule_hits(report, "combinational-loop", Severity.ERROR)
+
+
+# -- no-clock-driver -----------------------------------------------------------
+def test_undriven_clock_flagged():
+    circuit = Circuit()
+    src = circuit.add(Jtl("src"))
+    inverter = circuit.add(Inverter("inv"))
+    circuit.connect(src, "q", inverter, "a")
+    circuit.probe(inverter, "q")
+    report = lint_circuit(circuit, entry_points=[(src, "a")])
+    (hit,) = rule_hits(report, "no-clock-driver", Severity.ERROR)
+    assert hit.element == "inv"
+
+
+def test_driven_clock_clean():
+    circuit = Circuit()
+    src = circuit.add(Jtl("src"))
+    inverter = circuit.add(Inverter("inv"))
+    circuit.connect(src, "q", inverter, "a")
+    circuit.probe(inverter, "q")
+    report = lint_circuit(
+        circuit, entry_points=[(src, "a"), (inverter, "clk")]
+    )
+    assert not rule_hits(report, "no-clock-driver")
+
+
+def test_dff2_needs_only_one_control_line():
+    """Either readout strobe satisfies the clocked-cell rule."""
+    from repro.cells import Dff2
+
+    circuit = Circuit()
+    cell = circuit.add(Dff2("d2"))
+    circuit.probe(cell, "y1")
+    circuit.probe(cell, "y2")
+    report = lint_circuit(circuit, entry_points=[(cell, "a"), (cell, "c1")])
+    assert not rule_hits(report, "no-clock-driver")
+
+
+# -- suppression ---------------------------------------------------------------
+def test_suppressed_rule_moves_to_suppressed_bucket():
+    circuit = Circuit()
+    src = circuit.add(Jtl("src"))
+    s1 = circuit.add(Jtl("s1"))
+    s2 = circuit.add(Jtl("s2"))
+    circuit.connect(src, "q", s1, "a")
+    circuit.connect(src, "q", s2, "a")
+    config = LintConfig(suppress=frozenset({"implicit-fanout"}))
+    report = lint_circuit(circuit, entry_points=[(src, "a")], config=config)
+    assert not report.by_rule("implicit-fanout")
+    assert any(d.rule == "implicit-fanout" for d in report.suppressed)
+
+
+def test_unknown_suppression_rejected():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError, match="unknown rule"):
+        LintConfig(suppress=frozenset({"no-such-rule"}))

@@ -1,0 +1,44 @@
+"""Acceptance gate: every shipped structural block lints error-free."""
+
+import pytest
+
+from repro.lint import SHIPPED_BLOCKS, Severity, lint_all_blocks, lint_shipped_block
+
+
+@pytest.mark.parametrize("name", sorted(SHIPPED_BLOCKS))
+def test_shipped_block_has_zero_errors(name):
+    report = lint_shipped_block(name)
+    assert report.ok, report.format_text()
+
+
+@pytest.mark.parametrize("name", sorted(SHIPPED_BLOCKS))
+def test_shipped_block_jj_budget_within_tolerance(name):
+    report = lint_shipped_block(name)
+    divergent = [
+        d for d in report.by_rule("jj-budget") if d.severity > Severity.INFO
+    ]
+    assert not divergent, report.format_text()
+
+
+def test_registry_covers_the_paper_datapath():
+    # The acceptance list from the issue: multiplier, balancer, adder,
+    # PNM, DPU, structural FIR, and the CGRA fabric must all be lintable.
+    expected = {
+        "multiplier-unipolar",
+        "multiplier-bipolar",
+        "balancer",
+        "adder-merger",
+        "counting-network",
+        "pnm",
+        "dpu",
+        "pe",
+        "structural-fir",
+        "cgra-fabric",
+    }
+    assert set(SHIPPED_BLOCKS) == expected
+
+
+def test_lint_all_blocks_matches_registry_order():
+    reports = lint_all_blocks()
+    assert len(reports) == len(SHIPPED_BLOCKS)
+    assert all(r.ok for r in reports)

@@ -87,3 +87,50 @@ def test_circuit_reset_clears_merger_state():
     assert merger.collisions == 1
     circuit.reset()
     assert merger.collisions == 0
+
+
+def test_fanout_returns_empty_list_on_miss():
+    circuit = Circuit()
+    cell = circuit.add(Jtl("a"))
+    assert circuit.fanout(cell, "q") == []
+    assert isinstance(circuit.fanout(cell, "q"), list)
+
+
+def test_wires_iterate_every_connection():
+    circuit = Circuit()
+    a = circuit.add(Jtl("a"))
+    split = circuit.add(Splitter("s"))
+    b = circuit.add(Jtl("b"))
+    circuit.connect(a, "q", split, "a")
+    circuit.connect(split, "q1", b, "a")
+    wires = circuit.wires
+    assert len(wires) == 2
+    assert list(circuit.iter_wires()) == wires
+    assert circuit.wires_into(b, "a") == [wires[1]]
+
+
+def test_wire_repr_names_endpoints_and_delay():
+    circuit = Circuit()
+    a = circuit.add(Jtl("a"))
+    b = circuit.add(Jtl("b"))
+    wire = circuit.connect(a, "q", b, "a", delay=7)
+    assert repr(wire) == "<Wire a.q -> b.a, 7 fs>"
+
+
+def test_duplicate_probe_rejected():
+    circuit = Circuit()
+    cell = circuit.add(Jtl("a"))
+    circuit.probe(cell, "q")
+    with pytest.raises(NetlistError, match="already has a probe"):
+        circuit.probe(cell, "q")
+
+
+def test_distinct_probe_labels_allowed_on_one_port():
+    from repro.pulsesim.probe import PulseRecorder
+
+    circuit = Circuit()
+    cell = circuit.add(Jtl("a"))
+    first = circuit.probe(cell, "q", PulseRecorder("raw"))
+    second = circuit.probe(cell, "q", PulseRecorder("decoded"))
+    assert first is not second
+    assert circuit.probed_ports() == [(cell, "q")]
