@@ -4,18 +4,33 @@ Usage::
 
     usfq-experiments                 # run everything
     usfq-experiments fig18 fig19    # run a subset
+    usfq-experiments --jobs 4       # fan out across worker processes
     usfq-experiments --list         # show available experiment ids
     python -m repro.experiments     # same as usfq-experiments
+
+Exit codes: 0 = every claim holds (or ``--fail-on never``), 1 = at least
+one claim differs, 2 = unknown experiment id.  Results are cached under
+``--cache-dir`` keyed by the source tree's content, so an unchanged tree
+re-runs near-instantly; any edit under ``src/repro`` recomputes.
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 from typing import List, Optional
 
-from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.errors import ConfigurationError
+from repro.experiments.registry import EXPERIMENTS
 from repro.experiments.report import format_result
+from repro.runner import (
+    DEFAULT_CACHE_DIR,
+    ResultCache,
+    build_manifest,
+    run_suite,
+    write_manifest,
+)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -36,6 +51,36 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="DIR",
         help="also write one <experiment>.txt report per experiment to DIR",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for experiments and sweep points (default: 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=str(DEFAULT_CACHE_DIR),
+        help=f"result cache location (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="always recompute; neither read nor write the result cache",
+    )
+    parser.add_argument(
+        "--manifest",
+        metavar="FILE",
+        help="write the JSON run manifest here "
+        "(default: <output dir>/manifest.json when --output is given)",
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=("never", "claims"),
+        default="claims",
+        help="exit nonzero when claims differ (default: claims)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -45,15 +90,20 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     output_dir = None
     if args.output:
-        import pathlib
-
         output_dir = pathlib.Path(args.output)
         output_dir.mkdir(parents=True, exist_ok=True)
 
     ids = args.experiments or list(EXPERIMENTS)
+    cache = None if args.no_cache else ResultCache(pathlib.Path(args.cache_dir))
+    try:
+        run = run_suite(ids, jobs=args.jobs, cache=cache)
+    except ConfigurationError as error:
+        print(f"usfq-experiments: {error}", file=sys.stderr)
+        return 2
+
     failures = 0
     for experiment_id in ids:
-        result = run_experiment(experiment_id)
+        result = run.outcomes[experiment_id].result
         report = format_result(result)
         print(report)
         print()
@@ -62,6 +112,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         failures += len(result.claims) - result.claims_held
     total_note = "all claims hold" if failures == 0 else f"{failures} claim(s) differ"
     print(f"done: {len(ids)} experiment(s), {total_note}")
+
+    manifest_path = args.manifest
+    if manifest_path is None and output_dir is not None:
+        manifest_path = output_dir / "manifest.json"
+    if manifest_path is not None:
+        write_manifest(pathlib.Path(manifest_path), build_manifest(run, ids))
+
+    if failures and args.fail_on == "claims":
+        return 1
     return 0
 
 

@@ -5,9 +5,18 @@ workload, quantisation SNRs, SNR-versus-error-rate sweeps for the binary
 (bit-flip) and unary (pulse-loss, RL-loss, RL-delay) filters, the binary
 SNR distribution at 1 % errors, and the error-rate effect on the unary
 filter's recovered spectrum.
+
+This is the heaviest experiment in the registry, and it decomposes into
+independent error-injection studies, so the sweep is exposed as picklable
+work units (:func:`sweep_points` / :func:`run_point` / :func:`assemble`)
+that the experiment runner fans out across worker processes.  Every study
+is seeded, so the assembled figure is bit-identical however the points are
+scheduled.
 """
 
 from __future__ import annotations
+
+from typing import List, Tuple
 
 import numpy as np
 
@@ -19,8 +28,99 @@ from repro.experiments.report import ExperimentResult
 ERROR_RATES = (0.0, 0.01, 0.05, 0.1, 0.2, 0.3)
 BITS = 16
 
+# One point per independent error-injection study; the int is the trial
+# count for the SNR sweeps (unused by the other kinds).
+Point = Tuple[str, str, int]
 
-def run(trials: int = 5) -> ExperimentResult:
+
+def sweep_points(trials: int = 5) -> List[Point]:
+    """The independent studies behind Fig 19, heaviest first."""
+    return [
+        ("sweep", "binary", trials),
+        ("sweep", "pulse_loss", trials),
+        ("sweep", "rl_delay", trials),
+        ("sweep", "rl_loss", trials),
+        ("distribution", "", 0),
+        ("spectra", "", 0),
+        ("quant", "6", 0),
+        ("quant", "16", 0),
+    ]
+
+
+def run_point(point: Point) -> dict:
+    """Run one study; returns plain floats/lists so results pickle cheaply."""
+    kind, arg, trials = point
+    golden = make_golden_reference()
+    if kind == "sweep":
+        if arg == "binary":
+            sweep = ei.sweep_binary_bit_flips(golden, BITS, ERROR_RATES, trials=trials)
+        else:
+            sweep = ei.sweep_unary_errors(golden, BITS, ERROR_RATES, arg, trials=trials)
+        return {
+            "kind": kind,
+            "mode": sweep.mode,
+            "rates": list(sweep.error_rates),
+            "mean": list(sweep.mean_db),
+            "min": list(sweep.min_db),
+            "max": list(sweep.max_db),
+        }
+    if kind == "quant":
+        # Quantisation-only SNRs ("for 16 bits, the calculated SNR is 24 dB
+        # and for 6 bits is 15 dB").
+        from repro.core.fir import UnaryFirFilter
+        from repro.dsp.snr import snr_db
+        from repro.encoding.epoch import EpochSpec
+
+        bits = int(arg)
+        fir = UnaryFirFilter(EpochSpec(bits), golden.h, exact_counting=False)
+        return {
+            "kind": kind,
+            "bits": bits,
+            "snr": float(snr_db(golden.target, fir.process(golden.x), skip=golden.skip)),
+        }
+    if kind == "distribution":
+        # Fig 19b: binary SNR distribution at 1 % errors.  A short record
+        # keeps the per-trial flip count low, so single flips dominate and
+        # the SNR spread reflects which bit each flip hits.
+        short_golden = make_golden_reference(n_samples=600)
+        distribution = ei.binary_snr_distribution(short_golden, BITS, 0.01, trials=60)
+        return {
+            "kind": kind,
+            "mean": float(np.mean(distribution)),
+            "std": float(np.std(distribution)),
+            "min": float(np.min(distribution)),
+            "max": float(np.max(distribution)),
+        }
+    if kind == "spectra":
+        # Fig 19c: unary output spectrum under error — the recovered 1 kHz
+        # tone versus the filtered-out interferers, clean and at 50 % loss.
+        spectra = ei.unary_spectra_under_error(golden, BITS, (0.0, 0.5))
+        tones = []
+        for tone in (1_000.0, 7_000.0, 8_000.0, 9_000.0):
+            clean_db = tone_power_db(
+                spectra[0.0][golden.skip:], golden.sample_rate_hz, tone
+            )
+            lossy_db = tone_power_db(
+                spectra[0.5][golden.skip:], golden.sample_rate_hz, tone
+            )
+            tones.append((tone, float(clean_db), float(lossy_db)))
+        return {"kind": kind, "tones": tones}
+    raise ValueError(f"unknown fig19 sweep point {point!r}")
+
+
+def assemble(partials: List[dict]) -> ExperimentResult:
+    """Combine study partials (in :func:`sweep_points` order) into Fig 19."""
+    by_kind = {}
+    for partial in partials:
+        key = (partial["kind"], partial.get("mode") or partial.get("bits", ""))
+        by_kind[key] = partial
+    sweeps = [
+        by_kind[("sweep", "binary bit flips")],
+        by_kind[("sweep", "unary pulse_loss")],
+        by_kind[("sweep", "unary rl_delay")],
+        by_kind[("sweep", "unary rl_loss")],
+    ]
+
     result = ExperimentResult(
         "fig19",
         "FIR accuracy under errors (16 taps, 1/7/8/9 kHz workload)",
@@ -28,19 +128,13 @@ def run(trials: int = 5) -> ExperimentResult:
     )
     golden = make_golden_reference()
 
-    sweeps = [
-        ei.sweep_binary_bit_flips(golden, BITS, ERROR_RATES, trials=trials),
-        ei.sweep_unary_errors(golden, BITS, ERROR_RATES, "pulse_loss", trials=trials),
-        ei.sweep_unary_errors(golden, BITS, ERROR_RATES, "rl_delay", trials=trials),
-        ei.sweep_unary_errors(golden, BITS, ERROR_RATES, "rl_loss", trials=trials),
-    ]
     for sweep in sweeps:
-        for i, rate in enumerate(sweep.error_rates):
+        for i, rate in enumerate(sweep["rates"]):
             result.add_row(
-                sweep.mode, rate,
-                round(sweep.mean_db[i], 1),
-                round(sweep.min_db[i], 1),
-                round(sweep.max_db[i], 1),
+                sweep["mode"], rate,
+                round(sweep["mean"][i], 1),
+                round(sweep["min"][i], 1),
+                round(sweep["max"][i], 1),
             )
 
     result.add_claim(
@@ -49,16 +143,8 @@ def run(trials: int = 5) -> ExperimentResult:
         abs(golden.golden_snr_db - 25.7) < 1.0,
     )
 
-    # Quantisation-only SNRs ("for 16 bits, the calculated SNR is 24 dB and
-    # for 6 bits is 15 dB").
-    from repro.core.fir import UnaryFirFilter
-    from repro.dsp.snr import snr_db
-    from repro.encoding.epoch import EpochSpec
-
-    quantised = {}
+    quantised = {bits: by_kind[("quant", bits)]["snr"] for bits in (6, 16)}
     for bits in (6, 16):
-        fir = UnaryFirFilter(EpochSpec(bits), golden.h, exact_counting=False)
-        quantised[bits] = snr_db(golden.target, fir.process(golden.x), skip=golden.skip)
         result.add_row(f"unary quantisation only ({bits} bits)", 0.0,
                        round(quantised[bits], 1), "-", "-")
     result.add_claim(
@@ -72,8 +158,8 @@ def run(trials: int = 5) -> ExperimentResult:
     )
 
     binary, pulse_loss, rl_delay, rl_loss = sweeps
-    binary_drop = binary.mean_db[0] - binary.mean_db[-1]
-    unary_drop = pulse_loss.mean_db[0] - pulse_loss.mean_db[-1]
+    binary_drop = binary["mean"][0] - binary["mean"][-1]
+    unary_drop = pulse_loss["mean"][0] - pulse_loss["mean"][-1]
     result.add_claim(
         "binary SNR degradation at 30 % errors", "~30 dB",
         f"{binary_drop:.1f} dB", binary_drop > 15,
@@ -87,14 +173,14 @@ def run(trials: int = 5) -> ExperimentResult:
         f"{unary_drop:.1f} dB vs {binary_drop:.1f} dB",
         unary_drop < binary_drop / 3.0,
     )
-    rl_loss_drop = rl_loss.mean_db[0] - rl_loss.mean_db[1]
+    rl_loss_drop = rl_loss["mean"][0] - rl_loss["mean"][1]
     result.add_claim(
         "a lost RL pulse is the damaging error mode",
         "large effect (all information in one pulse)",
         f"{rl_loss_drop:.1f} dB drop at 1 %",
         rl_loss_drop > 5.0,
     )
-    delay_drop = rl_delay.mean_db[0] - rl_delay.mean_db[-1]
+    delay_drop = rl_delay["mean"][0] - rl_delay["mean"][-1]
     result.add_claim(
         "RL delay errors behave like pulse loss (small)",
         "similar to error (i)",
@@ -102,40 +188,27 @@ def run(trials: int = 5) -> ExperimentResult:
         delay_drop < 7.0,
     )
 
-    # Fig 19b: binary SNR distribution at 1 % errors.  A short record keeps
-    # the per-trial flip count low, so single flips dominate and the SNR
-    # spread reflects which bit each flip hits.
-    short_golden = make_golden_reference(n_samples=600)
-    distribution = ei.binary_snr_distribution(short_golden, BITS, 0.01, trials=60)
+    distribution = by_kind[("distribution", "")]
     result.notes.append(
         "binary SNR distribution at 1 % bit flips: "
-        f"mean {np.mean(distribution):.1f} dB, std {np.std(distribution):.1f} dB, "
-        f"range [{np.min(distribution):.1f}, {np.max(distribution):.1f}] dB "
+        f"mean {distribution['mean']:.1f} dB, std {distribution['std']:.1f} dB, "
+        f"range [{distribution['min']:.1f}, {distribution['max']:.1f}] dB "
         "(damage depends on which bit flips)"
     )
     result.add_claim(
         "binary error damage varies wildly with bit significance",
         "large SNR variance",
-        f"std {np.std(distribution):.1f} dB",
-        np.std(distribution) > 2.0,
+        f"std {distribution['std']:.1f} dB",
+        distribution["std"] > 2.0,
     )
 
-    # Fig 19c: unary output spectrum under error — the recovered 1 kHz tone
-    # versus the filtered-out interferers, clean and at 50 % pulse loss.
-    spectra = ei.unary_spectra_under_error(golden, BITS, (0.0, 0.5))
-    for tone in (1_000.0, 7_000.0, 8_000.0, 9_000.0):
-        clean_db = tone_power_db(
-            spectra[0.0][golden.skip:], golden.sample_rate_hz, tone
-        )
-        lossy_db = tone_power_db(
-            spectra[0.5][golden.skip:], golden.sample_rate_hz, tone
-        )
+    tones = by_kind[("spectra", "")]["tones"]
+    for tone, clean_db, lossy_db in tones:
         result.add_row(
             f"spectrum @ {tone / 1000:.0f} kHz (dB re peak)", 0.5,
             round(clean_db, 1), round(lossy_db, 1), "-",
         )
-    tone_clean = tone_power_db(spectra[0.0][golden.skip:], golden.sample_rate_hz, 1_000.0)
-    tone_noisy = tone_power_db(spectra[0.5][golden.skip:], golden.sample_rate_hz, 1_000.0)
+    tone_clean, tone_noisy = tones[0][1], tones[0][2]
     result.add_claim(
         "the recovered tone survives 50 % pulse loss (Fig 19c)",
         "1 kHz peak intact, noise floor rises",
@@ -143,3 +216,7 @@ def run(trials: int = 5) -> ExperimentResult:
         tone_noisy > -3.0,
     )
     return result
+
+
+def run(trials: int = 5) -> ExperimentResult:
+    return assemble([run_point(point) for point in sweep_points(trials)])

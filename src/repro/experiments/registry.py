@@ -1,7 +1,17 @@
-"""Registry mapping experiment ids to their run() callables."""
+"""Registry mapping experiment ids to their run() callables.
+
+Experiments whose work decomposes into independent, picklable sweep
+points additionally appear in :data:`SWEEPS`, mapping the id to a module
+that provides ``sweep_points() -> list``, ``run_point(point) -> dict``
+and ``assemble(partials) -> ExperimentResult`` with
+``run() == assemble([run_point(p) for p in sweep_points()])``.  The
+experiment runner (:mod:`repro.runner`) uses this to fan one experiment
+out across worker processes.
+"""
 
 from __future__ import annotations
 
+from types import ModuleType
 from typing import Callable, Dict, List
 
 from repro.errors import ConfigurationError
@@ -52,17 +62,29 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "validation": validation.run,
 }
 
+#: Experiments that expose their sweep as picklable per-point work units.
+SWEEPS: Dict[str, ModuleType] = {
+    "fig14": fig14_pe,
+    "fig16": fig16_dpu,
+    "fig18": fig18_fir,
+    "fig19": fig19_accuracy,
+}
 
-def run_experiment(experiment_id: str) -> ExperimentResult:
-    """Run one experiment by id (e.g. ``fig18``)."""
+
+def resolve_experiment(experiment_id: str) -> Callable[[], ExperimentResult]:
+    """Look up an experiment's run() callable, or raise ConfigurationError."""
     try:
-        runner = EXPERIMENTS[experiment_id]
+        return EXPERIMENTS[experiment_id]
     except KeyError:
         known = ", ".join(sorted(EXPERIMENTS))
         raise ConfigurationError(
             f"unknown experiment {experiment_id!r}; known: {known}"
         ) from None
-    return runner()
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    """Run one experiment by id (e.g. ``fig18``)."""
+    return resolve_experiment(experiment_id)()
 
 
 def run_all() -> List[ExperimentResult]:

@@ -34,7 +34,7 @@ from repro.pulsesim.schedule import (
     rl_pulse_time,
     uniform_stream_times,
 )
-from repro.pulsesim.simulator import Simulator
+from repro.pulsesim.simulator import SimulationStats, Simulator, capture_stats
 
 __all__ = [
     "Block",
@@ -45,9 +45,11 @@ __all__ = [
     "JitterChannel",
     "PortSpec",
     "PulseRecorder",
+    "SimulationStats",
     "Simulator",
     "WaveformProbe",
     "Wire",
+    "capture_stats",
     "burst_stream_times",
     "clock_times",
     "rl_pulse_time",

@@ -9,7 +9,7 @@ the recorded pulses as an analog-looking trace for the waveform figures
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -27,7 +27,7 @@ class PulseRecorder:
     def reset(self) -> None:
         self.times.clear()
 
-    def count(self, start: int = 0, end: int = None) -> int:
+    def count(self, start: int = 0, end: Optional[int] = None) -> int:
         """Number of pulses in ``[start, end)`` (whole history by default)."""
         if end is None and start == 0:
             return len(self.times)

@@ -13,8 +13,9 @@ are ``(time, priority, sequence)``:
 from __future__ import annotations
 
 import heapq
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.pulsesim.element import Element
@@ -28,6 +29,30 @@ class SimulationStats:
     events_processed: int = 0
     pulses_emitted: int = 0
     end_time: int = 0
+
+    def merge(self, other: "SimulationStats") -> None:
+        """Fold another counter set into this one (``end_time`` takes the max)."""
+        self.events_processed += other.events_processed
+        self.pulses_emitted += other.pulses_emitted
+        self.end_time = max(self.end_time, other.end_time)
+
+
+# Active collectors for :func:`capture_stats`.  Every Simulator.run() adds
+# its per-call deltas to each collector on the stack, so a caller can
+# aggregate work done by simulators it never sees (e.g. the experiment
+# runner totalling events across all netlists an experiment builds).
+_collectors: List[SimulationStats] = []
+
+
+@contextmanager
+def capture_stats() -> Iterator[SimulationStats]:
+    """Accumulate stats from every ``Simulator.run()`` inside the block."""
+    collector = SimulationStats()
+    _collectors.append(collector)
+    try:
+        yield collector
+    finally:
+        _collectors.remove(collector)
 
 
 class Simulator:
@@ -76,9 +101,21 @@ class Simulator:
         """Drain the event heap, optionally stopping after time ``until``.
 
         Events scheduled at exactly ``until`` are still processed; events
-        strictly later remain queued (so a run can be resumed).
+        strictly later remain queued, so a run can be resumed by calling
+        :meth:`run` again.  Resume semantics:
+
+        * ``stats`` accumulate across resumed runs (they are reset only by
+          :meth:`reset`), but ``max_events`` is a *per-call* budget — each
+          ``run()`` may process up to ``max_events`` events regardless of
+          how many earlier calls processed;
+        * ``stats.end_time`` is the simulated horizon: ``until`` when a
+          bounded run stops early (time advanced to ``until`` even if the
+          last event was earlier), else the last processed event time.  It
+          never moves backwards on a later bounded call.
         """
         heap = self._heap
+        processed_before = self.stats.events_processed
+        pulses_before = self.stats.pulses_emitted
         while heap:
             if until is not None and heap[0][0] > until:
                 break
@@ -89,13 +126,20 @@ class Simulator:
                 )
             self.now = time
             self.stats.events_processed += 1
-            if self.stats.events_processed > self.max_events:
+            if self.stats.events_processed - processed_before > self.max_events:
                 raise SimulationError(
                     f"exceeded max_events={self.max_events}; "
                     "likely an oscillating netlist"
                 )
             element.handle(self, port, time)
-        self.stats.end_time = self.now
+        horizon = self.now if until is None else max(self.now, until)
+        self.stats.end_time = max(self.stats.end_time, horizon)
+        for collector in _collectors:
+            collector.events_processed += (
+                self.stats.events_processed - processed_before
+            )
+            collector.pulses_emitted += self.stats.pulses_emitted - pulses_before
+            collector.end_time = max(collector.end_time, self.stats.end_time)
         return self.stats
 
     def reset(self) -> None:

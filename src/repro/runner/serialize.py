@@ -1,0 +1,68 @@
+"""JSON (de)serialisation for experiment results.
+
+The cache stores :class:`~repro.experiments.report.ExperimentResult`
+objects as JSON.  Round-tripping must preserve the *rendered* report
+byte-for-byte: numpy scalars are converted to the Python types whose
+``format_result`` rendering is identical (``np.float64`` is a ``float``
+subclass, ``np.int64`` prints like ``int``), and row tuples come back as
+lists, which render the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.experiments.report import Claim, ExperimentResult
+
+#: Bump when the serialised layout changes; embedded in every cache key.
+FORMAT_VERSION = 1
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert numpy scalars/arrays and tuples to JSON types."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return [to_jsonable(v) for v in value.tolist()]
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {k: to_jsonable(v) for k, v in value.items()}
+    return value
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    """Serialise an ExperimentResult to a JSON-ready dict."""
+    return {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "columns": list(result.columns),
+        "rows": [to_jsonable(row) for row in result.rows],
+        "notes": list(result.notes),
+        "claims": [
+            {
+                "description": claim.description,
+                "paper": claim.paper,
+                "measured": claim.measured,
+                "holds": bool(claim.holds),
+            }
+            for claim in result.claims
+        ],
+    }
+
+
+def result_from_dict(payload: dict) -> ExperimentResult:
+    """Rebuild an ExperimentResult from :func:`result_to_dict` output."""
+    return ExperimentResult(
+        experiment_id=payload["experiment_id"],
+        title=payload["title"],
+        columns=payload["columns"],
+        rows=[list(row) for row in payload["rows"]],
+        notes=list(payload["notes"]),
+        claims=[
+            Claim(c["description"], c["paper"], c["measured"], c["holds"])
+            for c in payload["claims"]
+        ],
+    )

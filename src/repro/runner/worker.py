@@ -1,0 +1,55 @@
+"""Picklable work units executed by the runner's worker processes.
+
+A :class:`WorkUnit` is either a whole experiment (``point_index is
+None``) or one sweep point of an experiment listed in
+:data:`repro.experiments.registry.SWEEPS`.  :func:`execute_unit` is a
+module-level function so it pickles under every multiprocessing start
+method; it captures the simulation counters accumulated while the unit
+runs so the engine can total events/pulses per experiment.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.experiments.registry import SWEEPS, resolve_experiment
+from repro.pulsesim.simulator import SimulationStats, capture_stats
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One schedulable piece of work: an experiment or one sweep point."""
+
+    experiment_id: str
+    point_index: Optional[int] = None
+    point: Any = None
+
+
+@dataclass
+class UnitOutcome:
+    """What a worker sends back: the payload plus its cost."""
+
+    experiment_id: str
+    point_index: Optional[int]
+    payload: Any  # ExperimentResult for whole units, partial dict for points
+    stats: SimulationStats
+    duration_s: float
+
+
+def execute_unit(unit: WorkUnit) -> UnitOutcome:
+    """Run one unit, timing it and capturing simulator counters."""
+    started = time.perf_counter()
+    with capture_stats() as stats:
+        if unit.point_index is None:
+            payload = resolve_experiment(unit.experiment_id)()
+        else:
+            payload = SWEEPS[unit.experiment_id].run_point(unit.point)
+    return UnitOutcome(
+        experiment_id=unit.experiment_id,
+        point_index=unit.point_index,
+        payload=payload,
+        stats=stats,
+        duration_s=time.perf_counter() - started,
+    )

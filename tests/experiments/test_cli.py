@@ -1,6 +1,18 @@
-"""The usfq-experiments CLI."""
+"""The usfq-experiments CLI: output, exit codes, runner flags."""
 
+import json
+
+import pytest
+
+from repro.experiments import registry
 from repro.experiments.cli import main
+from repro.experiments.report import ExperimentResult
+
+
+@pytest.fixture(autouse=True)
+def _sandbox_cache(tmp_path, monkeypatch):
+    """Keep the default ``.usfq-cache`` out of the repo during tests."""
+    monkeypatch.chdir(tmp_path)
 
 
 def test_list_option(capsys):
@@ -31,3 +43,68 @@ def test_output_directory_written(tmp_path, capsys):
     fig12 = (tmp_path / "reports" / "fig12.txt").read_text()
     assert "nagaoka2019" in table2
     assert "Shift-register" in fig12
+
+
+def test_unknown_experiment_exits_2_with_stderr_message(capsys):
+    assert main(["fig99"]) == 2
+    captured = capsys.readouterr()
+    assert captured.out == ""
+    assert "unknown experiment 'fig99'" in captured.err
+    assert "known:" in captured.err
+    assert "fig18" in captured.err  # the message lists the valid ids
+
+
+def _register_failing_experiment(monkeypatch):
+    def failing():
+        result = ExperimentResult("_fail", "forced failure", ["x"])
+        result.add_row(1)
+        result.add_claim("always differs", "1", "2", False)
+        return result
+
+    monkeypatch.setitem(registry.EXPERIMENTS, "_fail", failing)
+
+
+def test_failing_claim_exits_nonzero(monkeypatch, capsys):
+    """Regression: the CLI used to exit 0 even when claims differed."""
+    _register_failing_experiment(monkeypatch)
+    assert main(["_fail", "--no-cache"]) == 1
+    out = capsys.readouterr().out
+    assert "1 claim(s) differ" in out
+
+
+def test_fail_on_never_keeps_exit_zero(monkeypatch, capsys):
+    _register_failing_experiment(monkeypatch)
+    assert main(["_fail", "--no-cache", "--fail-on", "never"]) == 0
+    assert "1 claim(s) differ" in capsys.readouterr().out
+
+
+def test_parallel_stdout_matches_serial(capsys):
+    ids = ["fig14", "fig16", "table2"]
+    assert main([*ids, "--no-cache"]) == 0
+    serial = capsys.readouterr().out
+    assert main([*ids, "--no-cache", "--jobs", "2"]) == 0
+    parallel = capsys.readouterr().out
+    assert parallel == serial
+
+
+def test_cached_rerun_matches_and_hits(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    manifest = tmp_path / "m.json"
+    args = ["table2", "fig12", "--cache-dir", cache_dir,
+            "--manifest", str(manifest)]
+    assert main(args) == 0
+    cold = capsys.readouterr().out
+    assert json.loads(manifest.read_text())["cache"]["misses"] == 2
+    assert main(args) == 0
+    warm = capsys.readouterr().out
+    assert warm == cold
+    assert json.loads(manifest.read_text())["cache"]["hits"] == 2
+
+
+def test_manifest_written_alongside_output(tmp_path, capsys):
+    out_dir = tmp_path / "reports"
+    assert main(["table2", "--output", str(out_dir)]) == 0
+    capsys.readouterr()
+    manifest = json.loads((out_dir / "manifest.json").read_text())
+    assert manifest["totals"]["experiments"] == 1
+    assert manifest["experiments"]["table2"]["claims_total"] > 0

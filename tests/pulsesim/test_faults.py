@@ -62,6 +62,21 @@ class TestJitterChannel:
         with pytest.raises(ConfigurationError):
             JitterChannel("j", std_fs=-1)
 
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_negative_effective_delay_clamped(self, seed):
+        """Huge jitter must never schedule a pulse before its arrival."""
+        circuit = Circuit()
+        channel = circuit.add(
+            JitterChannel("j", std_fs=1_000_000, mean_fs=10, seed=seed)
+        )
+        probe = circuit.probe(channel, "q")
+        sim = Simulator(circuit)
+        inputs = [k * 10_000_000 for k in range(50)]
+        sim.schedule_train(channel, "a", inputs)
+        sim.run()  # a negative delay would raise a causality violation
+        assert probe.count() == 50
+        assert all(out >= t_in for out, t_in in zip(sorted(probe.times), inputs))
+
 
 class TestDropChannel:
     def test_drop_rate_zero_passes_everything(self):
@@ -96,6 +111,24 @@ class TestDropChannel:
     def test_validation(self):
         with pytest.raises(ConfigurationError):
             DropChannel("d", drop_rate=1.5)
+
+    def test_reset_restores_rng(self):
+        """Simulator.reset() rewinds the seed: the drop pattern repeats."""
+        circuit = Circuit()
+        channel = circuit.add(DropChannel("d", drop_rate=0.4, seed=21))
+        probe = circuit.probe(channel, "q")
+        sim = Simulator(circuit)
+        stimulus = list(range(0, 50_000, 100))
+        sim.schedule_train(channel, "a", stimulus)
+        sim.run()
+        first = tuple(probe.times)
+        first_dropped = channel.pulses_dropped
+        assert 0 < first_dropped < len(stimulus)
+        sim.reset()
+        sim.schedule_train(channel, "a", stimulus)
+        sim.run()
+        assert tuple(probe.times) == first
+        assert channel.pulses_dropped == first_dropped
 
 
 class TestStructuralFaultEffects:

@@ -117,6 +117,70 @@ def test_stats_track_events_and_pulses():
     assert stats.end_time == 20
 
 
+def test_run_until_clamps_end_time_to_horizon():
+    """Regression: a bounded run used to report the last *event* time."""
+    circuit = Circuit()
+    cell = circuit.add(_Recorder("r"))
+    sim = Simulator(circuit)
+    sim.schedule_input(cell, "hi", 100)
+    sim.schedule_input(cell, "hi", 900)
+    stats = sim.run(until=500)
+    assert stats.end_time == 500  # simulated up to the horizon, not 100
+    stats = sim.run()
+    assert stats.end_time == 900
+
+
+def test_end_time_never_moves_backwards():
+    circuit = Circuit()
+    cell = circuit.add(_Recorder("r"))
+    sim = Simulator(circuit)
+    sim.schedule_input(cell, "hi", 900)
+    sim.run()
+    assert sim.stats.end_time == 900
+    stats = sim.run(until=100)  # nothing left to do before 100
+    assert stats.end_time == 900
+
+
+def test_max_events_is_a_per_run_budget():
+    """Regression: the guard used to count cumulatively across resumes."""
+    circuit = Circuit()
+    cell = circuit.add(_Recorder("r"))
+    sim = Simulator(circuit, max_events=3)
+    for chunk in range(3):  # 9 events total, 3 per run(): never trips
+        sim.schedule_train(cell, "hi", [chunk * 100 + k for k in range(3)])
+        sim.run()
+    assert sim.stats.events_processed == 9
+    sim.schedule_train(cell, "hi", [1_000 + k for k in range(4)])
+    with pytest.raises(SimulationError, match="max_events"):
+        sim.run()
+
+
+def test_stats_accumulate_across_resumed_runs():
+    circuit = Circuit()
+    cell = circuit.add(_Recorder("r"))
+    sim = Simulator(circuit)
+    sim.schedule_input(cell, "hi", 100)
+    sim.schedule_input(cell, "hi", 900)
+    sim.run(until=500)
+    assert sim.stats.events_processed == 1
+    sim.run()
+    assert sim.stats.events_processed == 2
+
+
+def test_capture_stats_aggregates_across_simulators():
+    from repro.pulsesim import capture_stats
+
+    with capture_stats() as total:
+        for _ in range(2):
+            circuit = Circuit()
+            cell = circuit.add(_Recorder("r"))
+            sim = Simulator(circuit)
+            sim.schedule_train(cell, "hi", [0, 10, 20])
+            sim.run()
+    assert total.events_processed == 6
+    assert total.end_time == 20
+
+
 def test_wire_delay_applies():
     circuit = Circuit()
     a = circuit.add(Jtl("a", delay=0))

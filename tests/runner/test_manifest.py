@@ -1,0 +1,46 @@
+"""The JSON run manifest: schema, totals, and file output."""
+
+import json
+
+from repro.runner import ResultCache, build_manifest, run_suite, write_manifest
+from repro.runner.manifest import MANIFEST_SCHEMA
+
+
+def test_manifest_schema_and_totals(tmp_path):
+    cache = ResultCache(tmp_path / "cache", digest="e" * 64)
+    report = run_suite(["table2", "fig12"], jobs=1, cache=cache)
+    manifest = build_manifest(report, ["table2", "fig12"])
+
+    assert manifest["schema"] == MANIFEST_SCHEMA
+    assert manifest["jobs"] == 1
+    assert manifest["wall_time_s"] > 0
+    assert manifest["cache"]["misses"] == 2
+    assert manifest["cache"]["source_digest"] == "e" * 64
+    assert manifest["requested"] == ["table2", "fig12"]
+    assert set(manifest["experiments"]) == {"table2", "fig12"}
+
+    for entry in manifest["experiments"].values():
+        assert entry["cache"] == "miss"
+        assert entry["claims_held"] <= entry["claims_total"]
+        assert {"events_processed", "pulses_emitted"} <= set(entry["stats"])
+    totals = manifest["totals"]
+    assert totals["experiments"] == 2
+    assert totals["failures"] == totals["claims_total"] - totals["claims_held"]
+    assert totals["failures"] == 0
+
+
+def test_manifest_records_cache_hits(tmp_path):
+    cache = ResultCache(tmp_path / "cache", digest="e" * 64)
+    run_suite(["table2"], cache=cache)
+    warm = build_manifest(run_suite(["table2"], cache=cache))
+    assert warm["experiments"]["table2"]["cache"] == "hit"
+    assert warm["cache"]["hits"] == 1
+
+
+def test_write_manifest_emits_valid_json(tmp_path):
+    report = run_suite(["table2"])
+    path = write_manifest(tmp_path / "nested" / "manifest.json",
+                          build_manifest(report))
+    loaded = json.loads(path.read_text())
+    assert loaded["totals"]["experiments"] == 1
+    assert path.read_text().endswith("\n")

@@ -1,0 +1,47 @@
+"""Result serialisation must preserve the rendered report byte-for-byte."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.report import ExperimentResult, format_result
+from repro.runner.serialize import result_from_dict, result_to_dict, to_jsonable
+
+FAST_EXPERIMENTS = sorted(set(EXPERIMENTS) - {"fig19"})
+
+
+@pytest.mark.parametrize("experiment_id", FAST_EXPERIMENTS)
+def test_round_trip_preserves_rendering(experiment_id):
+    result = run_experiment(experiment_id)
+    payload = json.loads(json.dumps(result_to_dict(result)))
+    assert format_result(result_from_dict(payload)) == format_result(result)
+
+
+def test_round_trip_preserves_fig19_rendering():
+    from repro.experiments import fig19_accuracy
+
+    result = fig19_accuracy.run(trials=1)
+    payload = json.loads(json.dumps(result_to_dict(result)))
+    assert format_result(result_from_dict(payload)) == format_result(result)
+
+
+def test_numpy_scalars_become_json_types():
+    converted = to_jsonable(
+        {"f": np.float64(1.5), "i": np.int64(7), "b": np.bool_(True),
+         "a": np.arange(3), "t": (np.float32(2.0), "s")}
+    )
+    assert json.loads(json.dumps(converted)) == {
+        "f": 1.5, "i": 7, "b": True, "a": [0, 1, 2], "t": [2.0, "s"]
+    }
+
+
+def test_claims_survive_round_trip():
+    result = ExperimentResult("t", "title", ["a"])
+    result.add_row(1)
+    result.add_claim("check", "1", "2", bool(np.bool_(False)))
+    rebuilt = result_from_dict(result_to_dict(result))
+    assert rebuilt.claims_held == 0
+    assert len(rebuilt.claims) == 1
+    assert rebuilt.claims[0].description == "check"
