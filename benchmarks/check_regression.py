@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Gate a pytest-benchmark JSON run against the committed baseline.
+
+Two checks, the most machine-independent one first:
+
+1. **Kernel speedup ratio** (within the new run, so host speed cancels
+   out): for every pair ``<name>_reference_kernel`` /
+   ``<name>_sealed_kernel``, the sealed median must be at least
+   ``--min-speedup`` times faster than the reference median.  This is the
+   property the compiled kernel exists for; losing it is a regression no
+   matter how fast the host is.
+
+2. **Relative regression vs baseline**: medians are normalised by the
+   run-wide median of new/baseline ratios, which absorbs the host being
+   uniformly slower or faster than the machine that produced
+   ``BENCH_baseline.json``.  Any single benchmark whose *normalised*
+   median regresses more than ``--threshold`` (default 25%) fails — that
+   shape of change means one code path got slower, not that CI got a cold
+   runner.
+
+A benchmark present in the baseline but missing from the run fails the
+gate (a silently dropped benchmark must not look like a pass); one
+present only in the run is reported but allowed, so a PR can add
+benchmarks and re-baseline in the same change.
+
+Re-baseline (run from the repository root)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_microbench_kernels.py \
+        --benchmark-json=benchmarks/BENCH_baseline.json -q
+
+Gate a fresh run::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_microbench_kernels.py \
+        --benchmark-json=bench.json -q
+    python benchmarks/check_regression.py bench.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+_REF_SUFFIX = "_reference_kernel"
+_SEALED_SUFFIX = "_sealed_kernel"
+
+
+def load_medians(path: Path) -> Dict[str, float]:
+    """``benchmark name -> median seconds`` from a pytest-benchmark JSON."""
+    with open(path) as handle:
+        document = json.load(handle)
+    return {
+        bench["name"]: bench["stats"]["median"]
+        for bench in document["benchmarks"]
+    }
+
+
+def check_speedups(
+    new: Dict[str, float], min_speedup: float, failures: List[str]
+) -> None:
+    pairs = [
+        (name, name[: -len(_REF_SUFFIX)] + _SEALED_SUFFIX)
+        for name in sorted(new)
+        if name.endswith(_REF_SUFFIX)
+    ]
+    for reference, sealed in pairs:
+        if sealed not in new:
+            failures.append(f"{reference} has no {sealed} counterpart")
+            continue
+        speedup = new[reference] / new[sealed]
+        verdict = "ok" if speedup >= min_speedup else "FAIL"
+        print(
+            f"  speedup {reference[: -len(_REF_SUFFIX)]}: "
+            f"sealed is {speedup:.2f}x faster than reference "
+            f"(floor {min_speedup:.2f}x) [{verdict}]"
+        )
+        if speedup < min_speedup:
+            failures.append(
+                f"sealed kernel only {speedup:.2f}x faster than reference "
+                f"on {reference[: -len(_REF_SUFFIX)]} (need {min_speedup:.2f}x)"
+            )
+
+
+def check_baseline(
+    new: Dict[str, float],
+    baseline: Dict[str, float],
+    threshold: float,
+    failures: List[str],
+) -> None:
+    missing = sorted(set(baseline) - set(new))
+    for name in missing:
+        failures.append(f"benchmark {name} is in the baseline but was not run")
+    added = sorted(set(new) - set(baseline))
+    for name in added:
+        print(f"  new benchmark {name}: not in baseline, skipped "
+              "(re-baseline to start tracking it)")
+    common = sorted(set(new) & set(baseline))
+    if not common:
+        failures.append("no benchmarks in common with the baseline")
+        return
+    ratios = {name: new[name] / baseline[name] for name in common}
+    scale = statistics.median(ratios.values())
+    print(f"  host speed vs baseline machine: {scale:.2f}x "
+          "(medians normalised by this before comparing)")
+    for name in common:
+        relative = ratios[name] / scale - 1.0
+        verdict = "ok" if relative <= threshold else "FAIL"
+        print(
+            f"  {name}: {new[name] * 1e3:.2f} ms vs baseline "
+            f"{baseline[name] * 1e3:.2f} ms "
+            f"({relative:+.1%} after normalisation) [{verdict}]"
+        )
+        if relative > threshold:
+            failures.append(
+                f"{name} regressed {relative:+.1%} vs baseline "
+                f"(threshold {threshold:.0%})"
+            )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when a kernel benchmark regresses vs the baseline."
+    )
+    parser.add_argument("run", help="pytest-benchmark JSON of the new run")
+    parser.add_argument(
+        "--baseline",
+        default=str(Path(__file__).resolve().parent / "BENCH_baseline.json"),
+        help="committed baseline JSON (default: benchmarks/BENCH_baseline.json)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        metavar="FRACTION",
+        help="allowed normalised regression per benchmark (default: 0.25)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=2.0,
+        metavar="X",
+        help="required sealed-vs-reference speedup within the run "
+        "(default: 2.0 — generous so noisy CI hosts do not flake; the "
+        "committed results/ measurements track the real figure)",
+    )
+    args = parser.parse_args(argv)
+
+    new = load_medians(Path(args.run))
+    baseline = load_medians(Path(args.baseline))
+    failures: List[str] = []
+    print("kernel speedup gate:")
+    check_speedups(new, args.min_speedup, failures)
+    print("baseline regression gate:")
+    check_baseline(new, baseline, args.threshold, failures)
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} benchmark regression(s)")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nOK: no benchmark regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,13 +8,75 @@ simulate.
 
 import numpy as np
 
+from repro.cells.interconnect import IdealMerger, Jtl
 from repro.core.counting import CountingNetwork
 from repro.core.dpu import DpuModel
 from repro.core.fir import UnaryFirFilter
 from repro.core.multiplier import UnipolarMultiplier
 from repro.dsp.firdesign import design_lowpass
 from repro.encoding.epoch import EpochSpec
+from repro.pulsesim import Circuit, Simulator
 from repro.pulsesim.schedule import uniform_stream_times
+
+
+#: The stream-fabric scenario: slot-aligned JTL pipelines feeding a merger
+#: reduction tree, every lane driven by a dense (~50% duty) uniform pulse
+#: stream on the same slot grid.  This is the paper's stream-compute
+#: regime — SIMD-like lanes sharing one epoch clock — and the workload the
+#: sealed kernel is built for (heavy same-time contention).  The same
+#: netlist+stimulus runs under both kernels so the regression gate can
+#: compare them ratio-wise, independent of the host machine's speed.
+_FABRIC_LANES = 32
+_FABRIC_DEPTH = 4
+_FABRIC_TRAINS = [
+    uniform_stream_times(2_000, 4_096, 12_000)
+    for _ in range(_FABRIC_LANES)
+]
+
+
+def _run_stream_fabric(kernel):
+    """Build the fabric fresh (compile cost counts too) and run one epoch."""
+    circuit = Circuit(f"fabric{_FABRIC_LANES}x{_FABRIC_DEPTH}")
+    heads = []
+    tails = []
+    for lane in range(_FABRIC_LANES):
+        stage = circuit.add(Jtl(f"l{lane}_0"))
+        heads.append(stage)
+        for depth in range(1, _FABRIC_DEPTH):
+            nxt = circuit.add(Jtl(f"l{lane}_{depth}"))
+            circuit.connect(stage, "q", nxt, "a", delay=500)
+            stage = nxt
+        tails.append((stage, "q"))
+    level = 0
+    while len(tails) > 1:
+        merged = []
+        for pair in range(0, len(tails), 2):
+            merger = circuit.add(IdealMerger(f"m{level}_{pair // 2}"))
+            circuit.connect(*tails[pair], merger, "a", delay=500)
+            circuit.connect(*tails[pair + 1], merger, "b", delay=500)
+            merged.append((merger, "q"))
+        tails = merged
+        level += 1
+    probe = circuit.probe(*tails[0])
+    sim = Simulator(circuit, kernel=kernel)
+    for head, times in zip(heads, _FABRIC_TRAINS):
+        sim.schedule_train(head, "a", times)
+    stats = sim.run()
+    return stats.events_processed, len(probe.times)
+
+
+def test_stream_fabric_reference_kernel(benchmark):
+    """The dense stream fabric under the reference heap loop (the yardstick)."""
+    events, merged = benchmark(_run_stream_fabric, "reference")
+    assert merged == _FABRIC_LANES * len(_FABRIC_TRAINS[0])
+    assert events > 200_000
+
+
+def test_stream_fabric_sealed_kernel(benchmark):
+    """Same fabric under the sealed kernel; the gate checks the speedup ratio."""
+    events, merged = benchmark(_run_stream_fabric, "sealed")
+    assert merged == _FABRIC_LANES * len(_FABRIC_TRAINS[0])
+    assert events > 200_000
 
 
 def test_pulse_level_multiplier_epoch(benchmark):

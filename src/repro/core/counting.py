@@ -12,7 +12,7 @@ ceil-cascade count for ideally interleaved inputs.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core.balancer import BALANCER_JJ, Balancer
 from repro.errors import ConfigurationError
@@ -101,11 +101,13 @@ class CountingNetwork:
     tests and small structural experiments.
     """
 
-    def __init__(self, m_inputs: int):
+    def __init__(self, m_inputs: int, kernel: Optional[str] = None):
         self.m_inputs = _check_m(m_inputs)
+        self.kernel = kernel
         self.circuit = Circuit(f"counting_{m_inputs}to1")
         self.block = build_counting_network(self.circuit, "cn", m_inputs)
         self.output = self.block.probe_output("y")
+        self.circuit.seal()
 
     @property
     def jj_count(self) -> int:
@@ -119,7 +121,7 @@ class CountingNetwork:
             raise ConfigurationError(
                 f"expected {self.m_inputs} input trains, got {len(input_times)}"
             )
-        sim = Simulator(self.circuit)
+        sim = Simulator(self.circuit, kernel=self.kernel)
         sim.reset()
         for index, times in enumerate(input_times):
             self.block.drive(sim, f"a{index}", times)

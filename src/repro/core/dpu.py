@@ -14,7 +14,7 @@ semantics), vectorised for the FIR and the evaluation sweeps.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -99,15 +99,23 @@ def build_dpu(
 class DotProductUnit:
     """Self-contained structural DPU (unipolar or bipolar lanes)."""
 
-    def __init__(self, epoch: EpochSpec, length: int, bipolar: bool = False):
+    def __init__(
+        self,
+        epoch: EpochSpec,
+        length: int,
+        bipolar: bool = False,
+        kernel: Optional[str] = None,
+    ):
         self.epoch = epoch
         self.length = _check_length(length)
         self.bipolar = bipolar
+        self.kernel = kernel
         self.streams = PulseStreamCodec(epoch)
         self.race = RaceLogicCodec(epoch)
         self.circuit = Circuit(f"dpu_{length}{'_bipolar' if bipolar else ''}")
         self.block = build_dpu(self.circuit, "dpu", length, bipolar=bipolar)
         self.output = self.block.probe_output("y")
+        self.circuit.seal()
 
     @property
     def jj_count(self) -> int:
@@ -120,7 +128,7 @@ class DotProductUnit:
                 f"expected {self.length} operands per side, got "
                 f"{len(a_slots)}/{len(b_counts)}"
             )
-        sim = Simulator(self.circuit)
+        sim = Simulator(self.circuit, kernel=self.kernel)
         sim.reset()
         refclk = (
             self.streams.times_for_count(self.epoch.n_max) if self.bipolar else None
@@ -172,7 +180,7 @@ class DotProductUnit:
             )
         n_max = self.epoch.n_max
         duration = self.epoch.duration_fs
-        sim = Simulator(self.circuit)
+        sim = Simulator(self.circuit, kernel=self.kernel)
         sim.reset()
         for frame, (a_slots, b_counts) in enumerate(
             zip(a_slot_frames, b_count_frames)

@@ -22,7 +22,7 @@ agreement.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.cells.interconnect import Splitter
 from repro.core.buffer import RlMemoryCell
@@ -49,7 +49,12 @@ class StructuralUnaryFir:
     MAX_BITS = 6
     MAX_TAPS = 8
 
-    def __init__(self, epoch: EpochSpec, coefficient_words: Sequence[int]):
+    def __init__(
+        self,
+        epoch: EpochSpec,
+        coefficient_words: Sequence[int],
+        kernel: Optional[str] = None,
+    ):
         taps = len(coefficient_words)
         if taps < 2 or taps & (taps - 1) or taps > self.MAX_TAPS:
             raise ConfigurationError(
@@ -61,6 +66,7 @@ class StructuralUnaryFir:
             )
         self.epoch = epoch
         self.taps = taps
+        self.kernel = kernel
         self.bank = CoefficientBank(epoch, taps)
         self.bank.write_all(list(coefficient_words))
 
@@ -102,6 +108,7 @@ class StructuralUnaryFir:
         self.circuit.connect(self._head, "q1", *self.taps_in[0])
         if self.delay_cells:
             self.circuit.connect(self._head, "q2", self.delay_cells[0], "in")
+        self.circuit.seal()
 
     @property
     def jj_count(self) -> int:
@@ -119,7 +126,7 @@ class StructuralUnaryFir:
                 raise ConfigurationError(
                     f"slots must be in [0, {n_max}], got {slot}"
                 )
-        sim = Simulator(self.circuit)
+        sim = Simulator(self.circuit, kernel=self.kernel)
         sim.reset()
         duration = self.epoch.duration_fs
         for index, slot in enumerate(slots):

@@ -180,21 +180,28 @@ def build_bipolar_multiplier(circuit: Circuit, name: str) -> Block:
 
 # -- convenience wrappers ------------------------------------------------------
 class UnipolarMultiplier:
-    """A self-contained unipolar multiplier with encode/run/decode helpers."""
+    """A self-contained unipolar multiplier with encode/run/decode helpers.
+
+    The netlist is fully built here, so the constructor seals it — every
+    ``run_counts`` reuses the compiled kernel tables.  ``kernel`` pins the
+    simulator kernel for this instance (default: resolve per run).
+    """
 
     jj_count = MULTIPLIER_UNIPOLAR_JJ
 
-    def __init__(self, epoch: EpochSpec):
+    def __init__(self, epoch: EpochSpec, kernel: Optional[str] = None):
         self.epoch = epoch
+        self.kernel = kernel
         self.streams = PulseStreamCodec(epoch)
         self.race = RaceLogicCodec(epoch)
         self.circuit = Circuit("unipolar_multiplier")
         self.block = build_unipolar_multiplier(self.circuit, "mul")
         self.output = self.block.probe_output("out")
+        self.circuit.seal()
 
     def run_counts(self, n_a: int, slot_b: int) -> int:
         """Multiply a pulse count by an RL slot; returns the output count."""
-        sim = Simulator(self.circuit)
+        sim = Simulator(self.circuit, kernel=self.kernel)
         sim.reset()
         self.block.drive(sim, "epoch", 0)
         self.block.drive(
@@ -217,17 +224,19 @@ class BipolarMultiplier:
 
     jj_count = MULTIPLIER_BIPOLAR_JJ
 
-    def __init__(self, epoch: EpochSpec):
+    def __init__(self, epoch: EpochSpec, kernel: Optional[str] = None):
         self.epoch = epoch
+        self.kernel = kernel
         self.streams = PulseStreamCodec(epoch)
         self.race = RaceLogicCodec(epoch)
         self.circuit = Circuit("bipolar_multiplier")
         self.block = build_bipolar_multiplier(self.circuit, "mul")
         self.output = self.block.probe_output("out")
+        self.circuit.seal()
 
     def run_counts(self, n_a: int, slot_b: int) -> int:
         """Multiply a stream count by an RL slot; returns the output count."""
-        sim = Simulator(self.circuit)
+        sim = Simulator(self.circuit, kernel=self.kernel)
         sim.reset()
         self.block.drive(sim, "epoch", 0)
         self.block.drive(

@@ -17,6 +17,7 @@ re-runs near-instantly; any edit under ``src/repro`` recomputes.
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import sys
 from typing import List, Optional
@@ -24,6 +25,7 @@ from typing import List, Optional
 from repro.errors import ConfigurationError
 from repro.experiments.registry import EXPERIMENTS
 from repro.experiments.report import format_result
+from repro.pulsesim.kernel import KERNEL_ENV, KERNELS
 from repro.runner import (
     DEFAULT_CACHE_DIR,
     ResultCache,
@@ -76,12 +78,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(default: <output dir>/manifest.json when --output is given)",
     )
     parser.add_argument(
+        "--kernel",
+        choices=KERNELS,
+        help="simulator kernel for this run (default: the REPRO_KERNEL "
+        "environment variable, then 'auto'); results are bit-identical "
+        "across kernels, only wall time differs",
+    )
+    parser.add_argument(
         "--fail-on",
         choices=("never", "claims"),
         default="claims",
         help="exit nonzero when claims differ (default: claims)",
     )
     args = parser.parse_args(argv)
+
+    if args.kernel is not None:
+        # Exported (not passed down call-by-call) so ProcessPoolExecutor
+        # workers inherit the choice with --jobs > 1.
+        os.environ[KERNEL_ENV] = args.kernel
 
     if args.list:
         for experiment_id in EXPERIMENTS:

@@ -26,6 +26,12 @@ Typical usage::
 from repro.pulsesim.block import Block
 from repro.pulsesim.element import CellRole, Element, PortSpec
 from repro.pulsesim.faults import DropChannel, JitterChannel
+from repro.pulsesim.kernel import (
+    KERNELS,
+    SealedSimulator,
+    compile_circuit,
+    resolve_kernel,
+)
 from repro.pulsesim.netlist import Circuit, Wire
 from repro.pulsesim.probe import PulseRecorder, WaveformProbe
 from repro.pulsesim.schedule import (
@@ -43,13 +49,17 @@ __all__ = [
     "DropChannel",
     "Element",
     "JitterChannel",
+    "KERNELS",
     "PortSpec",
     "PulseRecorder",
+    "SealedSimulator",
     "SimulationStats",
     "Simulator",
     "WaveformProbe",
     "Wire",
     "capture_stats",
+    "compile_circuit",
+    "resolve_kernel",
     "burst_stream_times",
     "clock_times",
     "rl_pulse_time",

@@ -1,0 +1,961 @@
+"""Compiled event kernel: sealed circuits, opcode programs, bucket queue.
+
+Every figure and table of the reproduction funnels through the simulator's
+event loop, so its constant factors bound how large a U-SFQ design we can
+sweep.  The reference kernel (:class:`~repro.pulsesim.simulator.Simulator`)
+pays for its flexibility on every single event: a bound-method ``handle``
+call, attribute reads for the cell's delay, an ``Element.emit ->
+Simulator.emit`` double dispatch, a probe lookup, a fanout dict lookup,
+and a priority lookup per wire.  This module compiles all of that away
+once per netlist:
+
+* :func:`compile_circuit` translates each ``(element, input port)`` pair
+  into a small *opcode program*: a flat list whose first entry is an
+  integer kind and whose remaining entries are everything the kernel
+  needs to execute the cell's response inline — pre-summed
+  ``cell delay + wire delay`` offsets, the bound ``record`` methods of any
+  probes on the output (empty for unprobed ports, so probe notification
+  costs nothing there), and direct references to each sink's own program.
+  The standard cell library (JTL, splitter, merger, NDRO, DFF, DFF2, TFF,
+  TFF2, inverter) compiles to dedicated opcodes the run loop executes
+  without a single Python method call; anything else — custom cells,
+  fault-injection channels — compiles to a generic *call* opcode that
+  invokes the cell's ``handle`` exactly like the reference loop.
+
+  Programs are mutable lists patched *in place* on recompile (e.g. when a
+  probe is attached after events were scheduled), so queued events can
+  never hold stale routing.
+
+* Event sort keys are packed into a single integer,
+  ``priority * 2**48 + sequence``, preserving the reference kernel's
+  ``(time, priority, sequence)`` total order (time is the bucket key,
+  and the packed key compares priority first because the sequence counter
+  stays far below 2**48) while replacing tuple comparisons with single
+  machine-int comparisons.
+
+* :class:`SealedSimulator` replaces the single binary heap with a
+  bucket/calendar queue keyed by the exact integer femtosecond timestamp:
+  a dict of per-time buckets plus a small heap of *distinct* pending
+  times.  A lone pending event at a time is stored as the bare entry (no
+  list), so the common sparse case allocates nothing extra; buckets
+  upgrade to a heap-ordered list on contention.  SFQ workloads are
+  slot-aligned — pulse-stream stimuli, clock trains, and splitter fanout
+  all land many events on the same femtosecond — so the run loop drains
+  each bucket in an inner loop, paying the peek/causality machinery once
+  per *distinct time* instead of once per event.  For sparse horizons
+  (every timestamp distinct) the structure degrades to a plain heap of
+  times, never worse than a small constant factor off the reference.
+  ``schedule_train`` resolves the port's program and packed priority once
+  and batch-inserts the whole stimulus train.
+
+Because compilation snapshots cell timing (``delay``, ``dead_time``) and
+port priorities, those must not be mutated after a circuit is compiled;
+in this codebase they are constructor-set constants.
+
+The sealed kernel is *semantically identical* to the reference loop: the
+same ``(time, priority, sequence)`` total order, the same stats, and
+byte-identical experiment output (locked by the differential property test
+in ``tests/pulsesim/test_kernel_differential.py``).  One deliberate
+divergence: on a causality violation the reference kernel has already
+popped the offending event when it raises, while the sealed kernel raises
+before popping, so the event stays queued; the error and all counters are
+identical.
+
+Kernel selection::
+
+    Simulator(circuit)                      # "auto": compiled fast path
+    Simulator(circuit, kernel="sealed")     # seal the circuit, fast path
+    Simulator(circuit, kernel="reference")  # the original heap loop
+
+or globally via the ``REPRO_KERNEL`` environment variable (the CLI's
+``--kernel`` flag sets it so worker processes inherit the choice).
+"""
+
+from __future__ import annotations
+
+import os
+from heapq import heapify, heappop, heappush
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.pulsesim.element import Element
+from repro.pulsesim.netlist import Circuit
+from repro.pulsesim.simulator import (
+    SimulationStats,
+    Simulator,
+    _collectors,
+)
+
+#: Recognised kernel names, in documentation order.
+KERNELS = ("auto", "reference", "sealed")
+
+#: Environment variable consulted when ``Simulator(kernel=None)``.
+KERNEL_ENV = "REPRO_KERNEL"
+
+#: Packed sort keys are ``priority * _SEQ_SPAN + sequence``; the sequence
+#: counter would need 2**48 events (years of wall clock) to overflow into
+#: the priority bits.
+_SEQ_SPAN = 1 << 48
+
+_INF = float("inf")
+
+# Opcode kinds.  The run loop dispatches on these with a two-level compare
+# chain (``kind <= 5`` first), so the numbering groups the hottest opcodes
+# for the fewest comparisons.
+_OP_CALL = 0  # [0, handle, port]                      generic cell
+_OP_DELAY1 = 1  # [1, kb, dly, nop]                      JTL, 1 wire, unprobed
+_OP_MERGER = 2  # [2, cell, dead, dq, taps, rows]        merger (dead time)
+_OP_MULTI = 3  # [3, emissions]                         splitter
+_OP_STORE1 = 4  # [4, cell]                              state = 1
+_OP_STORE0 = 5  # [5, cell]                              state = 0
+_OP_NDRO = 6  # [6, cell, dq, taps, rows]              NDRO clk
+_OP_TFF = 7  # [7, cell, dq, taps, rows]              TFF a
+_OP_DELAY1T = 8  # [8, dq, taps, kb, dly, nop]            JTL, 1 wire, probed
+_OP_DELAYN = 9  # [9, dq, taps, rows]                    JTL, general fanout
+_OP_INV = 10  # [10, cell, dq, taps, rows]             inverter clk
+_OP_DISARM = 11  # [11, cell]                             inverter a
+_OP_DFF = 12  # [12, cell, dq, taps, rows]             DFF clk / DFF2 c1,c2
+_OP_TFF2 = 13  # [13, cell, emission_q1, emission_q2]   TFF2 a
+
+
+def resolve_kernel(kernel: Optional[str]) -> str:
+    """Normalise a kernel choice: explicit arg > ``REPRO_KERNEL`` > auto."""
+    if kernel is None:
+        kernel = os.environ.get(KERNEL_ENV) or "auto"
+    if kernel not in KERNELS:
+        known = ", ".join(KERNELS)
+        raise ConfigurationError(f"unknown kernel {kernel!r}; known: {known}")
+    return kernel
+
+
+class CompiledTables:
+    """Flat dispatch tables for one circuit at one topology version.
+
+    Attributes:
+        version: The circuit version these tables were built from.
+        ports: ``id(element) -> {output_port -> (taps, fan)}`` — the
+            *emission* view used by :meth:`SealedSimulator.emit` and the
+            specialised emit closures of generic cells.  ``fan`` rows are
+            ``(packed_priority_base, wire_delay, sink_program)``.
+        inports: ``id(element) -> {input_port -> (packed_priority_base,
+            program)}`` — the *arrival* view used to schedule stimulus.
+        monotonic: True when the compiler proved no event can create
+            another event at its *own* timestamp — every cell is inline
+            (no generic ``handle`` that might emit with zero latency) and
+            every cell delay + wire delay sum is positive.  The run loop
+            then drains contended buckets with one ``sort`` and plain
+            ``list.pop`` instead of a heap operation per event.
+    """
+
+    __slots__ = ("version", "ports", "inports", "monotonic")
+
+    def __init__(
+        self,
+        version: int,
+        ports: Dict[int, Dict[str, tuple]],
+        inports: Dict[int, Dict[str, tuple]],
+        monotonic: bool,
+    ):
+        self.version = version
+        self.ports = ports
+        self.inports = inports
+        self.monotonic = monotonic
+
+
+# -- program construction ------------------------------------------------------
+
+
+def _op_of(circuit: Circuit, element: Element, port: str) -> list:
+    """The persistent program list for one ``(element, input port)``.
+
+    The same list object is reused across recompiles and patched in place,
+    so events already sitting in a queue (which reference programs
+    directly) always see current routing and probes.
+    """
+    key = (id(element), port)
+    op = circuit._ops.get(key)
+    if op is None:
+        op = []
+        circuit._ops[key] = op
+    return op
+
+
+def _taps_of(circuit: Circuit, element: Element, port: str) -> tuple:
+    return tuple(
+        tap.probe.record for tap in circuit._taps.get((id(element), port), ())
+    )
+
+
+def _rows_of(
+    circuit: Circuit, element: Element, port: str, base_delay: int
+) -> tuple:
+    """Fanout rows ``(packed_priority_base, total_delay, sink_program)``.
+
+    ``base_delay`` is folded into each row so the run loop computes the
+    arrival time with a single addition (cell delay + wire delay are
+    pre-summed for inline opcodes; emission tables pass 0 because their
+    callers receive an already-delayed emission time).
+    """
+    return tuple(
+        (
+            wire.sink.input_priority(wire.sink_port) * _SEQ_SPAN,
+            base_delay + wire.delay,
+            _op_of(circuit, wire.sink, wire.sink_port),
+        )
+        for wire in circuit._fanout.get((id(element), port), ())
+    )
+
+
+def _emission(circuit: Circuit, cell: Element, out_port: str) -> tuple:
+    """``(delay, taps, rows)`` for one output port of a fixed-delay cell."""
+    delay = cell.delay
+    return (
+        delay,
+        _taps_of(circuit, cell, out_port),
+        _rows_of(circuit, cell, out_port, delay),
+    )
+
+
+def _compile_jtl(cell, port, circuit):
+    dq, taps, rows = _emission(circuit, cell, "q")
+    if len(rows) == 1:
+        kb, dly, nop = rows[0]
+        if not taps:
+            return [_OP_DELAY1, kb, dly, nop]
+        return [_OP_DELAY1T, dq, taps, kb, dly, nop]
+    return [_OP_DELAYN, dq, taps, rows]
+
+
+def _compile_splitter(cell, port, circuit):
+    return [
+        _OP_MULTI,
+        tuple(_emission(circuit, cell, out) for out in ("q1", "q2")),
+    ]
+
+
+def _compile_merger(cell, port, circuit):
+    dq, taps, rows = _emission(circuit, cell, "q")
+    return [_OP_MERGER, cell, cell.dead_time, dq, taps, rows]
+
+
+def _compile_ndro(cell, port, circuit):
+    if port == "set":
+        return [_OP_STORE1, cell]
+    if port == "reset":
+        return [_OP_STORE0, cell]
+    dq, taps, rows = _emission(circuit, cell, "q")
+    return [_OP_NDRO, cell, dq, taps, rows]
+
+
+def _compile_dff(cell, port, circuit):
+    if port == "d":
+        return [_OP_STORE1, cell]
+    dq, taps, rows = _emission(circuit, cell, "q")
+    return [_OP_DFF, cell, dq, taps, rows]
+
+
+def _compile_dff2(cell, port, circuit):
+    if port == "a":
+        return [_OP_STORE1, cell]
+    out = "y1" if port == "c1" else "y2"
+    dq, taps, rows = _emission(circuit, cell, out)
+    return [_OP_DFF, cell, dq, taps, rows]
+
+
+def _compile_tff(cell, port, circuit):
+    dq, taps, rows = _emission(circuit, cell, "q")
+    return [_OP_TFF, cell, dq, taps, rows]
+
+
+def _compile_tff2(cell, port, circuit):
+    return [
+        _OP_TFF2,
+        cell,
+        _emission(circuit, cell, "q1"),
+        _emission(circuit, cell, "q2"),
+    ]
+
+
+def _compile_inverter(cell, port, circuit):
+    if port == "a":
+        return [_OP_DISARM, cell]
+    dq, taps, rows = _emission(circuit, cell, "q")
+    return [_OP_INV, cell, dq, taps, rows]
+
+
+_inline_compilers = None
+
+
+def _inline_registry() -> dict:
+    """``handle function -> opcode compiler`` for the standard cell library.
+
+    Keyed by the *function* implementing ``handle`` so subclasses that
+    inherit behaviour (e.g. ``IdealMerger``) are covered automatically,
+    while subclasses that override ``handle`` fall back to the generic
+    call opcode.  Built lazily to keep the kernel importable before the
+    cell library.
+    """
+    global _inline_compilers
+    if _inline_compilers is None:
+        from repro.cells.interconnect import Jtl, Merger, Splitter
+        from repro.cells.logic import Inverter
+        from repro.cells.storage import Dff, Dff2, Ndro
+        from repro.cells.toggle import Tff, Tff2
+
+        _inline_compilers = {
+            Jtl.handle: _compile_jtl,
+            Splitter.handle: _compile_splitter,
+            Merger.handle: _compile_merger,
+            Ndro.handle: _compile_ndro,
+            Dff.handle: _compile_dff,
+            Dff2.handle: _compile_dff2,
+            Tff.handle: _compile_tff,
+            Tff2.handle: _compile_tff2,
+            Inverter.handle: _compile_inverter,
+        }
+    return _inline_compilers
+
+
+def _make_emit(element: Element, table: Dict[str, tuple]):
+    """Specialised ``emit`` closure for a generic (non-inline) cell.
+
+    Installed as an *instance* attribute, shadowing :meth:`Element.emit`,
+    so custom cells and fault channels calling ``self.emit(...)`` dispatch
+    straight into the compiled fanout push.  ``table`` is the element's
+    persistent emission table, patched in place on recompile.  If the
+    simulator is not a :class:`SealedSimulator` (e.g. the same circuit is
+    re-run under ``kernel="reference"`` for a differential check) the
+    closure falls back to the simulator's own ``emit``.
+    """
+
+    def emit(sim, port: str, time: int) -> None:
+        if sim.__class__ is not SealedSimulator:
+            return sim.emit(element, port, time)
+        sim._pulses += 1
+        row = table.get(port)
+        if row is None:
+            return
+        taps, fan = row
+        for record in taps:
+            record(time)
+        if fan:
+            seq = sim._sequence
+            buckets = sim._buckets
+            times = sim._times
+            for kb, delay, nop in fan:
+                arrival = time + delay
+                k = kb + seq
+                entry = (k, nop)
+                seq += 1
+                bucket = buckets.get(arrival)
+                if bucket is None:
+                    buckets[arrival] = entry
+                    heappush(times, arrival)
+                elif type(bucket) is list:
+                    heappush(bucket, entry)
+                elif bucket[0] < k:
+                    buckets[arrival] = [bucket, entry]
+                else:
+                    buckets[arrival] = [entry, bucket]
+            sim._sequence = seq
+
+    return emit
+
+
+def compile_circuit(circuit: Circuit) -> CompiledTables:
+    """Freeze ``circuit``'s current topology + probes into kernel tables.
+
+    Idempotent and cheap relative to any simulation: called automatically
+    by :meth:`Circuit.seal` and lazily by :class:`SealedSimulator` whenever
+    the circuit's version is newer than the cached tables.
+    """
+    registry = _inline_registry()
+    default_emit = Element.emit
+    emit_tables = circuit._emit_tables
+    ports: Dict[int, Dict[str, tuple]] = {}
+    inports: Dict[int, Dict[str, tuple]] = {}
+    monotonic = True
+    for element in circuit.elements:
+        eid = id(element)
+        etable = emit_tables.get(eid)
+        if etable is None:
+            etable = {}
+            emit_tables[eid] = etable
+        for port in element.output_names:
+            etable[port] = (
+                _taps_of(circuit, element, port),
+                _rows_of(circuit, element, port, 0),
+            )
+        ports[eid] = etable
+        compiler = None
+        if type(element).emit is default_emit:
+            compiler = registry.get(type(element).handle)
+            if compiler is None:
+                # Generic cells get the closure; inline cells never call
+                # emit under the sealed loop, and cells with a custom emit
+                # keep it (routing through SealedSimulator.emit).
+                element.emit = _make_emit(element, etable)
+        if compiler is None:
+            # A free-form handle may emit with zero latency at its own
+            # timestamp, so contended buckets must stay heap-ordered.
+            monotonic = False
+        elif monotonic:
+            for port in element.output_names:
+                for wire in circuit._fanout.get((id(element), port), ()):
+                    if element.delay + wire.delay <= 0:
+                        monotonic = False
+        table: Dict[str, tuple] = {}
+        for port in element.input_names:
+            op = _op_of(circuit, element, port)
+            if compiler is not None:
+                op[:] = compiler(element, port, circuit)
+            else:
+                op[:] = [_OP_CALL, element.handle, port]
+            table[port] = (element.input_priority(port) * _SEQ_SPAN, op)
+        inports[eid] = table
+    tables = CompiledTables(circuit._version, ports, inports, monotonic)
+    circuit._compiled = tables
+    return tables
+
+
+class SealedSimulator(Simulator):
+    """Drop-in :class:`Simulator` running the compiled fast path.
+
+    Constructed via ``Simulator(circuit, kernel="auto"|"sealed")`` — do not
+    instantiate directly unless you want to bypass kernel resolution.  The
+    semantics (event order, stats, resume, error messages) are identical to
+    the reference loop; only the machinery differs.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        max_events: int = 50_000_000,
+        kernel: Optional[str] = None,
+    ):
+        self.circuit = circuit
+        self.max_events = max_events
+        self.kernel = "sealed" if circuit.sealed else (kernel or "auto")
+        #: time -> pending entries ``(packed_key, program)``: a bare entry
+        #: tuple when one event is pending at that time, a heap-ordered
+        #: list once there is contention.
+        self._buckets: Dict[int, object] = {}
+        #: heap of the distinct times with a pending bucket
+        self._times: List[int] = []
+        self._sequence = 0
+        self._pulses = 0
+        #: True while list buckets may be plain appended (monotonic-mode)
+        #: rather than heap-ordered; a non-monotonic run heapifies first.
+        self._heap_dirty = False
+        self.now = 0
+        self.stats = SimulationStats()
+
+    # -- compilation ---------------------------------------------------------
+    def _tables(self) -> CompiledTables:
+        tables = self.circuit._compiled
+        if tables is None or tables.version != self.circuit._version:
+            tables = compile_circuit(self.circuit)
+        return tables
+
+    def _inport(self, element: Element, port: str) -> tuple:
+        """``(packed_priority_base, program)`` for an arrival at a port."""
+        tables = self._tables()
+        table = tables.inports.get(id(element))
+        if table is not None:
+            row = table.get(port)
+            if row is not None:
+                return row
+        # Foreign element (not in this circuit) or unknown port: validate
+        # exactly like the reference kernel, then fall back to a direct
+        # call.  An arbitrary handle voids the zero-latency-free proof.
+        priority = element.input_priority(port)
+        tables.monotonic = False
+        return (priority * _SEQ_SPAN, [_OP_CALL, element.handle, port])
+
+    # -- scheduling ----------------------------------------------------------
+    def schedule_input(self, element: Element, port: str, time: int) -> None:
+        """Inject an external stimulus pulse at ``element.port``."""
+        if time < 0:
+            raise SimulationError(f"cannot schedule pulse at negative time {time}")
+        kb, op = self._inport(element, port)
+        k = kb + self._sequence
+        entry = (k, op)
+        self._sequence += 1
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            self._buckets[time] = entry
+            heappush(self._times, time)
+        elif type(bucket) is list:
+            heappush(bucket, entry)
+        elif bucket[0] < k:
+            self._buckets[time] = [bucket, entry]
+        else:
+            self._buckets[time] = [entry, bucket]
+
+    def schedule_train(self, element: Element, port: str, times) -> None:
+        """Batch-inject a stimulus train: program resolved once."""
+        buckets = self._buckets
+        theap = self._times
+        seq = self._sequence
+        kb = op = None
+        try:
+            for time in times:
+                if time < 0:
+                    raise SimulationError(
+                        f"cannot schedule pulse at negative time {time}"
+                    )
+                if op is None:
+                    # Resolved on the first pulse so an empty train, like
+                    # the reference loop, never touches the port at all.
+                    kb, op = self._inport(element, port)
+                k = kb + seq
+                entry = (k, op)
+                seq += 1
+                bucket = buckets.get(time)
+                if bucket is None:
+                    buckets[time] = entry
+                    heappush(theap, time)
+                elif type(bucket) is list:
+                    heappush(bucket, entry)
+                elif bucket[0] < k:
+                    buckets[time] = [bucket, entry]
+                else:
+                    buckets[time] = [entry, bucket]
+        finally:
+            self._sequence = seq
+
+    def emit(self, source: Element, port: str, time: int) -> None:
+        """Deliver a pulse from ``source.port`` (compiled-table dispatch).
+
+        Cells normally bypass this method entirely — inline opcodes push
+        fanout directly and generic cells get a specialised closure — but
+        it remains for direct calls, for cells with a custom ``emit``
+        override, and for foreign elements (which, as in the reference
+        kernel, count the pulse and go nowhere).
+        """
+        table = self._tables().ports.get(id(source))
+        row = table.get(port) if table is not None else None
+        self._pulses += 1
+        if row is None:
+            return
+        taps, fan = row
+        for record in taps:
+            record(time)
+        if fan:
+            seq = self._sequence
+            buckets = self._buckets
+            theap = self._times
+            for kb, delay, nop in fan:
+                arrival = time + delay
+                k = kb + seq
+                entry = (k, nop)
+                seq += 1
+                bucket = buckets.get(arrival)
+                if bucket is None:
+                    buckets[arrival] = entry
+                    heappush(theap, arrival)
+                elif type(bucket) is list:
+                    heappush(bucket, entry)
+                elif bucket[0] < k:
+                    buckets[arrival] = [bucket, entry]
+                else:
+                    buckets[arrival] = [entry, bucket]
+            self._sequence = seq
+
+    # -- execution -----------------------------------------------------------
+    def run(self, until: Optional[int] = None) -> SimulationStats:
+        """Drain the bucket queue; same contract as the reference ``run``.
+
+        The loop keeps every counter in locals and interprets the compiled
+        opcode programs inline; only generic-call opcodes leave the frame.
+        The emission block is deliberately duplicated per opcode — hoisting
+        it into a helper would put a Python call back on the hot path.
+        """
+        circuit = self.circuit
+        if circuit._compiled is None or (
+            circuit._compiled.version != circuit._version
+        ):
+            compile_circuit(circuit)
+        mono = circuit._compiled.monotonic
+        if mono:
+            # Contended buckets are plain-appended below (the drain sorts
+            # them anyway), which breaks the heap invariant for any bucket
+            # left pending by an ``until``-bounded exit.
+            self._heap_dirty = True
+        elif self._heap_dirty:
+            for leftover in self._buckets.values():
+                if type(leftover) is list:
+                    heapify(leftover)
+            self._heap_dirty = False
+        stats = self.stats
+        stats.pulses_emitted = self._pulses
+        processed_before = stats.events_processed
+        pulses_before = self._pulses
+        events = processed_before
+        budget = events + self.max_events
+        now = self.now
+        seq = self._sequence
+        pulses = self._pulses
+        buckets = self._buckets
+        times = self._times
+        bget = buckets.get
+        push = heappush
+        # In monotonic mode heap order inside a bucket is pointless — the
+        # drain below sorts the whole bucket once — so pushes degrade to
+        # plain appends (``list.append`` unbound: still a single C call).
+        bpush = list.append if mono else heappush
+        pop = heappop
+        horizon = _INF if until is None else until
+        try:
+            while times:
+                t = times[0]
+                if t > horizon:
+                    break
+                if t < now:
+                    raise SimulationError(
+                        f"causality violation: event at {t} fs before now={now} fs"
+                    )
+                now = t
+                bucket = buckets[t]
+                if type(bucket) is list:
+                    if mono:
+                        # No event can schedule back into this bucket, so
+                        # heap order is overkill: one sort (appends above
+                        # may have left it unordered), then walk it by
+                        # index — no per-event pop at all.
+                        bucket.sort()
+                        key, op = bucket[0]
+                        di = 1
+                        dn = len(bucket)
+                    else:
+                        key, op = pop(bucket)
+                    drain = bucket
+                else:  # a lone entry stored bare
+                    key, op = bucket
+                    del buckets[t]
+                    pop(times)
+                    drain = None
+                # Inner drain: every entry in this bucket shares timestamp
+                # t, so the peek/causality/bucket machinery above runs once
+                # per *distinct time* instead of once per event.
+                while True:
+                    events += 1
+                    if events > budget:
+                        if mono and drain is not None:
+                            # Drop the already-walked prefix so the bucket
+                            # resumes exactly like the pop-based path.
+                            del drain[:di]
+                        raise SimulationError(
+                            f"exceeded max_events={self.max_events}; "
+                            "likely an oscillating netlist"
+                        )
+                    kind = op[0]
+                    if kind <= 5:
+                        if kind == 1:  # DELAY1: unprobed single-wire JTL
+                            _k, kb, dly, nop = op
+                            pulses += 1
+                            arrival = t + dly
+                            k = kb + seq
+                            entry = (k, nop)
+                            seq += 1
+                            b = bget(arrival)
+                            if b is None:
+                                buckets[arrival] = entry
+                                push(times, arrival)
+                            elif type(b) is list:
+                                bpush(b, entry)
+                            elif b[0] < k:
+                                buckets[arrival] = [b, entry]
+                            else:
+                                buckets[arrival] = [entry, b]
+                        elif kind == 2:  # MERGER
+                            cell = op[1]
+                            last = cell._last_accept
+                            if last is not None and t - last < op[2]:
+                                cell.collisions += 1
+                            else:
+                                cell._last_accept = t
+                                pulses += 1
+                                taps = op[4]
+                                if taps:
+                                    ot = t + op[3]
+                                    for record in taps:
+                                        record(ot)
+                                for kb, dly, nop in op[5]:
+                                    arrival = t + dly
+                                    k = kb + seq
+                                    entry = (k, nop)
+                                    seq += 1
+                                    b = bget(arrival)
+                                    if b is None:
+                                        buckets[arrival] = entry
+                                        push(times, arrival)
+                                    elif type(b) is list:
+                                        bpush(b, entry)
+                                    elif b[0] < k:
+                                        buckets[arrival] = [b, entry]
+                                    else:
+                                        buckets[arrival] = [entry, b]
+                        elif kind == 3:  # MULTI: splitter, per-output blocks
+                            for dq, taps, rows in op[1]:
+                                pulses += 1
+                                if taps:
+                                    ot = t + dq
+                                    for record in taps:
+                                        record(ot)
+                                for kb, dly, nop in rows:
+                                    arrival = t + dly
+                                    k = kb + seq
+                                    entry = (k, nop)
+                                    seq += 1
+                                    b = bget(arrival)
+                                    if b is None:
+                                        buckets[arrival] = entry
+                                        push(times, arrival)
+                                    elif type(b) is list:
+                                        bpush(b, entry)
+                                    elif b[0] < k:
+                                        buckets[arrival] = [b, entry]
+                                    else:
+                                        buckets[arrival] = [entry, b]
+                        elif kind == 0:  # CALL: generic cell handle
+                            self.now = now
+                            self._sequence = seq
+                            self._pulses = pulses
+                            stats.events_processed = events
+                            stats.pulses_emitted = pulses
+                            try:
+                                op[1](self, op[2], t)
+                            finally:
+                                seq = self._sequence
+                                pulses = self._pulses
+                        elif kind == 4:  # STORE1: NDRO set / DFF d / DFF2 a
+                            op[1].state = 1
+                        else:  # STORE0: NDRO reset
+                            op[1].state = 0
+                    else:
+                        if kind == 6:  # NDRO clk
+                            cell = op[1]
+                            cell.reads += 1
+                            if cell.state:
+                                pulses += 1
+                                taps = op[3]
+                                if taps:
+                                    ot = t + op[2]
+                                    for record in taps:
+                                        record(ot)
+                                for kb, dly, nop in op[4]:
+                                    arrival = t + dly
+                                    k = kb + seq
+                                    entry = (k, nop)
+                                    seq += 1
+                                    b = bget(arrival)
+                                    if b is None:
+                                        buckets[arrival] = entry
+                                        push(times, arrival)
+                                    elif type(b) is list:
+                                        bpush(b, entry)
+                                    elif b[0] < k:
+                                        buckets[arrival] = [b, entry]
+                                    else:
+                                        buckets[arrival] = [entry, b]
+                        elif kind == 7:  # TFF: emit every second pulse
+                            cell = op[1]
+                            state = cell.state ^ 1
+                            cell.state = state
+                            if state == 0:
+                                pulses += 1
+                                taps = op[3]
+                                if taps:
+                                    ot = t + op[2]
+                                    for record in taps:
+                                        record(ot)
+                                for kb, dly, nop in op[4]:
+                                    arrival = t + dly
+                                    k = kb + seq
+                                    entry = (k, nop)
+                                    seq += 1
+                                    b = bget(arrival)
+                                    if b is None:
+                                        buckets[arrival] = entry
+                                        push(times, arrival)
+                                    elif type(b) is list:
+                                        bpush(b, entry)
+                                    elif b[0] < k:
+                                        buckets[arrival] = [b, entry]
+                                    else:
+                                        buckets[arrival] = [entry, b]
+                        elif kind == 8:  # DELAY1T: probed single-wire JTL
+                            _k, dq, taps, kb, dly, nop = op
+                            pulses += 1
+                            ot = t + dq
+                            for record in taps:
+                                record(ot)
+                            arrival = t + dly
+                            k = kb + seq
+                            entry = (k, nop)
+                            seq += 1
+                            b = bget(arrival)
+                            if b is None:
+                                buckets[arrival] = entry
+                                push(times, arrival)
+                            elif type(b) is list:
+                                bpush(b, entry)
+                            elif b[0] < k:
+                                buckets[arrival] = [b, entry]
+                            else:
+                                buckets[arrival] = [entry, b]
+                        elif kind == 9:  # DELAYN: JTL with 0 or 2+ wires
+                            _k, dq, taps, rows = op
+                            pulses += 1
+                            if taps:
+                                ot = t + dq
+                                for record in taps:
+                                    record(ot)
+                            for kb, dly, nop in rows:
+                                arrival = t + dly
+                                k = kb + seq
+                                entry = (k, nop)
+                                seq += 1
+                                b = bget(arrival)
+                                if b is None:
+                                    buckets[arrival] = entry
+                                    push(times, arrival)
+                                elif type(b) is list:
+                                    bpush(b, entry)
+                                elif b[0] < k:
+                                    buckets[arrival] = [b, entry]
+                                else:
+                                    buckets[arrival] = [entry, b]
+                        elif kind == 10:  # INV: inverter clk
+                            cell = op[1]
+                            if cell._armed:
+                                pulses += 1
+                                taps = op[3]
+                                if taps:
+                                    ot = t + op[2]
+                                    for record in taps:
+                                        record(ot)
+                                for kb, dly, nop in op[4]:
+                                    arrival = t + dly
+                                    k = kb + seq
+                                    entry = (k, nop)
+                                    seq += 1
+                                    b = bget(arrival)
+                                    if b is None:
+                                        buckets[arrival] = entry
+                                        push(times, arrival)
+                                    elif type(b) is list:
+                                        bpush(b, entry)
+                                    elif b[0] < k:
+                                        buckets[arrival] = [b, entry]
+                                    else:
+                                        buckets[arrival] = [entry, b]
+                            else:
+                                cell._armed = True
+                        elif kind == 11:  # DISARM: inverter a
+                            op[1]._armed = False
+                        elif kind == 12:  # DFF clk / DFF2 c1,c2
+                            cell = op[1]
+                            if cell.state:
+                                cell.state = 0
+                                pulses += 1
+                                taps = op[3]
+                                if taps:
+                                    ot = t + op[2]
+                                    for record in taps:
+                                        record(ot)
+                                for kb, dly, nop in op[4]:
+                                    arrival = t + dly
+                                    k = kb + seq
+                                    entry = (k, nop)
+                                    seq += 1
+                                    b = bget(arrival)
+                                    if b is None:
+                                        buckets[arrival] = entry
+                                        push(times, arrival)
+                                    elif type(b) is list:
+                                        bpush(b, entry)
+                                    elif b[0] < k:
+                                        buckets[arrival] = [b, entry]
+                                    else:
+                                        buckets[arrival] = [entry, b]
+                        elif kind == 13:  # TFF2: alternate q1 / q2
+                            cell = op[1]
+                            if cell.state == 0:
+                                dq, taps, rows = op[2]
+                            else:
+                                dq, taps, rows = op[3]
+                            cell.state ^= 1
+                            pulses += 1
+                            if taps:
+                                ot = t + dq
+                                for record in taps:
+                                    record(ot)
+                            for kb, dly, nop in rows:
+                                arrival = t + dly
+                                k = kb + seq
+                                entry = (k, nop)
+                                seq += 1
+                                b = bget(arrival)
+                                if b is None:
+                                    buckets[arrival] = entry
+                                    push(times, arrival)
+                                elif type(b) is list:
+                                    bpush(b, entry)
+                                elif b[0] < k:
+                                    buckets[arrival] = [b, entry]
+                                else:
+                                    buckets[arrival] = [entry, b]
+                        else:  # pragma: no cover - compiler invariant
+                            raise SimulationError(
+                                f"corrupt compiled program (kind {kind!r})"
+                            )
+                    # Same-time continuation.  Monotonic: walk the sorted
+                    # bucket by index (its length is fixed — nothing can
+                    # push back into it).  Otherwise: keep heap-popping,
+                    # which does see zero-delay pushes landing back in it.
+                    if drain is None:
+                        break
+                    if mono:
+                        if di < dn:
+                            key, op = drain[di]
+                            di += 1
+                            continue
+                    elif drain:
+                        key, op = pop(drain)
+                        continue
+                    del buckets[t]
+                    pop(times)
+                    break
+        finally:
+            self.now = now
+            self._sequence = seq
+            self._pulses = pulses
+            stats.events_processed = events
+            stats.pulses_emitted = pulses
+        end = now if until is None else (now if now > until else until)
+        stats.end_time = max(stats.end_time, end)
+        for collector in _collectors:
+            collector.events_processed += events - processed_before
+            collector.pulses_emitted += pulses - pulses_before
+            collector.end_time = max(collector.end_time, stats.end_time)
+        return stats
+
+    def reset(self) -> None:
+        """Clear queue, clock, stats, and all circuit state."""
+        self._buckets.clear()
+        self._times.clear()
+        self._sequence = 0
+        self._pulses = 0
+        self._heap_dirty = False
+        self.now = 0
+        self.stats = SimulationStats()
+        self.circuit.reset()
+
+    @property
+    def pending_events(self) -> int:
+        return sum(
+            len(bucket) if type(bucket) is list else 1
+            for bucket in self._buckets.values()
+        )

@@ -5,12 +5,19 @@ cells and the directed wires between their ports.  Wires may carry a
 propagation delay (used to model JTL/PTL interconnect without instantiating
 a cell per segment).  Probes subscribe to output ports and record every
 pulse emitted there.
+
+Once construction is finished a circuit can be *sealed* with
+:meth:`Circuit.seal`: topology (elements and wires) becomes immutable and
+the netlist is compiled into the flat integer-indexed dispatch tables the
+sealed simulator kernel runs on (:mod:`repro.pulsesim.kernel`).  Probes may
+still be attached after sealing — observability is not topology — which
+simply triggers a recompile on the next run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 from repro.errors import NetlistError
 from repro.pulsesim.element import Element
@@ -56,11 +63,34 @@ class Circuit:
         self.elements: List[Element] = []
         self._names: Dict[str, Element] = {}
         self._fanout: Dict[Tuple[int, str], List[Wire]] = {}
+        self._fanin: Dict[Tuple[int, str], List[Wire]] = {}
         self._taps: Dict[Tuple[int, str], List[_OutputTap]] = {}
+        #: Bumped on every structural/observability change; the compiled
+        #: kernel tables (:mod:`repro.pulsesim.kernel`) are tagged with the
+        #: version they were built from and rebuilt lazily on mismatch.
+        self._version = 0
+        self._sealed = False
+        self._compiled = None  # repro.pulsesim.kernel.CompiledTables
+        #: Persistent per-(element, input port) opcode programs and
+        #: per-element emission tables.  The kernel compiler reuses these
+        #: objects across recompiles, patching contents in place, so queued
+        #: events referencing a program can never go stale.
+        self._ops: Dict[Tuple[int, str], list] = {}
+        self._emit_tables: Dict[int, dict] = {}
 
     # -- construction --------------------------------------------------------
+    def _mutate_topology(self, what: str) -> None:
+        if self._sealed:
+            raise NetlistError(
+                f"circuit {self.name!r} is sealed; cannot {what} "
+                "(seal() freezes topology so the compiled kernel tables stay valid)"
+            )
+        self._version += 1
+        self._compiled = None
+
     def add(self, element: Element) -> Element:
         """Register ``element`` and return it (for fluent construction)."""
+        self._mutate_topology("add an element")
         if element.name in self._names:
             raise NetlistError(
                 f"duplicate element name {element.name!r} in circuit {self.name!r}"
@@ -93,6 +123,7 @@ class Circuit:
         splitter cell, so structural netlists should add explicit splitters
         when JJ counts matter and rely on fanout only for test scaffolding.
         """
+        self._mutate_topology("connect a wire")
         self._check_owned(source)
         self._check_owned(sink)
         source.check_output(source_port)
@@ -101,6 +132,7 @@ class Circuit:
             raise NetlistError(f"wire delay must be >= 0, got {delay}")
         wire = Wire(source, source_port, sink, sink_port, delay)
         self._fanout.setdefault((id(source), source_port), []).append(wire)
+        self._fanin.setdefault((id(sink), sink_port), []).append(wire)
         return wire
 
     def probe(self, source: Element, source_port: str, probe=None):
@@ -124,16 +156,61 @@ class Circuit:
                 )
         tap = _OutputTap(probe, source, source_port)
         self._taps.setdefault((id(source), source_port), []).append(tap)
+        # Probes are observability, not topology: they are legal on sealed
+        # circuits, but invalidate any compiled dispatch tables.
+        self._version += 1
+        self._compiled = None
         return probe
 
     def _check_owned(self, element: Element) -> None:
         if element.circuit is not self:
             raise NetlistError(f"{element!r} does not belong to circuit {self.name!r}")
 
+    # -- sealing / compilation ------------------------------------------------
+    @property
+    def sealed(self) -> bool:
+        """Whether :meth:`seal` has frozen this circuit's topology."""
+        return self._sealed
+
+    def seal(self) -> "Circuit":
+        """Freeze the topology and compile the fast-path dispatch tables.
+
+        After sealing, :meth:`add` and :meth:`connect` raise
+        :class:`~repro.errors.NetlistError` and :meth:`fanout` returns
+        immutable tuples.  :meth:`probe` remains legal (observability only);
+        attaching one triggers a lazy recompile.  Sealing twice is a no-op;
+        the method returns ``self`` for fluent use::
+
+            circuit = build_netlist().seal()
+        """
+        if not self._sealed:
+            self._sealed = True
+            # Freeze the per-port wire lists so no caller can alias-mutate
+            # routing; iter_wires/fanout hand these tuples out directly.
+            for key, wires in self._fanout.items():
+                self._fanout[key] = tuple(wires)
+            for key, wires in self._fanin.items():
+                self._fanin[key] = tuple(wires)
+            from repro.pulsesim.kernel import compile_circuit
+
+            compile_circuit(self)
+        return self
+
     # -- simulation support ---------------------------------------------------
-    def fanout(self, source: Element, source_port: str) -> List[Wire]:
-        """Wires leaving ``source.source_port`` (empty list if none)."""
-        return self._fanout.get((id(source), source_port), [])
+    def fanout(self, source: Element, source_port: str) -> Sequence[Wire]:
+        """Wires leaving ``source.source_port`` (empty if none).
+
+        Returns a defensive copy before :meth:`seal` and the frozen tuple
+        afterwards, so callers can never alias-mutate the routing tables.
+        """
+        wires = self._fanout.get((id(source), source_port))
+        if self._sealed:
+            return wires if wires is not None else ()
+        return list(wires) if wires is not None else []
+
+    def _fanout_raw(self, source: Element, source_port: str) -> Sequence[Wire]:
+        """Internal zero-copy fanout lookup for the simulator hot loop."""
+        return self._fanout.get((id(source), source_port), ())
 
     # -- introspection (linting, export, debugging) ---------------------------
     @property
@@ -147,12 +224,14 @@ class Circuit:
             yield from wires
 
     def wires_into(self, sink: Element, sink_port: str) -> List[Wire]:
-        """Wires arriving at ``sink.sink_port`` (the fan-in of one input)."""
-        return [
-            wire
-            for wire in self.iter_wires()
-            if wire.sink is sink and wire.sink_port == sink_port
-        ]
+        """Wires arriving at ``sink.sink_port`` (the fan-in of one input).
+
+        Served from a per-port index maintained by :meth:`connect`, so the
+        lookup is O(fan-in) rather than a scan of every wire (the linter
+        checks unmerged fan-in over all ports of all cells).  Wires appear
+        in the order the :meth:`connect` calls were made.
+        """
+        return list(self._fanin.get((id(sink), sink_port), ()))
 
     def probed_ports(self) -> List[Tuple[Element, str]]:
         """``(element, output_port)`` pairs that have at least one probe."""

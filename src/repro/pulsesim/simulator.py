@@ -1,13 +1,21 @@
 """Event-queue kernel for the SFQ pulse simulator.
 
-The kernel is a classic discrete-event loop over a binary heap.  Heap keys
-are ``(time, priority, sequence)``:
+The *reference* kernel is a classic discrete-event loop over a binary
+heap.  Heap keys are ``(time, priority, sequence)``:
 
 * ``time`` is the integer femtosecond timestamp of the pulse arrival,
 * ``priority`` is the destination port's tie-break rank so that cells can
   declare, e.g., "reset beats clock when simultaneous", and
 * ``sequence`` is a monotonically increasing counter that makes ordering
   total and runs fully deterministic.
+
+``Simulator(circuit)`` does not necessarily construct this class: the
+``kernel`` argument ("auto", the default, "reference", or "sealed")
+selects the implementation, and "auto"/"sealed" return the compiled
+fast-path kernel from :mod:`repro.pulsesim.kernel`, which preserves the
+exact ``(time, priority, sequence)`` total order, stats, and outputs.
+This module keeps the straightforward heap loop as the executable
+specification the compiled kernel is differentially tested against.
 """
 
 from __future__ import annotations
@@ -56,11 +64,43 @@ def capture_stats() -> Iterator[SimulationStats]:
 
 
 class Simulator:
-    """Runs a :class:`Circuit` by draining a time-ordered event heap."""
+    """Runs a :class:`Circuit` by draining a time-ordered event queue.
 
-    def __init__(self, circuit: Circuit, max_events: int = 50_000_000):
+    Args:
+        circuit: The netlist to simulate.
+        max_events: Per-``run()`` event budget (oscillation guard).
+        kernel: ``"auto"`` (default) and ``"sealed"`` use the compiled
+            fast-path kernel (:mod:`repro.pulsesim.kernel`); ``"sealed"``
+            additionally seals the circuit.  ``"reference"`` forces this
+            class's plain heap loop.  ``None`` defers to the
+            ``REPRO_KERNEL`` environment variable, then ``"auto"``.
+    """
+
+    def __new__(
+        cls,
+        circuit: Circuit = None,
+        max_events: int = 50_000_000,
+        kernel: Optional[str] = None,
+    ):
+        if cls is Simulator:
+            from repro.pulsesim.kernel import SealedSimulator, resolve_kernel
+
+            choice = resolve_kernel(kernel)
+            if choice != "reference":
+                if choice == "sealed":
+                    circuit.seal()
+                return super().__new__(SealedSimulator)
+        return super().__new__(cls)
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        max_events: int = 50_000_000,
+        kernel: Optional[str] = None,
+    ):
         self.circuit = circuit
         self.max_events = max_events
+        self.kernel = "reference"
         self._heap: List[Tuple[int, int, int, Element, str]] = []
         self._sequence = 0
         self.now = 0
@@ -87,7 +127,7 @@ class Simulator:
         """
         self.stats.pulses_emitted += 1
         self.circuit.notify_probes(source, port, time)
-        for wire in self.circuit.fanout(source, port):
+        for wire in self.circuit._fanout_raw(source, port):
             arrival = time + wire.delay
             priority = wire.sink.input_priority(wire.sink_port)
             heapq.heappush(

@@ -22,6 +22,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.experiments.registry import EXPERIMENTS, SWEEPS, resolve_experiment
 from repro.experiments.report import ExperimentResult
+from repro.pulsesim.kernel import resolve_kernel
 from repro.pulsesim.simulator import SimulationStats
 from repro.runner.cache import ResultCache
 from repro.runner.worker import UnitOutcome, WorkUnit, execute_unit
@@ -51,6 +52,10 @@ class RunReport:
     jobs: int = 1
     cache_dir: Optional[str] = None
     source_digest: Optional[str] = None
+    #: Effective simulator kernel ("auto", "reference", or "sealed") the
+    #: run resolved to — recorded so manifests from the two kernels can be
+    #: diffed for wall-time (the results themselves are bit-identical).
+    kernel: str = "auto"
 
     @property
     def failures(self) -> int:
@@ -91,6 +96,7 @@ def run_suite(
         jobs=jobs,
         cache_dir=str(cache.directory) if cache else None,
         source_digest=cache.digest if cache else None,
+        kernel=resolve_kernel(None),
     )
 
     # Phase 1: serve cache hits.

@@ -16,7 +16,8 @@ from typing import List, Optional
 from repro.runner.engine import RunReport
 
 #: Bump on any backwards-incompatible manifest layout change.
-MANIFEST_SCHEMA = 1
+#: 2: added the top-level ``kernel`` field (simulator kernel of the run).
+MANIFEST_SCHEMA = 2
 
 
 def build_manifest(
@@ -41,6 +42,7 @@ def build_manifest(
         "schema": MANIFEST_SCHEMA,
         "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "jobs": report.jobs,
+        "kernel": report.kernel,
         "wall_time_s": round(report.wall_time_s, 6),
         "cache": {
             "dir": report.cache_dir,

@@ -1,6 +1,7 @@
 """The usfq-experiments CLI: output, exit codes, runner flags."""
 
 import json
+import os
 
 import pytest
 
@@ -13,6 +14,17 @@ from repro.experiments.report import ExperimentResult
 def _sandbox_cache(tmp_path, monkeypatch):
     """Keep the default ``.usfq-cache`` out of the repo during tests."""
     monkeypatch.chdir(tmp_path)
+
+
+@pytest.fixture(autouse=True)
+def _isolate_kernel_env():
+    """``--kernel`` exports REPRO_KERNEL; never leak it across tests."""
+    saved = os.environ.pop("REPRO_KERNEL", None)
+    yield
+    if saved is None:
+        os.environ.pop("REPRO_KERNEL", None)
+    else:
+        os.environ["REPRO_KERNEL"] = saved
 
 
 def test_list_option(capsys):
@@ -85,6 +97,33 @@ def test_parallel_stdout_matches_serial(capsys):
     assert main([*ids, "--no-cache", "--jobs", "2"]) == 0
     parallel = capsys.readouterr().out
     assert parallel == serial
+
+
+def test_kernel_choice_does_not_change_stdout(capsys):
+    """Sealed vs reference kernel: byte-identical reports, any job count."""
+    ids = ["fig14", "fig12"]
+    outputs = []
+    for flags in (["--kernel", "reference"],
+                  ["--kernel", "sealed"],
+                  ["--kernel", "sealed", "--jobs", "2"]):
+        assert main([*ids, "--no-cache", *flags]) == 0
+        outputs.append(capsys.readouterr().out)
+    assert outputs[0] == outputs[1] == outputs[2]
+
+
+def test_kernel_flag_recorded_in_manifest(tmp_path, capsys):
+    manifest = tmp_path / "m.json"
+    args = ["table2", "--no-cache", "--manifest", str(manifest)]
+    assert main([*args, "--kernel", "reference"]) == 0
+    capsys.readouterr()
+    assert json.loads(manifest.read_text())["kernel"] == "reference"
+    assert main(args) == 0
+    capsys.readouterr()
+    assert json.loads(manifest.read_text())["kernel"] == "reference"  # env sticks
+    del os.environ["REPRO_KERNEL"]
+    assert main(args) == 0
+    capsys.readouterr()
+    assert json.loads(manifest.read_text())["kernel"] == "auto"
 
 
 def test_cached_rerun_matches_and_hits(tmp_path, capsys):
