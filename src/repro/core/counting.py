@@ -101,9 +101,12 @@ class CountingNetwork:
     tests and small structural experiments.
     """
 
-    def __init__(self, m_inputs: int, kernel: Optional[str] = None):
+    def __init__(self, m_inputs: int, kernel: Optional[str] = None, trace=None):
         self.m_inputs = _check_m(m_inputs)
         self.kernel = kernel
+        #: Optional :class:`repro.trace.TraceSession` passed to every
+        #: simulator this wrapper builds (attach taps separately).
+        self.trace = trace
         self.circuit = Circuit(f"counting_{m_inputs}to1")
         self.block = build_counting_network(self.circuit, "cn", m_inputs)
         self.output = self.block.probe_output("y")
@@ -121,7 +124,7 @@ class CountingNetwork:
             raise ConfigurationError(
                 f"expected {self.m_inputs} input trains, got {len(input_times)}"
             )
-        sim = Simulator(self.circuit, kernel=self.kernel)
+        sim = Simulator(self.circuit, kernel=self.kernel, trace=self.trace)
         sim.reset()
         for index, times in enumerate(input_times):
             self.block.drive(sim, f"a{index}", times)

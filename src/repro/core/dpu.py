@@ -105,11 +105,15 @@ class DotProductUnit:
         length: int,
         bipolar: bool = False,
         kernel: Optional[str] = None,
+        trace=None,
     ):
         self.epoch = epoch
         self.length = _check_length(length)
         self.bipolar = bipolar
         self.kernel = kernel
+        #: Optional :class:`repro.trace.TraceSession` passed to every
+        #: simulator this wrapper builds (attach taps separately).
+        self.trace = trace
         self.streams = PulseStreamCodec(epoch)
         self.race = RaceLogicCodec(epoch)
         self.circuit = Circuit(f"dpu_{length}{'_bipolar' if bipolar else ''}")
@@ -128,7 +132,7 @@ class DotProductUnit:
                 f"expected {self.length} operands per side, got "
                 f"{len(a_slots)}/{len(b_counts)}"
             )
-        sim = Simulator(self.circuit, kernel=self.kernel)
+        sim = Simulator(self.circuit, kernel=self.kernel, trace=self.trace)
         sim.reset()
         refclk = (
             self.streams.times_for_count(self.epoch.n_max) if self.bipolar else None
@@ -180,7 +184,7 @@ class DotProductUnit:
             )
         n_max = self.epoch.n_max
         duration = self.epoch.duration_fs
-        sim = Simulator(self.circuit, kernel=self.kernel)
+        sim = Simulator(self.circuit, kernel=self.kernel, trace=self.trace)
         sim.reset()
         for frame, (a_slots, b_counts) in enumerate(
             zip(a_slot_frames, b_count_frames)

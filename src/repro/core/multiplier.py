@@ -189,9 +189,12 @@ class UnipolarMultiplier:
 
     jj_count = MULTIPLIER_UNIPOLAR_JJ
 
-    def __init__(self, epoch: EpochSpec, kernel: Optional[str] = None):
+    def __init__(self, epoch: EpochSpec, kernel: Optional[str] = None, trace=None):
         self.epoch = epoch
         self.kernel = kernel
+        #: Optional :class:`repro.trace.TraceSession` passed to every
+        #: simulator this wrapper builds (attach taps separately).
+        self.trace = trace
         self.streams = PulseStreamCodec(epoch)
         self.race = RaceLogicCodec(epoch)
         self.circuit = Circuit("unipolar_multiplier")
@@ -201,7 +204,7 @@ class UnipolarMultiplier:
 
     def run_counts(self, n_a: int, slot_b: int) -> int:
         """Multiply a pulse count by an RL slot; returns the output count."""
-        sim = Simulator(self.circuit, kernel=self.kernel)
+        sim = Simulator(self.circuit, kernel=self.kernel, trace=self.trace)
         sim.reset()
         self.block.drive(sim, "epoch", 0)
         self.block.drive(
@@ -224,9 +227,12 @@ class BipolarMultiplier:
 
     jj_count = MULTIPLIER_BIPOLAR_JJ
 
-    def __init__(self, epoch: EpochSpec, kernel: Optional[str] = None):
+    def __init__(self, epoch: EpochSpec, kernel: Optional[str] = None, trace=None):
         self.epoch = epoch
         self.kernel = kernel
+        #: Optional :class:`repro.trace.TraceSession` passed to every
+        #: simulator this wrapper builds (attach taps separately).
+        self.trace = trace
         self.streams = PulseStreamCodec(epoch)
         self.race = RaceLogicCodec(epoch)
         self.circuit = Circuit("bipolar_multiplier")
@@ -236,7 +242,7 @@ class BipolarMultiplier:
 
     def run_counts(self, n_a: int, slot_b: int) -> int:
         """Multiply a stream count by an RL slot; returns the output count."""
-        sim = Simulator(self.circuit, kernel=self.kernel)
+        sim = Simulator(self.circuit, kernel=self.kernel, trace=self.trace)
         sim.reset()
         self.block.drive(sim, "epoch", 0)
         self.block.drive(

@@ -90,6 +90,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         default="claims",
         help="exit nonzero when claims differ (default: claims)",
     )
+    parser.add_argument(
+        "--measured-activity",
+        action="store_true",
+        help="swap table3 for its traced variant (table3-measured), which "
+        "measures switching activity from a traced DPU run and reports "
+        "measured vs assumed-0.5 power side by side",
+    )
     args = parser.parse_args(argv)
 
     if args.kernel is not None:
@@ -108,6 +115,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         output_dir.mkdir(parents=True, exist_ok=True)
 
     ids = args.experiments or list(EXPERIMENTS)
+    if args.measured_activity:
+        ids = ["table3-measured" if eid == "table3" else eid for eid in ids]
     cache = None if args.no_cache else ResultCache(pathlib.Path(args.cache_dir))
     try:
         run = run_suite(ids, jobs=args.jobs, cache=cache)

@@ -70,11 +70,23 @@ SWEEPS: Dict[str, ModuleType] = {
     "fig19": fig19_accuracy,
 }
 
+#: Opt-in variants of registry experiments.  They resolve and run like any
+#: experiment but are *not* in :data:`EXPERIMENTS`, so the default suite
+#: (and its byte-stable stdout) never includes them; a CLI flag swaps the
+#: id in (e.g. ``usfq-experiments table3 --measured-activity``).
+VARIANTS: Dict[str, Callable[[], ExperimentResult]] = {
+    "table3-measured": table3.run_measured,
+}
+
 
 def resolve_experiment(experiment_id: str) -> Callable[[], ExperimentResult]:
     """Look up an experiment's run() callable, or raise ConfigurationError."""
     try:
         return EXPERIMENTS[experiment_id]
+    except KeyError:
+        pass
+    try:
+        return VARIANTS[experiment_id]
     except KeyError:
         known = ", ".join(sorted(EXPERIMENTS))
         raise ConfigurationError(

@@ -60,12 +60,25 @@ def balancer_active_w(activity: float = 0.5) -> float:
     return active_power_w(BALANCER_ACTIVE_HOPS, tech.T_BFF_FS, activity)
 
 
-def dpu_active_w(length: int, activity: float = 0.5) -> float:
-    """DPU active power: L multipliers + (L - 1) counting-network balancers."""
+def dpu_active_w(
+    length: int,
+    activity: float = 0.5,
+    *,
+    multiplier_activity: float = None,
+    balancer_activity: float = None,
+) -> float:
+    """DPU active power: L multipliers + (L - 1) counting-network balancers.
+
+    ``multiplier_activity`` / ``balancer_activity`` override the shared
+    ``activity`` per component — used to plug in *measured* switching
+    activity from a traced run (:mod:`repro.trace.activity`).
+    """
     if length < 2:
         raise ConfigurationError(f"length must be >= 2, got {length}")
-    return length * multiplier_active_w(activity) + (length - 1) * balancer_active_w(
-        activity
+    mult_act = activity if multiplier_activity is None else multiplier_activity
+    bal_act = activity if balancer_activity is None else balancer_activity
+    return length * multiplier_active_w(mult_act) + (length - 1) * balancer_active_w(
+        bal_act
     )
 
 
@@ -130,14 +143,30 @@ class PowerReport:
         return self.active_w + self.passive_w
 
 
-def table3_rows(length: int = 32, activity: float = 0.5):
-    """The three Table 3 rows for a DPU of the given length."""
+def table3_rows(
+    length: int = 32,
+    activity: float = 0.5,
+    *,
+    multiplier_activity: float = None,
+    balancer_activity: float = None,
+):
+    """The three Table 3 rows for a DPU of the given length.
+
+    Per-component activity overrides behave as in :func:`dpu_active_w`.
+    """
+    mult_act = activity if multiplier_activity is None else multiplier_activity
+    bal_act = activity if balancer_activity is None else balancer_activity
     return (
-        PowerReport("multiplier", multiplier_active_w(activity), MULTIPLIER_PASSIVE_W),
-        PowerReport("balancer", balancer_active_w(activity), BALANCER_PASSIVE_W),
+        PowerReport("multiplier", multiplier_active_w(mult_act), MULTIPLIER_PASSIVE_W),
+        PowerReport("balancer", balancer_active_w(bal_act), BALANCER_PASSIVE_W),
         PowerReport(
             f"dpu-{length} w/o cooling",
-            dpu_active_w(length, activity),
+            dpu_active_w(
+                length,
+                activity,
+                multiplier_activity=multiplier_activity,
+                balancer_activity=balancer_activity,
+            ),
             dpu_passive_w(length),
         ),
     )

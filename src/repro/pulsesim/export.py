@@ -2,8 +2,14 @@
 
 The paper's artifact is "a small DPU netlist" for a rudimentary testing
 environment; this module provides the equivalent view of any circuit built
-here: a JSON-serialisable description (cells, wires, JJ budgets) and a
-Graphviz DOT rendering for schematics.
+here: a JSON-serialisable description (cells, wires, probes, JJ budgets)
+and a Graphviz DOT rendering for schematics.
+
+Output order is deterministic regardless of construction order: cells
+sort by name, wires by (source, source port, sink, sink port, delay),
+probes by (cell, port, label) — so two structurally identical circuits
+export byte-identical descriptions, and descriptions diff cleanly across
+refactors.
 """
 
 from __future__ import annotations
@@ -13,11 +19,44 @@ from typing import Dict, List
 from repro.pulsesim.netlist import Circuit
 
 
+def _wire_key(wire) -> tuple:
+    return (
+        wire.source.name,
+        wire.source_port,
+        wire.sink.name,
+        wire.sink_port,
+        wire.delay,
+    )
+
+
+def _sorted_wires(circuit: Circuit) -> List:
+    wires = [
+        wire
+        for element in circuit.elements
+        for port in element.output_names
+        for wire in circuit.fanout(element, port)
+    ]
+    wires.sort(key=_wire_key)
+    return wires
+
+
+def _sorted_probes(circuit: Circuit) -> List[tuple]:
+    """``(cell_name, port, label, probe_type)`` per attached probe, sorted."""
+    probes = []
+    for element, port in circuit.probed_ports():
+        for tap in circuit._taps.get((id(element), port), ()):
+            label = getattr(tap.probe, "label", None) or ""
+            probes.append((element.name, port, label, type(tap.probe).__name__))
+    probes.sort()
+    return probes
+
+
 def netlist_description(circuit: Circuit) -> Dict:
     """A JSON-serialisable description of a circuit.
 
-    Contains every cell (type, JJ count, input/output ports) and every
-    wire (source cell/port -> sink cell/port, delay), plus totals.
+    Contains every cell (type, JJ count, input/output ports), every wire
+    (source cell/port -> sink cell/port, delay), and every attached probe
+    (observability taps, including trace sessions), plus totals.
     """
     cells = [
         {
@@ -27,25 +66,32 @@ def netlist_description(circuit: Circuit) -> Dict:
             "inputs": list(element.input_names),
             "outputs": list(element.output_names),
         }
-        for element in circuit.elements
+        for element in sorted(circuit.elements, key=lambda e: e.name)
     ]
-    wires = []
-    for element in circuit.elements:
-        for port in element.output_names:
-            for wire in circuit.fanout(element, port):
-                wires.append(
-                    {
-                        "from": f"{wire.source.name}.{wire.source_port}",
-                        "to": f"{wire.sink.name}.{wire.sink_port}",
-                        "delay_fs": wire.delay,
-                    }
-                )
+    wires = [
+        {
+            "from": f"{wire.source.name}.{wire.source_port}",
+            "to": f"{wire.sink.name}.{wire.sink_port}",
+            "delay_fs": wire.delay,
+        }
+        for wire in _sorted_wires(circuit)
+    ]
+    probes = [
+        {
+            "port": f"{cell}.{port}",
+            "label": label,
+            "type": probe_type,
+        }
+        for cell, port, label, probe_type in _sorted_probes(circuit)
+    ]
     return {
         "name": circuit.name,
         "cells": cells,
         "wires": wires,
+        "probes": probes,
         "cell_count": len(cells),
         "wire_count": len(wires),
+        "probe_count": len(probes),
         "jj_count": circuit.jj_count,
     }
 
@@ -59,23 +105,34 @@ def cell_census(circuit: Circuit) -> Dict[str, int]:
 
 
 def to_dot(circuit: Circuit) -> str:
-    """A Graphviz DOT rendering of the netlist (cells as nodes)."""
+    """A Graphviz DOT rendering of the netlist (cells as nodes).
+
+    Probes render as dashed ellipses hanging off their tapped port, so a
+    schematic shows where the observability taps sit.
+    """
     lines: List[str] = [
         f'digraph "{circuit.name}" {{',
         "  rankdir=LR;",
         '  node [shape=box, fontname="monospace"];',
     ]
-    for element in circuit.elements:
+    for element in sorted(circuit.elements, key=lambda e: e.name):
         label = f"{element.name}\\n{type(element).__name__} ({element.jj_count} JJ)"
         lines.append(f'  "{element.name}" [label="{label}"];')
-    for element in circuit.elements:
-        for port in element.output_names:
-            for wire in circuit.fanout(element, port):
-                attributes = f'taillabel="{wire.source_port}", headlabel="{wire.sink_port}"'
-                if wire.delay:
-                    attributes += f', label="{wire.delay} fs"'
-                lines.append(
-                    f'  "{wire.source.name}" -> "{wire.sink.name}" [{attributes}];'
-                )
+    for wire in _sorted_wires(circuit):
+        attributes = f'taillabel="{wire.source_port}", headlabel="{wire.sink_port}"'
+        if wire.delay:
+            attributes += f', label="{wire.delay} fs"'
+        lines.append(
+            f'  "{wire.source.name}" -> "{wire.sink.name}" [{attributes}];'
+        )
+    for index, (cell, port, label, _type) in enumerate(_sorted_probes(circuit)):
+        node = f"probe{index}"
+        text = label or f"{cell}.{port}"
+        lines.append(
+            f'  "{node}" [label="{text}", shape=ellipse, style=dashed];'
+        )
+        lines.append(
+            f'  "{cell}" -> "{node}" [taillabel="{port}", style=dashed];'
+        )
     lines.append("}")
     return "\n".join(lines)

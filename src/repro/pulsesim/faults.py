@@ -12,15 +12,35 @@ a channel into a wire and re-run the simulation.
 * :class:`DropChannel` — deletes pulses with a fixed probability (flux
   trapped in parasitic inductors).
 
-Both are seeded for reproducibility and count what they did.
+Both are seeded for reproducibility and count what they did — per
+instance (``pulses_seen`` etc., reset with the circuit) and cumulatively
+per process in :func:`fault_totals`, which the experiment runner diffs
+around each work unit to surface ``faults.*`` counters in run manifests.
 """
 
 from __future__ import annotations
 
 import random
+from typing import Dict
 
 from repro.errors import ConfigurationError
 from repro.pulsesim.element import Element, PortSpec
+
+#: Process-cumulative fault counters.  Never reset (circuit ``reset()``
+#: only clears per-instance counts): consumers snapshot before/after a
+#: unit of work and report the delta, which stays correct when worker
+#: processes are reused across units.
+_TOTALS: Dict[str, int] = {
+    "jitter.pulses_seen": 0,
+    "jitter.pulses_displaced": 0,
+    "drop.pulses_seen": 0,
+    "drop.pulses_dropped": 0,
+}
+
+
+def fault_totals() -> Dict[str, int]:
+    """Snapshot of the process-cumulative fault counters."""
+    return dict(_TOTALS)
 
 
 class JitterChannel(Element):
@@ -48,18 +68,24 @@ class JitterChannel(Element):
         self.seed = seed
         self._rng = random.Random(seed)
         self.pulses_seen = 0
+        self.pulses_displaced = 0
         self.max_displacement_fs = 0
 
     def handle(self, sim, port, time):
         self.pulses_seen += 1
+        _TOTALS["jitter.pulses_seen"] += 1
         displacement = round(self._rng.gauss(0, self.std_fs)) if self.std_fs else 0
         delay = max(0, self.mean_fs + displacement)
+        if displacement:
+            self.pulses_displaced += 1
+            _TOTALS["jitter.pulses_displaced"] += 1
         self.max_displacement_fs = max(self.max_displacement_fs, abs(displacement))
         self.emit(sim, "q", time + delay)
 
     def reset(self):
         self._rng = random.Random(self.seed)
         self.pulses_seen = 0
+        self.pulses_displaced = 0
         self.max_displacement_fs = 0
 
 
@@ -84,8 +110,10 @@ class DropChannel(Element):
 
     def handle(self, sim, port, time):
         self.pulses_seen += 1
+        _TOTALS["drop.pulses_seen"] += 1
         if self._rng.random() < self.drop_rate:
             self.pulses_dropped += 1
+            _TOTALS["drop.pulses_dropped"] += 1
             return
         self.emit(sim, "q", time)
 

@@ -75,6 +75,7 @@ from __future__ import annotations
 
 import os
 from heapq import heapify, heappop, heappush
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError, SimulationError
@@ -432,10 +433,12 @@ class SealedSimulator(Simulator):
         circuit: Circuit,
         max_events: int = 50_000_000,
         kernel: Optional[str] = None,
+        trace=None,
     ):
         self.circuit = circuit
         self.max_events = max_events
         self.kernel = "sealed" if circuit.sealed else (kernel or "auto")
+        self._trace = trace
         #: time -> pending entries ``(packed_key, program)``: a bare entry
         #: tuple when one event is pending at that time, a heap-ordered
         #: list once there is contention.
@@ -563,13 +566,16 @@ class SealedSimulator(Simulator):
             self._sequence = seq
 
     # -- execution -----------------------------------------------------------
-    def run(self, until: Optional[int] = None) -> SimulationStats:
+    def _run(self, until: Optional[int] = None) -> SimulationStats:
         """Drain the bucket queue; same contract as the reference ``run``.
 
-        The loop keeps every counter in locals and interprets the compiled
-        opcode programs inline; only generic-call opcodes leave the frame.
-        The emission block is deliberately duplicated per opcode — hoisting
-        it into a helper would put a Python call back on the hot path.
+        (``run`` itself lives on the base class: a one-attribute-check
+        dispatcher that calls this hot loop directly when no trace session
+        is installed.)  The loop keeps every counter in locals and
+        interprets the compiled opcode programs inline; only generic-call
+        opcodes leave the frame.  The emission block is deliberately
+        duplicated per opcode — hoisting it into a helper would put a
+        Python call back on the hot path.
         """
         circuit = self.circuit
         if circuit._compiled is None or (
@@ -596,6 +602,8 @@ class SealedSimulator(Simulator):
         now = self.now
         seq = self._sequence
         pulses = self._pulses
+        maxq = stats.max_queue_depth
+        wall_start = perf_counter()
         buckets = self._buckets
         times = self._times
         bget = buckets.get
@@ -615,6 +623,14 @@ class SealedSimulator(Simulator):
                     raise SimulationError(
                         f"causality violation: event at {t} fs before now={now} fs"
                     )
+                if t > now:
+                    # Queue-depth high-water mark, sampled once per strict
+                    # time advance: scheduled minus processed counts every
+                    # event still pending (the bucket at t included) and
+                    # matches the reference kernel's sample exactly.
+                    depth = seq - events
+                    if depth > maxq:
+                        maxq = depth
                 now = t
                 bucket = buckets[t]
                 if type(bucket) is list:
@@ -934,13 +950,22 @@ class SealedSimulator(Simulator):
             self._pulses = pulses
             stats.events_processed = events
             stats.pulses_emitted = pulses
+            stats.max_queue_depth = maxq
+            wall_delta = perf_counter() - wall_start
+            stats.wall_s += wall_delta
         end = now if until is None else (now if now > until else until)
         stats.end_time = max(stats.end_time, end)
         for collector in _collectors:
             collector.events_processed += events - processed_before
             collector.pulses_emitted += pulses - pulses_before
             collector.end_time = max(collector.end_time, stats.end_time)
+            collector.max_queue_depth = max(collector.max_queue_depth, maxq)
+            collector.wall_s += wall_delta
         return stats
+
+    def _next_event_time(self) -> Optional[int]:
+        """Timestamp of the earliest pending bucket, or None when idle."""
+        return self._times[0] if self._times else None
 
     def reset(self) -> None:
         """Clear queue, clock, stats, and all circuit state."""

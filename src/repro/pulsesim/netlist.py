@@ -162,6 +162,23 @@ class Circuit:
         self._compiled = None
         return probe
 
+    def detach_probe(self, probe) -> bool:
+        """Remove a probe attached with :meth:`probe`.
+
+        Returns whether the probe was found.  Like attaching, detaching is
+        legal on sealed circuits and invalidates compiled dispatch tables.
+        """
+        for key, taps in list(self._taps.items()):
+            for tap in taps:
+                if tap.probe is probe:
+                    taps.remove(tap)
+                    if not taps:
+                        del self._taps[key]
+                    self._version += 1
+                    self._compiled = None
+                    return True
+        return False
+
     def _check_owned(self, element: Element) -> None:
         if element.circuit is not self:
             raise NetlistError(f"{element!r} does not belong to circuit {self.name!r}")

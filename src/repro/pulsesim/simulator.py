@@ -23,6 +23,7 @@ from __future__ import annotations
 import heapq
 from contextlib import contextmanager
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Iterator, List, Optional, Tuple
 
 from repro.errors import SimulationError
@@ -32,17 +33,32 @@ from repro.pulsesim.netlist import Circuit
 
 @dataclass
 class SimulationStats:
-    """Counters exposed after a run for tests and benchmarks."""
+    """Counters exposed after a run for tests and benchmarks.
+
+    ``max_queue_depth`` is the high-water mark of pending events, sampled
+    whenever simulated time strictly advances (before the first event of
+    the new timestamp is processed).  Both kernels sample at the same
+    instants with the same formula — scheduled minus processed events — so
+    the value is bit-identical across kernels and run chunkings.
+    ``wall_s`` is the host wall-clock time spent inside the event loop; it
+    is the one deliberately non-deterministic counter (excluded from all
+    bit-identity comparisons).
+    """
 
     events_processed: int = 0
     pulses_emitted: int = 0
     end_time: int = 0
+    max_queue_depth: int = 0
+    wall_s: float = 0.0
 
     def merge(self, other: "SimulationStats") -> None:
-        """Fold another counter set into this one (``end_time`` takes the max)."""
+        """Fold another counter set into this one (``end_time`` and
+        ``max_queue_depth`` take the max; the rest add)."""
         self.events_processed += other.events_processed
         self.pulses_emitted += other.pulses_emitted
         self.end_time = max(self.end_time, other.end_time)
+        self.max_queue_depth = max(self.max_queue_depth, other.max_queue_depth)
+        self.wall_s += other.wall_s
 
 
 # Active collectors for :func:`capture_stats`.  Every Simulator.run() adds
@@ -74,6 +90,12 @@ class Simulator:
             additionally seals the circuit.  ``"reference"`` forces this
             class's plain heap loop.  ``None`` defers to the
             ``REPRO_KERNEL`` environment variable, then ``"auto"``.
+        trace: An optional :class:`repro.trace.TraceSession`.  When set,
+            :meth:`run` steps the kernel one distinct timestamp at a time
+            so the session can sample scheduler health; results and stats
+            stay bit-identical to an untraced run.  When ``None`` (the
+            default) tracing costs exactly one attribute check per
+            :meth:`run` call — the hot loop is untouched.
     """
 
     def __new__(
@@ -81,6 +103,7 @@ class Simulator:
         circuit: Circuit = None,
         max_events: int = 50_000_000,
         kernel: Optional[str] = None,
+        trace=None,
     ):
         if cls is Simulator:
             from repro.pulsesim.kernel import SealedSimulator, resolve_kernel
@@ -97,10 +120,12 @@ class Simulator:
         circuit: Circuit,
         max_events: int = 50_000_000,
         kernel: Optional[str] = None,
+        trace=None,
     ):
         self.circuit = circuit
         self.max_events = max_events
         self.kernel = "reference"
+        self._trace = trace
         self._heap: List[Tuple[int, int, int, Element, str]] = []
         self._sequence = 0
         self.now = 0
@@ -153,34 +178,65 @@ class Simulator:
           last event was earlier), else the last processed event time.  It
           never moves backwards on a later bounded call.
         """
+        trace = self._trace
+        if trace is None:
+            return self._run(until)
+        return trace.run_traced(self, until)
+
+    def _run(self, until: Optional[int] = None) -> SimulationStats:
+        """The reference hot loop (see :meth:`run` for the contract)."""
         heap = self._heap
-        processed_before = self.stats.events_processed
-        pulses_before = self.stats.pulses_emitted
-        while heap:
-            if until is not None and heap[0][0] > until:
-                break
-            time, _priority, _seq, element, port = heapq.heappop(heap)
-            if time < self.now:
-                raise SimulationError(
-                    f"causality violation: event at {time} fs before now={self.now} fs"
-                )
-            self.now = time
-            self.stats.events_processed += 1
-            if self.stats.events_processed - processed_before > self.max_events:
-                raise SimulationError(
-                    f"exceeded max_events={self.max_events}; "
-                    "likely an oscillating netlist"
-                )
-            element.handle(self, port, time)
+        stats = self.stats
+        processed_before = stats.events_processed
+        pulses_before = stats.pulses_emitted
+        maxq = stats.max_queue_depth
+        wall_start = perf_counter()
+        try:
+            while heap:
+                if until is not None and heap[0][0] > until:
+                    break
+                time, _priority, _seq, element, port = heapq.heappop(heap)
+                if time < self.now:
+                    raise SimulationError(
+                        f"causality violation: event at {time} fs before now={self.now} fs"
+                    )
+                if time > self.now:
+                    # Pending = scheduled - processed (the just-popped event
+                    # is still uncounted, so it is included) — the same
+                    # formula the sealed kernel samples at the same instant.
+                    depth = self._sequence - stats.events_processed
+                    if depth > maxq:
+                        maxq = depth
+                self.now = time
+                stats.events_processed += 1
+                if stats.events_processed - processed_before > self.max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={self.max_events}; "
+                        "likely an oscillating netlist"
+                    )
+                element.handle(self, port, time)
+        finally:
+            wall_delta = perf_counter() - wall_start
+            stats.max_queue_depth = maxq
+            stats.wall_s += wall_delta
         horizon = self.now if until is None else max(self.now, until)
-        self.stats.end_time = max(self.stats.end_time, horizon)
+        stats.end_time = max(stats.end_time, horizon)
         for collector in _collectors:
-            collector.events_processed += (
-                self.stats.events_processed - processed_before
-            )
-            collector.pulses_emitted += self.stats.pulses_emitted - pulses_before
-            collector.end_time = max(collector.end_time, self.stats.end_time)
-        return self.stats
+            collector.events_processed += stats.events_processed - processed_before
+            collector.pulses_emitted += stats.pulses_emitted - pulses_before
+            collector.end_time = max(collector.end_time, stats.end_time)
+            collector.max_queue_depth = max(collector.max_queue_depth, maxq)
+            collector.wall_s += wall_delta
+        return stats
+
+    def _next_event_time(self) -> Optional[int]:
+        """Timestamp of the earliest pending event, or None when idle."""
+        return self._heap[0][0] if self._heap else None
+
+    def _pending(self) -> int:
+        """Pending event count as scheduled-minus-processed (O(1), both
+        kernels agree on it at every distinct-time boundary)."""
+        return self._sequence - self.stats.events_processed
 
     def reset(self) -> None:
         """Clear queue, clock, stats, and all circuit state."""

@@ -13,7 +13,7 @@ from __future__ import annotations
 import hashlib
 import json
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional
 
@@ -21,6 +21,7 @@ import repro
 from repro.experiments.report import ExperimentResult
 from repro.pulsesim.simulator import SimulationStats
 from repro.runner.serialize import FORMAT_VERSION, result_from_dict, result_to_dict
+from repro.trace.metrics import empty_metrics
 
 #: Default cache location, relative to the working directory.
 DEFAULT_CACHE_DIR = Path(".usfq-cache")
@@ -46,6 +47,7 @@ class CacheEntry:
     result: ExperimentResult
     stats: SimulationStats
     compute_time_s: float
+    metrics: dict = field(default_factory=empty_metrics)
 
 
 class ResultCache:
@@ -71,6 +73,7 @@ class ResultCache:
                 result=result_from_dict(payload["result"]),
                 stats=SimulationStats(**payload["stats"]),
                 compute_time_s=payload["compute_time_s"],
+                metrics=payload.get("metrics", empty_metrics()),
             )
         except (OSError, ValueError, KeyError, TypeError):
             return None
@@ -81,6 +84,7 @@ class ResultCache:
         result: ExperimentResult,
         stats: SimulationStats,
         compute_time_s: float,
+        metrics: Optional[dict] = None,
     ) -> Path:
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self.path(experiment_id)
@@ -93,7 +97,9 @@ class ResultCache:
                 "events_processed": stats.events_processed,
                 "pulses_emitted": stats.pulses_emitted,
                 "end_time": stats.end_time,
+                "max_queue_depth": stats.max_queue_depth,
             },
+            "metrics": metrics if metrics is not None else empty_metrics(),
             "result": result_to_dict(result),
         }
         tmp = path.with_suffix(".tmp")

@@ -20,12 +20,18 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.experiments.registry import EXPERIMENTS, SWEEPS, resolve_experiment
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    SWEEPS,
+    VARIANTS,
+    resolve_experiment,
+)
 from repro.experiments.report import ExperimentResult
 from repro.pulsesim.kernel import resolve_kernel
 from repro.pulsesim.simulator import SimulationStats
 from repro.runner.cache import ResultCache
 from repro.runner.worker import UnitOutcome, WorkUnit, execute_unit
+from repro.trace.metrics import empty_metrics, merge_metric_dicts
 
 
 @dataclass
@@ -37,6 +43,11 @@ class ExperimentOutcome:
     stats: SimulationStats
     compute_time_s: float
     cache_status: str  # "hit" | "miss" | "off"
+    #: Merged metrics snapshot (counters/gauges/histograms) for the whole
+    #: experiment, and — when the runner split it into sweep points — the
+    #: per-point snapshots in sweep order.
+    metrics: dict = field(default_factory=empty_metrics)
+    metrics_points: Optional[List[dict]] = None
 
     @property
     def failures(self) -> int:
@@ -72,7 +83,8 @@ class RunReport:
 
 def _registry_ordered(ids: Iterable[str]) -> List[str]:
     requested = set(ids)
-    return [eid for eid in EXPERIMENTS if eid in requested]
+    ordered = list(EXPERIMENTS) + [v for v in VARIANTS if v not in EXPERIMENTS]
+    return [eid for eid in ordered if eid in requested]
 
 
 def _execute(units: Sequence[WorkUnit], jobs: int) -> List[UnitOutcome]:
@@ -105,7 +117,12 @@ def run_suite(
         entry = cache.load(experiment_id) if cache else None
         if entry is not None:
             report.outcomes[experiment_id] = ExperimentOutcome(
-                experiment_id, entry.result, entry.stats, 0.0, "hit"
+                experiment_id,
+                entry.result,
+                entry.stats,
+                0.0,
+                "hit",
+                metrics=entry.metrics,
             )
         else:
             to_compute.append(experiment_id)
@@ -131,15 +148,26 @@ def run_suite(
         for part in parts:
             stats.merge(part.stats)
         compute_time = sum(part.duration_s for part in parts)
+        metrics_points = None
         if parts[0].point_index is None:
             result = parts[0].payload
         else:
             parts.sort(key=lambda p: p.point_index)
             result = SWEEPS[experiment_id].assemble([p.payload for p in parts])
+            metrics_points = [part.metrics for part in parts]
+        metrics = empty_metrics()
+        for part in parts:  # after the point sort: deterministic merge order
+            merge_metric_dicts(metrics, part.metrics)
         if cache is not None:
-            cache.store(experiment_id, result, stats, compute_time)
+            cache.store(experiment_id, result, stats, compute_time, metrics)
         report.outcomes[experiment_id] = ExperimentOutcome(
-            experiment_id, result, stats, compute_time, "miss" if cache else "off"
+            experiment_id,
+            result,
+            stats,
+            compute_time,
+            "miss" if cache else "off",
+            metrics=metrics,
+            metrics_points=metrics_points,
         )
 
     # Present outcomes in registry order regardless of compute order.

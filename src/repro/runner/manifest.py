@@ -17,7 +17,10 @@ from repro.runner.engine import RunReport
 
 #: Bump on any backwards-incompatible manifest layout change.
 #: 2: added the top-level ``kernel`` field (simulator kernel of the run).
-MANIFEST_SCHEMA = 2
+#: 3: per-experiment ``metrics`` (counters/gauges/histograms, including
+#:    ``faults.*`` channel counters), ``metrics_points`` for sweeps the
+#:    runner split across workers, and ``stats.max_queue_depth``.
+MANIFEST_SCHEMA = 3
 
 
 def build_manifest(
@@ -26,7 +29,7 @@ def build_manifest(
     """Summarise one run as a JSON-ready dict (see docs/running.md)."""
     experiments = {}
     for experiment_id, outcome in report.outcomes.items():
-        experiments[experiment_id] = {
+        entry = {
             "wall_time_s": round(outcome.compute_time_s, 6),
             "cache": outcome.cache_status,
             "claims_held": outcome.result.claims_held,
@@ -34,8 +37,13 @@ def build_manifest(
             "stats": {
                 "events_processed": outcome.stats.events_processed,
                 "pulses_emitted": outcome.stats.pulses_emitted,
+                "max_queue_depth": outcome.stats.max_queue_depth,
             },
+            "metrics": outcome.metrics,
         }
+        if outcome.metrics_points is not None:
+            entry["metrics_points"] = outcome.metrics_points
+        experiments[experiment_id] = entry
     claims_total = sum(e["claims_total"] for e in experiments.values())
     claims_held = sum(e["claims_held"] for e in experiments.values())
     return {

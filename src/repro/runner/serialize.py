@@ -17,7 +17,8 @@ import numpy as np
 from repro.experiments.report import Claim, ExperimentResult
 
 #: Bump when the serialised layout changes; embedded in every cache key.
-FORMAT_VERSION = 1
+#: 2: cache entries carry a metrics snapshot and stats.max_queue_depth.
+FORMAT_VERSION = 2
 
 
 def to_jsonable(value: Any) -> Any:

@@ -1,0 +1,57 @@
+"""repro.trace — observability for the SFQ pulse simulator.
+
+Zero-cost-when-off tracing of both pulsesim kernels: per-cell activity
+counts and pulse timelines (:class:`TraceSession` / :class:`TracePort`),
+scheduler-health sampling, a metrics registry the experiment runner folds
+into its manifest, exporters to IEEE-1364 VCD and Chrome/Perfetto
+trace-event JSON, and measured-switching-activity extraction for the
+power model.  ``usfq-trace`` (:mod:`repro.trace.cli`) is the command-line
+front end.
+
+Layering: :mod:`repro.pulsesim` never imports this package — a simulator
+only ever sees the ``trace`` object it was handed (or ``None``).
+"""
+
+from repro.trace.activity import ActivityReport, measure_dpu_activity
+from repro.trace.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    capture_metrics,
+    current_registry,
+    empty_metrics,
+    merge_metric_dicts,
+)
+from repro.trace.perfetto import trace_events, validate_trace, write_perfetto
+from repro.trace.session import (
+    RingBuffer,
+    SchedulerSample,
+    TracePort,
+    TraceSession,
+    sorted_ports,
+)
+from repro.trace.vcd import parse_vcd, write_vcd
+
+__all__ = [
+    "ActivityReport",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RingBuffer",
+    "SchedulerSample",
+    "TracePort",
+    "TraceSession",
+    "capture_metrics",
+    "current_registry",
+    "empty_metrics",
+    "measure_dpu_activity",
+    "merge_metric_dicts",
+    "parse_vcd",
+    "sorted_ports",
+    "trace_events",
+    "validate_trace",
+    "write_perfetto",
+    "write_vcd",
+]

@@ -1,0 +1,207 @@
+"""A small metrics registry: counters, gauges, histograms.
+
+The observability subsystem needs a uniform way to hand numbers to the
+experiment runner (which folds them into the run manifest), the trace CLI
+(which writes them as a JSON artifact), and tests.  This module provides
+the three classic instrument kinds plus an *active registry* stack mirroring
+:func:`repro.pulsesim.simulator.capture_stats`: code anywhere below a
+``capture_metrics()`` block can record into the ambient registry without
+threading it through every call.
+
+Everything is deliberately dependency-free (no pulsesim imports) so hot
+modules like :mod:`repro.pulsesim.faults` can publish counters without an
+import cycle.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+#: Histogram bucket upper bounds: powers of two cover event cohorts and
+#: queue depths over many orders of magnitude with a handful of buckets.
+DEFAULT_BUCKETS = tuple(1 << i for i in range(0, 21, 2))  # 1 .. 1M
+
+
+class Counter:
+    """A monotonically increasing count (events seen, pulses dropped...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (queue depth, events/sec)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def set_max(self, value: float) -> None:
+        """Keep the maximum of all observations (high-water-mark gauges)."""
+        if value > self.value:
+            self.value = value
+
+
+class Histogram:
+    """A bucketed distribution (same-time cohort sizes, chunk walls)."""
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds=DEFAULT_BUCKETS) -> None:
+        self.bounds = tuple(bounds)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)  # +overflow
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, exported deterministically."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge()
+        return instrument
+
+    def histogram(self, name: str, bounds=DEFAULT_BUCKETS) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(bounds)
+        return instrument
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot with deterministically sorted keys."""
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: {
+                    "count": hist.count,
+                    "total": hist.total,
+                    "min": hist.min,
+                    "max": hist.max,
+                    "bounds": list(hist.bounds),
+                    "bucket_counts": list(hist.bucket_counts),
+                }
+                for name, hist in sorted(self._histograms.items())
+            },
+        }
+
+
+def empty_metrics() -> dict:
+    """The shape :meth:`MetricsRegistry.to_dict` produces, with nothing in it."""
+    return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def merge_metric_dicts(into: dict, other: dict) -> dict:
+    """Fold one :meth:`~MetricsRegistry.to_dict` snapshot into another.
+
+    Counters add, gauges keep the maximum (they are high-water marks by the
+    time they reach a manifest), histograms merge bucket-wise when their
+    bounds agree (and add their scalar summaries regardless).  Returns
+    ``into`` for chaining.
+    """
+    for name, value in other.get("counters", {}).items():
+        into.setdefault("counters", {})
+        into["counters"][name] = into["counters"].get(name, 0) + value
+    for name, value in other.get("gauges", {}).items():
+        into.setdefault("gauges", {})
+        if name not in into["gauges"] or value > into["gauges"][name]:
+            into["gauges"][name] = value
+    into.setdefault("histograms", {})
+    for name, hist in other.get("histograms", {}).items():
+        mine = into["histograms"].get(name)
+        if mine is None:
+            into["histograms"][name] = {
+                "count": hist["count"],
+                "total": hist["total"],
+                "min": hist["min"],
+                "max": hist["max"],
+                "bounds": list(hist["bounds"]),
+                "bucket_counts": list(hist["bucket_counts"]),
+            }
+            continue
+        mine["count"] += hist["count"]
+        mine["total"] += hist["total"]
+        for key, pick in (("min", min), ("max", max)):
+            if hist[key] is not None:
+                mine[key] = (
+                    hist[key]
+                    if mine[key] is None
+                    else pick(mine[key], hist[key])
+                )
+        if mine["bounds"] == list(hist["bounds"]):
+            mine["bucket_counts"] = [
+                a + b
+                for a, b in zip(mine["bucket_counts"], hist["bucket_counts"])
+            ]
+    return into
+
+
+#: Active registries, innermost last (mirrors ``pulsesim._collectors``).
+_active: List[MetricsRegistry] = []
+
+
+def current_registry() -> Optional[MetricsRegistry]:
+    """The innermost active registry, or None outside any capture block."""
+    return _active[-1] if _active else None
+
+
+@contextmanager
+def capture_metrics(
+    registry: Optional[MetricsRegistry] = None,
+) -> Iterator[MetricsRegistry]:
+    """Make ``registry`` (or a fresh one) the ambient registry for the block."""
+    registry = registry if registry is not None else MetricsRegistry()
+    _active.append(registry)
+    try:
+        yield registry
+    finally:
+        _active.remove(registry)

@@ -1,0 +1,154 @@
+"""Chrome/Perfetto trace-event JSON export of traced runs.
+
+Produces the legacy ``traceEvents`` JSON format, which both
+``chrome://tracing`` and https://ui.perfetto.dev open directly:
+
+* one *thread* (track) per traced port, named ``cell.port``, carrying an
+  instant event (``"ph": "i"``) per pulse;
+* a ``queue_depth`` counter track (``"ph": "C"``) from the scheduler
+  health samples, plus a ``cohort`` series with the number of events
+  executed at each distinct timestamp.
+
+Timestamps are microseconds in the trace-event spec, but SFQ dynamics
+live at femtoseconds; we export ``ts`` in *picoseconds* and declare
+``displayTimeUnit`` so viewers show sensible numbers.  Output is fully
+deterministic (sorted ports, stable event order, sorted JSON keys).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, TextIO, Union
+
+from repro.trace.session import TraceSession, sorted_ports
+
+#: Exported ts unit: 1 ts tick = 1 ps = 1000 fs.
+TS_FS = 1_000
+
+PROCESS_ID = 1
+COUNTER_THREAD_ID = 0
+
+
+def _ts(time_fs: int) -> float:
+    return time_fs / TS_FS
+
+
+def trace_events(session: TraceSession) -> List[dict]:
+    """The ``traceEvents`` array for ``session``."""
+    ports = sorted_ports(session.ports)
+    events: List[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": PROCESS_ID,
+            "tid": 0,
+            "args": {"name": session.name},
+        }
+    ]
+    for tid, tap in enumerate(ports, start=1):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": PROCESS_ID,
+                "tid": tid,
+                "args": {"name": tap.name},
+            }
+        )
+    for tid, tap in enumerate(ports, start=1):
+        for time in tap.times():
+            events.append(
+                {
+                    "name": "pulse",
+                    "ph": "i",
+                    "s": "t",  # thread-scoped instant
+                    "pid": PROCESS_ID,
+                    "tid": tid,
+                    "ts": _ts(time),
+                }
+            )
+    for sample in session.health:
+        events.append(
+            {
+                "name": "queue_depth",
+                "ph": "C",
+                "pid": PROCESS_ID,
+                "tid": COUNTER_THREAD_ID,
+                "ts": _ts(sample.time_fs),
+                "args": {"pending": sample.queue_depth},
+            }
+        )
+        events.append(
+            {
+                "name": "cohort",
+                "ph": "C",
+                "pid": PROCESS_ID,
+                "tid": COUNTER_THREAD_ID,
+                "ts": _ts(sample.time_fs),
+                "args": {"events": sample.cohort},
+            }
+        )
+    return events
+
+
+def trace_document(session: TraceSession) -> dict:
+    """The complete JSON document (``traceEvents`` + display metadata)."""
+    return {
+        "traceEvents": trace_events(session),
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "exporter": "repro.trace",
+            "session": session.name,
+            "ports": len(session.ports),
+        },
+    }
+
+
+def write_perfetto(
+    session: TraceSession, destination: Union[str, TextIO]
+) -> None:
+    """Write the session's Perfetto/Chrome trace JSON to a path or file."""
+    text = json.dumps(trace_document(session), sort_keys=True, indent=1)
+    if hasattr(destination, "write"):
+        destination.write(text + "\n")
+    else:
+        with open(destination, "w") as handle:
+            handle.write(text + "\n")
+
+
+def validate_trace(document: dict) -> dict:
+    """Structurally check a trace document; raise ``ValueError`` if invalid.
+
+    Returns ``{"event_count", "tracks" (sorted thread names),
+    "counter_series" (sorted counter names), "pulse_count"}``.
+    """
+    if not isinstance(document, dict) or "traceEvents" not in document:
+        raise ValueError("not a trace document: missing 'traceEvents'")
+    events = document["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be a list")
+    tracks = []
+    counters = set()
+    pulse_count = 0
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event {index} is not an object")
+        phase = event.get("ph")
+        if phase not in ("M", "i", "C"):
+            raise ValueError(f"event {index} has unexpected ph {phase!r}")
+        if phase in ("i", "C") and not isinstance(
+            event.get("ts"), (int, float)
+        ):
+            raise ValueError(f"event {index} missing numeric ts")
+        if phase == "M" and event.get("name") == "thread_name":
+            tracks.append(event["args"]["name"])
+        elif phase == "C":
+            counters.add(event.get("name"))
+        elif phase == "i":
+            pulse_count += 1
+    return {
+        "event_count": len(events),
+        "tracks": sorted(tracks),
+        "counter_series": sorted(counters),
+        "pulse_count": pulse_count,
+    }

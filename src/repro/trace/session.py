@@ -1,0 +1,297 @@
+"""Trace sessions: bounded capture of pulse timelines and scheduler health.
+
+A :class:`TraceSession` is the front door of the observability subsystem.
+It owns
+
+* a set of :class:`TracePort` taps — probe-compatible recorders attached to
+  cell output ports, each keeping a bounded ring of pulse times plus a
+  cumulative total (activity measurement needs totals even after the ring
+  wraps or the circuit is reset between runs);
+* a ring of :class:`SchedulerSample` health records — queue depth and
+  same-time cohort size at every distinct simulated timestamp; and
+* a :class:`~repro.trace.metrics.MetricsRegistry` the scheduler-health
+  counters/gauges/histograms land in.
+
+Pass the session to ``Simulator(circuit, trace=session)`` (or assign it to
+a core wrapper's ``trace`` attribute).  A traced ``run()`` is *chunked*:
+the session repeatedly asks the kernel for its next distinct event time
+and calls the kernel's own ``_run(until=that_time)``, so each chunk is
+executed by the exact untraced hot loop — reference or sealed — and the
+event order, stats, recordings, and error behaviour are bit-identical to
+an untraced run.  The only divergence is ``stats.wall_s`` (wall clock) and
+the extra observability data collected between chunks.
+
+With ``trace=None`` (the default everywhere) none of this module is even
+imported by the simulator; tracing off costs one attribute check per
+``run()`` call.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.trace.metrics import MetricsRegistry, current_registry
+
+#: Default ring capacities: large enough for every figure-sized netlist in
+#: this repo, bounded so a runaway workload cannot exhaust memory.
+DEFAULT_TIMELINE_CAPACITY = 65_536
+DEFAULT_HEALTH_CAPACITY = 65_536
+
+
+class RingBuffer:
+    """A bounded append-only buffer that counts what it had to drop."""
+
+    __slots__ = ("capacity", "_items", "dropped")
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"ring capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._items = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def append(self, item) -> None:
+        if len(self._items) == self.capacity:
+            self.dropped += 1
+        self._items.append(item)
+
+    def items(self) -> list:
+        """Retained items, oldest first."""
+        return list(self._items)
+
+    def clear(self) -> None:
+        self._items.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator:
+        return iter(self._items)
+
+
+class TracePort:
+    """A probe-compatible pulse tap on one cell output port.
+
+    Quacks like :class:`~repro.pulsesim.probe.PulseRecorder` (``label``,
+    ``record``, ``reset``) so both kernels notify it through the existing
+    probe machinery — the sealed kernel compiles the bound ``record``
+    method into its tap tuples exactly as for any other probe.
+    ``reset()`` (called by ``Circuit.reset`` between runs) clears the
+    bounded timeline but keeps ``total``: switching-activity measurement
+    spans multi-run workloads.
+    """
+
+    __slots__ = ("cell", "port", "timeline", "total")
+
+    def __init__(self, cell: str, port: str, capacity: int):
+        self.cell = cell
+        self.port = port
+        self.timeline = RingBuffer(capacity)
+        self.total = 0
+
+    @property
+    def label(self) -> str:
+        return f"trace:{self.cell}.{self.port}"
+
+    @property
+    def name(self) -> str:
+        """The signal name exporters use: ``cell.port``."""
+        return f"{self.cell}.{self.port}"
+
+    def record(self, time: int) -> None:
+        self.total += 1
+        self.timeline.append(time)
+
+    def reset(self) -> None:
+        self.timeline.clear()
+
+    def times(self) -> List[int]:
+        """Retained pulse times, sorted (jittery cells can emit out of
+        arrival order)."""
+        return sorted(self.timeline)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<TracePort {self.name}: {self.total} pulses>"
+
+
+@dataclass(frozen=True)
+class SchedulerSample:
+    """Scheduler health at one distinct simulated timestamp."""
+
+    time_fs: int
+    queue_depth: int  # pending events after this timestamp was drained
+    cohort: int  # events processed at exactly this timestamp
+
+
+class TraceSession:
+    """Collects timelines, per-cell counts, and scheduler health for runs.
+
+    Args:
+        circuit: Attach to every output port of this circuit right away
+            (or a subset via ``ports``).  ``None`` builds a detached
+            session; call :meth:`attach` later.
+        ports: Optional ``(element, output_port)`` pairs restricting which
+            ports get taps.
+        name: Session name used by the exporters (default: circuit name).
+        timeline_capacity: Ring size per port.
+        health_capacity: Ring size of the scheduler-health samples.
+        metrics: Use an existing registry.  Default: the ambient
+            :func:`~repro.trace.metrics.capture_metrics` registry when one
+            is active (so traced experiments surface their scheduler
+            metrics in run manifests), else a fresh one.
+    """
+
+    def __init__(
+        self,
+        circuit=None,
+        *,
+        ports: Optional[Sequence[Tuple[object, str]]] = None,
+        name: Optional[str] = None,
+        timeline_capacity: int = DEFAULT_TIMELINE_CAPACITY,
+        health_capacity: int = DEFAULT_HEALTH_CAPACITY,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.name = name or (circuit.name if circuit is not None else "trace")
+        self.timeline_capacity = timeline_capacity
+        if metrics is None:
+            metrics = current_registry()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.ports: List[TracePort] = []
+        self.health = RingBuffer(health_capacity)
+        self._attached: List[Tuple[object, TracePort]] = []  # (circuit, tap)
+        if circuit is not None:
+            self.attach(circuit, ports=ports)
+
+    # -- tap management ------------------------------------------------------
+    def attach(self, circuit, ports=None) -> "TraceSession":
+        """Tap output ports of ``circuit`` (default: all of them).
+
+        Legal on sealed circuits — probes are observability, not topology —
+        and triggers a lazy kernel recompile exactly like any probe.
+        Returns ``self`` for fluent use.
+        """
+        if ports is None:
+            ports = [
+                (element, port)
+                for element in circuit.elements
+                for port in element.output_names
+            ]
+        for element, port in ports:
+            tap = TracePort(element.name, port, self.timeline_capacity)
+            circuit.probe(element, port, probe=tap)
+            self.ports.append(tap)
+            self._attached.append((circuit, tap))
+        return self
+
+    def detach(self) -> None:
+        """Remove every tap this session attached (circuits recompile
+        lazily on their next run)."""
+        for circuit, tap in self._attached:
+            circuit.detach_probe(tap)
+        self._attached.clear()
+        self.ports.clear()
+
+    def port(self, name: str) -> TracePort:
+        """Look up a tap by its ``cell.port`` signal name."""
+        for tap in self.ports:
+            if tap.name == name:
+                return tap
+        raise KeyError(f"no traced port named {name!r}")
+
+    # -- traced execution ----------------------------------------------------
+    def run_traced(self, sim, until: Optional[int] = None):
+        """Run ``sim`` to completion (or ``until``), sampling per distinct
+        timestamp.  Called by ``Simulator.run`` when a trace is installed.
+
+        Chunking preserves the untraced contract exactly: ``max_events``
+        stays a per-``run()`` budget (each chunk gets the remaining
+        allowance, and a budget violation re-raises with the original
+        limit in the message), and a final bounded ``_run`` reproduces the
+        horizon/collector bookkeeping of the untraced call.
+        """
+        stats = sim.stats
+        budget = sim.max_events
+        start_events = stats.events_processed
+        start_pulses = stats.pulses_emitted
+        start_wall = stats.wall_s
+        depth_gauge = self.metrics.gauge("sim.max_queue_depth")
+        cohorts = self.metrics.histogram("sim.same_time_cohort")
+        try:
+            while True:
+                next_time = sim._next_event_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                sim.max_events = budget - (stats.events_processed - start_events)
+                before = stats.events_processed
+                try:
+                    sim._run(until=next_time)
+                except SimulationError as error:
+                    if str(error).startswith("exceeded max_events="):
+                        raise SimulationError(
+                            f"exceeded max_events={budget}; "
+                            "likely an oscillating netlist"
+                        ) from None
+                    raise
+                cohort = stats.events_processed - before
+                depth = sim._pending()
+                self.health.append(SchedulerSample(next_time, depth, cohort))
+                cohorts.observe(cohort)
+                depth_gauge.set_max(depth)
+        finally:
+            sim.max_events = budget
+        # Nothing left at or before the horizon: one empty bounded run
+        # applies the untraced end_time/collector bookkeeping verbatim.
+        sim._run(until=until)
+        events_done = stats.events_processed - start_events
+        self.metrics.counter("sim.events_processed").inc(events_done)
+        self.metrics.counter("sim.pulses_emitted").inc(
+            stats.pulses_emitted - start_pulses
+        )
+        wall = stats.wall_s - start_wall
+        if wall > 0.0 and events_done:
+            self.metrics.gauge("sim.events_per_sec").set_max(events_done / wall)
+        return stats
+
+    # -- summaries -----------------------------------------------------------
+    def port_totals(self) -> Dict[str, int]:
+        """Cumulative pulse count per traced port, by signal name."""
+        return {tap.name: tap.total for tap in sorted_ports(self.ports)}
+
+    def cell_totals(self) -> Dict[str, int]:
+        """Cumulative pulse count per cell (all its traced outputs)."""
+        totals: Dict[str, int] = {}
+        for tap in self.ports:
+            totals[tap.cell] = totals.get(tap.cell, 0) + tap.total
+        return {cell: totals[cell] for cell in sorted(totals)}
+
+    def metrics_dict(self) -> dict:
+        """The registry snapshot plus per-port pulse counters."""
+        doc = self.metrics.to_dict()
+        counters = dict(doc["counters"])
+        for name, total in self.port_totals().items():
+            counters[f"trace.pulses.{name}"] = total
+        doc["counters"] = {key: counters[key] for key in sorted(counters)}
+        return doc
+
+    def clear(self) -> None:
+        """Drop collected data (timelines, health); keep taps and totals."""
+        for tap in self.ports:
+            tap.timeline.clear()
+        self.health.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<TraceSession {self.name!r}: {len(self.ports)} ports, "
+            f"{len(self.health)} health samples>"
+        )
+
+
+def sorted_ports(ports: Sequence[TracePort]) -> List[TracePort]:
+    """Ports in deterministic (cell, port) order — exporters rely on it."""
+    return sorted(ports, key=lambda tap: (tap.cell, tap.port))

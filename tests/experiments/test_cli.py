@@ -147,3 +147,28 @@ def test_manifest_written_alongside_output(tmp_path, capsys):
     manifest = json.loads((out_dir / "manifest.json").read_text())
     assert manifest["totals"]["experiments"] == 1
     assert manifest["experiments"]["table2"]["claims_total"] > 0
+
+
+def test_measured_activity_swaps_table3(tmp_path, capsys):
+    manifest_path = tmp_path / "manifest.json"
+    code = main([
+        "table3", "--measured-activity", "--no-cache",
+        "--manifest", str(manifest_path),
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "measured switching activity" in out
+    assert "assumed active (mW)" in out
+    manifest = json.loads(manifest_path.read_text())
+    entry = manifest["experiments"]["table3-measured"]
+    assert entry["metrics"]["gauges"]["activity.multiplier.measured"] > 0
+    assert entry["metrics"]["gauges"]["activity.balancer.measured"] > 0
+
+
+def test_measured_activity_without_table3_changes_nothing(capsys):
+    plain = main(["fig12", "--no-cache"])
+    first = capsys.readouterr().out
+    flagged = main(["fig12", "--no-cache", "--measured-activity"])
+    second = capsys.readouterr().out
+    assert plain == flagged == 0
+    assert first == second

@@ -60,3 +60,48 @@ def test_empty_circuit():
     description = netlist_description(circuit)
     assert description["cells"] == []
     assert "digraph" in to_dot(circuit)
+
+
+def test_cells_and_wires_are_sorted_deterministically():
+    description = netlist_description(_small_dpu())
+    names = [cell["name"] for cell in description["cells"]]
+    assert names == sorted(names)
+    wire_keys = [(w["from"], w["to"], w["delay_fs"]) for w in description["wires"]]
+    assert wire_keys == sorted(wire_keys)
+
+
+def test_structurally_identical_circuits_export_identically():
+    # Same structure, different construction order of the probe-free DPU:
+    # the sorted export hides insertion order.
+    first = json.dumps(netlist_description(_small_dpu()))
+    second = json.dumps(netlist_description(_small_dpu()))
+    assert first == second
+    assert to_dot(_small_dpu()) == to_dot(_small_dpu())
+
+
+def test_probes_appear_in_description_and_dot():
+    circuit = _small_dpu()
+    element = circuit.elements[0]
+    port = element.output_names[0]
+    circuit.probe(element, port)
+    description = netlist_description(circuit)
+    assert description["probe_count"] == 1
+    entry = description["probes"][0]
+    assert entry["port"] == f"{element.name}.{port}"
+    assert entry["type"] == "PulseRecorder"
+    assert entry["label"] == f"{element.name}.{port}"
+    dot = to_dot(circuit)
+    assert "style=dashed" in dot
+    assert f'"{element.name}" -> "probe0"' in dot
+
+
+def test_trace_taps_are_exported_as_probes():
+    from repro.trace import TraceSession
+
+    circuit = _small_dpu()
+    session = TraceSession(circuit)
+    description = netlist_description(circuit)
+    assert description["probe_count"] == len(session.ports)
+    assert all(p["type"] == "TracePort" for p in description["probes"])
+    labels = [p["label"] for p in description["probes"]]
+    assert labels == sorted(labels)

@@ -164,3 +164,52 @@ class TestStructuralFaultEffects:
         # Without the loss the product would be ceil(8 * 4 / 16) = 2.
         assert unipolar_product_count(8, 4, 16) == 2
         assert probe.count() == 8  # the whole stream passed
+
+
+class TestFaultTotals:
+    """Process-cumulative counters consumed by the experiment runner."""
+
+    def test_totals_accumulate_across_instances_and_resets(self):
+        from repro.pulsesim.faults import fault_totals
+
+        base = fault_totals()
+        circuit = Circuit()
+        jitter = circuit.add(JitterChannel("j", std_fs=2_000, seed=3))
+        sim = Simulator(circuit)
+        sim.schedule_train(jitter, "a", [k * 10_000 for k in range(20)])
+        sim.run()
+        seen_once = fault_totals()["jitter.pulses_seen"] - base["jitter.pulses_seen"]
+        assert seen_once == 20
+        assert jitter.pulses_seen == 20
+        assert jitter.pulses_displaced > 0
+
+        sim.reset()  # clears per-instance counters, not the totals
+        assert jitter.pulses_seen == 0
+        assert jitter.pulses_displaced == 0
+        assert fault_totals()["jitter.pulses_seen"] - base["jitter.pulses_seen"] == 20
+
+        sim.schedule_input(jitter, "a", 0)
+        sim.run()
+        assert fault_totals()["jitter.pulses_seen"] - base["jitter.pulses_seen"] == 21
+
+    def test_drop_totals_count_losses(self):
+        from repro.pulsesim.faults import fault_totals
+
+        base = fault_totals()
+        circuit = Circuit()
+        channel = circuit.add(DropChannel("d", drop_rate=1.0))
+        sim = Simulator(circuit)
+        sim.schedule_train(channel, "a", [0, 1_000, 2_000])
+        sim.run()
+        delta = {
+            key: value - base[key] for key, value in fault_totals().items()
+        }
+        assert delta["drop.pulses_seen"] == 3
+        assert delta["drop.pulses_dropped"] == 3
+
+    def test_snapshot_is_a_copy(self):
+        from repro.pulsesim.faults import _TOTALS, fault_totals
+
+        snapshot = fault_totals()
+        snapshot["drop.pulses_seen"] += 999
+        assert _TOTALS["drop.pulses_seen"] != snapshot["drop.pulses_seen"]

@@ -111,11 +111,13 @@ def _run(build, stimulus, kernel):
         tuple(getattr(element, attr, None) for attr in _STATE_ATTRS)
         for element in circuit.elements
     ]
+    assert stats.wall_s >= 0.0  # the one non-deterministic stat: not compared
     return {
         "recordings": [list(probe.times) for probe in probes],
         "events": stats.events_processed,
         "pulses": stats.pulses_emitted,
         "end_time": stats.end_time,
+        "max_queue_depth": stats.max_queue_depth,
         "now": sim.now,
         "state": state,
     }
@@ -145,6 +147,7 @@ def test_sealed_kernel_matches_reference_with_resume(case, cut):
         partial = [list(probe.times) for probe in probes]
         stats = sim.run()
         return (partial, [list(p.times) for p in probes],
-                stats.events_processed, stats.pulses_emitted, stats.end_time)
+                stats.events_processed, stats.pulses_emitted, stats.end_time,
+                stats.max_queue_depth)
 
     assert run_split("sealed") == run_split("reference")

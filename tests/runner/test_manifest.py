@@ -44,3 +44,68 @@ def test_write_manifest_emits_valid_json(tmp_path):
     loaded = json.loads(path.read_text())
     assert loaded["totals"]["experiments"] == 1
     assert path.read_text().endswith("\n")
+
+
+def test_manifest_carries_metrics_schema3(tmp_path):
+    """Schema 3: per-experiment metrics (+ fault counters), queue depth."""
+    from repro.experiments.registry import EXPERIMENTS
+    from repro.experiments.report import ExperimentResult
+    from repro.pulsesim.faults import DropChannel
+    from repro.pulsesim.netlist import Circuit
+    from repro.pulsesim.simulator import Simulator
+
+    def _faulty():
+        circuit = Circuit("faulty")
+        channel = circuit.add(DropChannel("d", drop_rate=1.0))
+        sim = Simulator(circuit)
+        sim.schedule_train(channel, "a", [0, 1_000])
+        sim.run()
+        return ExperimentResult("table2", "fault smoke", ["x"])
+
+    original = EXPERIMENTS["table2"]
+    EXPERIMENTS["table2"] = _faulty
+    try:
+        manifest = build_manifest(run_suite(["table2"]))
+    finally:
+        EXPERIMENTS["table2"] = original
+
+    entry = manifest["experiments"]["table2"]
+    assert entry["stats"]["max_queue_depth"] >= 1
+    assert entry["metrics"]["counters"]["faults.drop.pulses_seen"] == 2
+    assert entry["metrics"]["counters"]["faults.drop.pulses_dropped"] == 2
+    json.dumps(manifest)  # metrics must stay JSON-serialisable
+
+
+def test_sweep_manifest_merges_point_metrics(tmp_path):
+    """A split sweep reports merged metrics plus the per-point breakdown."""
+    report = run_suite(["fig16"], jobs=2)
+    manifest = build_manifest(report)
+    entry = manifest["experiments"]["fig16"]
+    assert "metrics" in entry
+    assert "metrics_points" in entry
+    assert len(entry["metrics_points"]) == 5  # one per swept length
+
+
+def test_cached_rerun_restores_metrics(tmp_path):
+    from repro.experiments.registry import EXPERIMENTS
+    from repro.experiments.report import ExperimentResult
+    from repro.trace.metrics import current_registry
+
+    def _metered():
+        current_registry().counter("custom.count").inc(7)
+        return ExperimentResult("table2", "metric smoke", ["x"])
+
+    cache = ResultCache(tmp_path / "cache", digest="e" * 64)
+    original = EXPERIMENTS["table2"]
+    EXPERIMENTS["table2"] = _metered
+    try:
+        cold = build_manifest(run_suite(["table2"], cache=cache))
+        warm = build_manifest(run_suite(["table2"], cache=cache))
+    finally:
+        EXPERIMENTS["table2"] = original
+    assert cold["experiments"]["table2"]["metrics"]["counters"][
+        "custom.count"] == 7
+    assert warm["experiments"]["table2"]["cache"] == "hit"
+    assert warm["experiments"]["table2"]["metrics"] == (
+        cold["experiments"]["table2"]["metrics"]
+    )

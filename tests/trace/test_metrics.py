@@ -1,0 +1,91 @@
+"""Unit tests for the metrics registry and snapshot merging."""
+
+import pytest
+
+from repro.trace.metrics import (
+    MetricsRegistry,
+    capture_metrics,
+    current_registry,
+    empty_metrics,
+    merge_metric_dicts,
+)
+
+
+def test_counter_accumulates_and_rejects_negative():
+    registry = MetricsRegistry()
+    counter = registry.counter("pulses")
+    counter.inc()
+    counter.inc(4)
+    assert registry.counter("pulses").value == 5  # same instrument by name
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_set_and_set_max():
+    gauge = MetricsRegistry().gauge("depth")
+    gauge.set(10)
+    gauge.set_max(7)
+    assert gauge.value == 10
+    gauge.set_max(12)
+    assert gauge.value == 12
+
+
+def test_histogram_buckets_and_summary():
+    hist = MetricsRegistry().histogram("cohort", bounds=(1, 4, 16))
+    for value in (1, 2, 3, 20, 100):
+        hist.observe(value)
+    assert hist.count == 5
+    assert hist.min == 1 and hist.max == 100
+    assert hist.mean == pytest.approx(126 / 5)
+    assert hist.bucket_counts == [1, 2, 0, 2]  # <=1, <=4, <=16, overflow
+
+
+def test_to_dict_is_sorted_and_json_shaped():
+    registry = MetricsRegistry()
+    registry.counter("b").inc(2)
+    registry.counter("a").inc(1)
+    registry.gauge("g").set(3.5)
+    registry.histogram("h", bounds=(2,)).observe(1)
+    doc = registry.to_dict()
+    assert list(doc["counters"]) == ["a", "b"]
+    assert doc["gauges"] == {"g": 3.5}
+    assert doc["histograms"]["h"]["bucket_counts"] == [1, 0]
+    assert empty_metrics() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def test_merge_metric_dicts_semantics():
+    left = MetricsRegistry()
+    left.counter("events").inc(10)
+    left.gauge("depth").set(5)
+    left.histogram("h", bounds=(1, 2)).observe(1)
+    right = MetricsRegistry()
+    right.counter("events").inc(7)
+    right.counter("only_right").inc(1)
+    right.gauge("depth").set(3)
+    right.histogram("h", bounds=(1, 2)).observe(2)
+
+    merged = merge_metric_dicts(left.to_dict(), right.to_dict())
+    assert merged["counters"] == {"events": 17, "only_right": 1}
+    assert merged["gauges"] == {"depth": 5}  # gauges keep the max
+    assert merged["histograms"]["h"]["count"] == 2
+    assert merged["histograms"]["h"]["bucket_counts"] == [1, 1, 0]
+
+
+def test_merge_into_empty_is_identity():
+    registry = MetricsRegistry()
+    registry.counter("c").inc(3)
+    registry.histogram("h").observe(9)
+    snapshot = registry.to_dict()
+    assert merge_metric_dicts(empty_metrics(), snapshot) == snapshot
+
+
+def test_capture_metrics_stack():
+    assert current_registry() is None
+    with capture_metrics() as outer:
+        assert current_registry() is outer
+        with capture_metrics() as inner:
+            assert current_registry() is inner
+            current_registry().counter("seen").inc()
+        assert current_registry() is outer
+        assert inner.counter("seen").value == 1
+    assert current_registry() is None

@@ -1,0 +1,131 @@
+"""TraceSession behaviour: taps, rings, scheduler health, detach."""
+
+import pytest
+
+from repro.cells.interconnect import Splitter
+from repro.errors import SimulationError
+from repro.pulsesim import Circuit, Simulator
+from repro.trace import RingBuffer, TraceSession
+from repro.trace.metrics import MetricsRegistry, capture_metrics
+
+
+def _splitter_chain():
+    """entry -> s1 -> (two probed legs), 1000 fs wire delays."""
+    circuit = Circuit("chain")
+    entry = circuit.add(Splitter("entry"))
+    mid = circuit.add(Splitter("mid"))
+    circuit.connect(entry, "q1", mid, "a", delay=1_000)
+    return circuit, entry
+
+
+def test_ring_buffer_bounds_and_drop_count():
+    ring = RingBuffer(3)
+    for value in range(5):
+        ring.append(value)
+    assert ring.items() == [2, 3, 4]
+    assert ring.dropped == 2
+    assert len(ring) == 3
+    ring.clear()
+    assert ring.items() == [] and ring.dropped == 0
+    with pytest.raises(ValueError):
+        RingBuffer(0)
+
+
+def test_attach_taps_every_output_port():
+    circuit, _entry = _splitter_chain()
+    session = TraceSession(circuit)
+    # entry.q1, entry.q2, mid.q1, mid.q2
+    assert sorted(tap.name for tap in session.ports) == [
+        "entry.q1", "entry.q2", "mid.q1", "mid.q2",
+    ]
+    assert session.port("mid.q1").total == 0
+    with pytest.raises(KeyError):
+        session.port("nope.q")
+
+
+@pytest.mark.parametrize("kernel", ["reference", "sealed"])
+def test_traced_run_collects_timelines_and_health(kernel):
+    circuit, entry = _splitter_chain()
+    session = TraceSession(circuit)
+    sim = Simulator(circuit, kernel=kernel, trace=session)
+    sim.schedule_train(entry, "a", [0, 5_000, 5_000, 9_000])
+    stats = sim.run()
+
+    from repro.models import technology as tech
+
+    d = tech.T_SPLITTER_FS  # splitter internal delay
+    assert session.port("entry.q1").times() == [d, 5_000 + d, 5_000 + d, 9_000 + d]
+    assert session.port("mid.q2").times() == [
+        t + 1_000 + d for t in session.port("entry.q1").times()
+    ]
+    # One health sample per distinct timestamp; cohorts total the events.
+    samples = session.health.items()
+    assert [s.time_fs for s in samples] == sorted({s.time_fs for s in samples})
+    assert sum(s.cohort for s in samples) == stats.events_processed
+    assert max(s.queue_depth for s in samples) <= stats.max_queue_depth
+    assert session.metrics.counter("sim.events_processed").value == (
+        stats.events_processed
+    )
+    assert session.metrics.gauge("sim.max_queue_depth").value >= 1
+
+
+def test_port_totals_survive_reset_but_timelines_do_not():
+    circuit, entry = _splitter_chain()
+    session = TraceSession(circuit)
+    sim = Simulator(circuit, kernel="reference", trace=session)
+    sim.schedule_train(entry, "a", [0, 1_000])
+    sim.run()
+    assert session.port("entry.q1").total == 2
+    sim.reset()  # circuit reset clears probe timelines
+    assert session.port("entry.q1").times() == []
+    assert session.port("entry.q1").total == 2  # cumulative across runs
+    sim.schedule_input(entry, "a", 0)
+    sim.run()
+    assert session.port("entry.q1").total == 3
+
+
+def test_detach_removes_taps_and_restores_untraced_behaviour():
+    circuit, entry = _splitter_chain()
+    session = TraceSession(circuit)
+    assert len(circuit.probed_ports()) == 4
+    session.detach()
+    assert circuit.probed_ports() == []
+    assert session.ports == []
+    sim = Simulator(circuit, kernel="sealed")
+    sim.schedule_input(entry, "a", 0)
+    sim.run()  # no stale tap callbacks
+
+
+def test_session_uses_ambient_registry_when_capturing():
+    circuit, entry = _splitter_chain()
+    with capture_metrics() as registry:
+        session = TraceSession(circuit)
+        assert session.metrics is registry
+        sim = Simulator(circuit, kernel="reference", trace=session)
+        sim.schedule_input(entry, "a", 0)
+        sim.run()
+    assert registry.counter("sim.events_processed").value > 0
+    # An explicit registry still wins.
+    private = MetricsRegistry()
+    assert TraceSession(metrics=private).metrics is private
+
+
+def test_max_events_budget_is_preserved_when_traced():
+    circuit, entry = _splitter_chain()
+    untraced_error = traced_error = None
+    try:
+        sim = Simulator(circuit, max_events=3, kernel="reference")
+        sim.schedule_train(entry, "a", [0, 1_000, 2_000])
+        sim.run()
+    except SimulationError as error:
+        untraced_error = str(error)
+    circuit2, entry2 = _splitter_chain()
+    try:
+        session = TraceSession(circuit2)
+        sim = Simulator(circuit2, max_events=3, kernel="reference", trace=session)
+        sim.schedule_train(entry2, "a", [0, 1_000, 2_000])
+        sim.run()
+    except SimulationError as error:
+        traced_error = str(error)
+    assert untraced_error is not None
+    assert traced_error == untraced_error

@@ -1,0 +1,76 @@
+"""Tracing must not change results: traced vs untraced, both kernels.
+
+Reuses the Hypothesis netlist strategy from the kernel differential suite:
+random layered DAGs with heavy simultaneous stimulus.  A traced run (all
+output ports tapped, scheduler health sampled per distinct timestamp)
+must produce bit-identical probe recordings, stats, and cell state to an
+untraced run of the same kernel — ``wall_s`` excepted, which is wall
+clock and only checked for accumulation.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pulsesim import Simulator
+from repro.trace import TraceSession
+from tests.pulsesim.test_kernel_differential import _STATE_ATTRS, netlists
+
+
+def _run(build, stimulus, kernel, traced):
+    circuit, entry, probes = build()
+    session = None
+    if traced:
+        session = TraceSession(circuit)
+    sim = Simulator(circuit, kernel=kernel, trace=session)
+    for time in stimulus[:3]:
+        sim.schedule_input(entry, "a", time)
+    sim.schedule_train(entry, "a", stimulus[3:])
+    stats = sim.run()
+    assert stats.wall_s >= 0.0
+    if traced:
+        assert sum(s.cohort for s in session.health) == stats.events_processed
+    state = [
+        tuple(getattr(element, attr, None) for attr in _STATE_ATTRS)
+        for element in circuit.elements
+    ]
+    return {
+        "recordings": [list(probe.times) for probe in probes],
+        "events": stats.events_processed,
+        "pulses": stats.pulses_emitted,
+        "end_time": stats.end_time,
+        "max_queue_depth": stats.max_queue_depth,
+        "now": sim.now,
+        "state": state,
+    }
+
+
+@settings(max_examples=30, deadline=None)
+@given(netlists(), st.sampled_from(["reference", "sealed"]))
+def test_traced_run_is_bit_identical(case, kernel):
+    build, stimulus = case
+    untraced = _run(build, stimulus, kernel, traced=False)
+    traced = _run(build, stimulus, kernel, traced=True)
+    assert traced == untraced
+
+
+@settings(max_examples=15, deadline=None)
+@given(netlists(), st.integers(0, 30))
+def test_traced_resume_matches_untraced(case, cut):
+    """run(until=...) then run() under trace, against untraced, both kernels."""
+    build, stimulus = case
+    horizon = cut * 1_000
+
+    def run_split(kernel, traced):
+        circuit, entry, probes = build()
+        session = TraceSession(circuit) if traced else None
+        sim = Simulator(circuit, kernel=kernel, trace=session)
+        sim.schedule_train(entry, "a", stimulus)
+        sim.run(until=horizon)
+        partial = [list(probe.times) for probe in probes]
+        stats = sim.run()
+        return (partial, [list(p.times) for p in probes],
+                stats.events_processed, stats.pulses_emitted,
+                stats.end_time, stats.max_queue_depth)
+
+    for kernel in ("reference", "sealed"):
+        assert run_split(kernel, True) == run_split(kernel, False)
