@@ -21,3 +21,8 @@ class EncodingError(ReproError):
 
 class ConfigurationError(ReproError):
     """Raised when a block is constructed with unusable parameters."""
+
+
+class VerificationError(ReproError):
+    """Raised by the conformance harness for malformed netlist specs,
+    corpus entries, or unusable generator/oracle configurations."""

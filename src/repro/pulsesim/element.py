@@ -20,6 +20,7 @@ physical:
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Tuple
 
@@ -124,6 +125,34 @@ class Element:
     def has_role(self, role: str) -> bool:
         """Whether this cell declares the given :class:`CellRole` tag."""
         return role in type(self).ROLES
+
+    def params(self) -> Dict[str, object]:
+        """Constructor parameters (sans ``name``) needed to rebuild this cell.
+
+        By convention every cell stores each ``__init__`` parameter under an
+        instance attribute of the same name (``delay``, ``dead_time``,
+        ``seed``, ...), so the generic implementation recovers them by
+        inspecting the constructor signature.  Netlist export embeds the
+        result and :func:`~repro.pulsesim.export.import_netlist` feeds it
+        back to the constructor; cells that transform their arguments must
+        override this method.  Raises :class:`~repro.errors.NetlistError`
+        when a parameter cannot be recovered.
+        """
+        signature = inspect.signature(type(self).__init__)
+        params: Dict[str, object] = {}
+        for pname, parameter in signature.parameters.items():
+            if pname in ("self", "name"):
+                continue
+            if parameter.kind in (parameter.VAR_POSITIONAL, parameter.VAR_KEYWORD):
+                continue
+            if not hasattr(self, pname):
+                raise NetlistError(
+                    f"{self!r} does not store constructor parameter {pname!r} "
+                    "as an attribute; override params() to make the cell "
+                    "netlist-exportable"
+                )
+            params[pname] = getattr(self, pname)
+        return params
 
     @property
     def propagation_delay_fs(self) -> int:

@@ -1,4 +1,4 @@
-"""Netlist inspection and export.
+"""Netlist inspection, export, and re-import.
 
 The paper's artifact is "a small DPU netlist" for a rudimentary testing
 environment; this module provides the equivalent view of any circuit built
@@ -10,12 +10,22 @@ sort by name, wires by (source, source port, sink, sink port, delay),
 probes by (cell, port, label) — so two structurally identical circuits
 export byte-identical descriptions, and descriptions diff cleanly across
 refactors.
+
+:func:`import_netlist` is the inverse of :func:`netlist_description`: it
+reconstructs a *runnable* circuit — cells rebuilt from their embedded
+constructor parameters, wires rewired, recorder probes reattached — so a
+description can be archived, diffed, shipped to another process, and
+re-simulated.  ``describe -> import -> describe`` is byte-stable, a
+property the :mod:`repro.verify` conformance harness checks on randomly
+generated netlists.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Type
 
+from repro.errors import NetlistError
+from repro.pulsesim.element import Element
 from repro.pulsesim.netlist import Circuit
 
 
@@ -58,16 +68,22 @@ def netlist_description(circuit: Circuit) -> Dict:
     (source cell/port -> sink cell/port, delay), and every attached probe
     (observability taps, including trace sessions), plus totals.
     """
-    cells = [
-        {
+    cells = []
+    for element in sorted(circuit.elements, key=lambda e: e.name):
+        cell = {
             "name": element.name,
             "type": type(element).__name__,
             "jj_count": element.jj_count,
             "inputs": list(element.input_names),
             "outputs": list(element.output_names),
         }
-        for element in sorted(circuit.elements, key=lambda e: e.name)
-    ]
+        try:
+            cell["params"] = element.params()
+        except NetlistError:
+            # The cell does not expose its constructor arguments; the
+            # description stays readable but cannot be re-imported.
+            pass
+        cells.append(cell)
     wires = [
         {
             "from": f"{wire.source.name}.{wire.source_port}",
@@ -94,6 +110,113 @@ def netlist_description(circuit: Circuit) -> Dict:
         "probe_count": len(probes),
         "jj_count": circuit.jj_count,
     }
+
+
+# -- re-import -----------------------------------------------------------------
+def default_cell_registry() -> Dict[str, Type[Element]]:
+    """Cell classes :func:`import_netlist` can instantiate, keyed by the
+    ``type`` name :func:`netlist_description` emits.
+
+    Covers the whole standard-cell library (:mod:`repro.cells`) and the
+    fault channels (:mod:`repro.pulsesim.faults`).  Callers with custom
+    cells pass ``registry={**default_cell_registry(), "MyCell": MyCell}``.
+    """
+    from repro.cells.bff import Bff
+    from repro.cells.clocked import ClockedAnd, ClockedOr, ClockedXor
+    from repro.cells.interconnect import IdealMerger, Jtl, Merger, Splitter
+    from repro.cells.logic import FirstArrival, Inverter, LastArrival
+    from repro.cells.mux import Demux, Mux
+    from repro.cells.storage import Dff, Dff2, Ndro
+    from repro.cells.toggle import Tff, Tff2
+    from repro.pulsesim.faults import DropChannel, JitterChannel
+
+    classes = (
+        Bff, ClockedAnd, ClockedOr, ClockedXor, IdealMerger, Jtl, Merger,
+        Splitter, FirstArrival, Inverter, LastArrival, Demux, Mux, Dff,
+        Dff2, Ndro, Tff, Tff2, DropChannel, JitterChannel,
+    )
+    return {cls.__name__: cls for cls in classes}
+
+
+def _split_endpoint(reference: str, names: Dict[str, Element]) -> tuple:
+    """Split an exported ``"cell.port"`` reference into (element, port).
+
+    Cell names may themselves contain dots, so try every split from the
+    right until the prefix names a known cell.
+    """
+    index = len(reference)
+    while True:
+        index = reference.rfind(".", 0, index)
+        if index < 0:
+            raise NetlistError(
+                f"wire endpoint {reference!r} does not name a known cell"
+            )
+        name, port = reference[:index], reference[index + 1:]
+        if name in names:
+            return names[name], port
+
+
+def import_netlist(
+    description: Dict,
+    registry: Optional[Dict[str, Type[Element]]] = None,
+) -> Circuit:
+    """Reconstruct a runnable :class:`Circuit` from a
+    :func:`netlist_description` dict (the exact inverse operation).
+
+    Cells are rebuilt through ``registry`` (default:
+    :func:`default_cell_registry`) from their embedded ``params``; wires are
+    rewired with their delays; recorder probes (``PulseRecorder`` /
+    ``WaveformProbe``) are reattached under their original labels.  Probe
+    entries of any other type (e.g. trace-session taps) describe transient
+    observers and raise — a description containing them is a snapshot of a
+    *traced* run, not an archivable netlist.
+
+    Raises :class:`~repro.errors.NetlistError` for unknown cell types,
+    cells exported without ``params``, unknown probe types, or malformed
+    wire endpoints.  Round trip:
+    ``netlist_description(import_netlist(d)) == d``.
+    """
+    from repro.pulsesim.probe import PulseRecorder, WaveformProbe
+
+    registry = registry if registry is not None else default_cell_registry()
+    circuit = Circuit(description["name"])
+    for cell in description["cells"]:
+        kind = cell["type"]
+        try:
+            factory = registry[kind]
+        except KeyError:
+            known = ", ".join(sorted(registry))
+            raise NetlistError(
+                f"cannot import cell {cell['name']!r}: unknown type {kind!r} "
+                f"(registry knows: {known})"
+            ) from None
+        if "params" not in cell:
+            raise NetlistError(
+                f"cannot import cell {cell['name']!r}: the description "
+                "carries no constructor params (the exporting cell did not "
+                "implement params())"
+            )
+        circuit.add(factory(cell["name"], **cell["params"]))
+    for wire in description["wires"]:
+        source, source_port = _split_endpoint(wire["from"], circuit._names)
+        sink, sink_port = _split_endpoint(wire["to"], circuit._names)
+        circuit.connect(source, source_port, sink, sink_port,
+                        delay=wire["delay_fs"])
+    probe_factories = {
+        "PulseRecorder": PulseRecorder,
+        "WaveformProbe": WaveformProbe,
+    }
+    for probe in description["probes"]:
+        element, port = _split_endpoint(probe["port"], circuit._names)
+        try:
+            factory = probe_factories[probe["type"]]
+        except KeyError:
+            raise NetlistError(
+                f"cannot import probe on {probe['port']}: type "
+                f"{probe['type']!r} is not a reconstructible recorder"
+            ) from None
+        circuit.probe(element, port, probe=factory(probe["label"]))
+    return circuit
 
 
 def cell_census(circuit: Circuit) -> Dict[str, int]:

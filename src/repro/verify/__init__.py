@@ -1,0 +1,84 @@
+"""Randomized conformance verification of the pulse-simulator stack.
+
+The unit suites pin down what each cell and kernel *should* do on
+hand-written circuits; this package asks the complementary question —
+do all the execution paths agree on circuits *nobody wrote*?  It
+generates random netlists that are lint-clean by construction (every
+design rule in :mod:`repro.lint` is a generator constraint), then holds
+them to a matrix of differential and metamorphic oracles:
+
+* reference event loop vs the compiled sealed kernel,
+* traced vs untraced, probed vs probe-free execution,
+* global time-shift equivariance, merger input commutativity,
+* zero-strength fault channels as exact identities,
+* export → import → re-run determinism.
+
+Failures are shrunk to minimal specs and persisted as replayable corpus
+entries (``tests/verify/corpus/``) so every discrepancy ever found stays
+a regression test.
+
+Quickstart::
+
+    from repro.verify import VerifyConfig, run_verify
+    report = run_verify(VerifyConfig(profile="smoke", seed=0))
+    assert report.ok, report.discrepancies
+
+CLI: ``python -m repro.verify --profile ci`` or the ``usfq-verify``
+script.
+"""
+
+from repro.verify.corpus import (
+    corpus_entry,
+    iter_corpus,
+    load_entry,
+    replay_entry,
+    save_entry,
+)
+from repro.verify.generator import PROFILES, example_rng, generate_spec, profile
+from repro.verify.harness import (
+    Discrepancy,
+    VerifyConfig,
+    VerifyReport,
+    replay_corpus,
+    run_verify,
+)
+from repro.verify.oracles import ORACLES, OracleResult, run_oracle
+from repro.verify.shrink import ShrinkResult, shrink
+from repro.verify.spec import (
+    Built,
+    CellSpec,
+    NetlistSpec,
+    WireSpec,
+    build,
+    spec_from_json,
+    validate,
+)
+
+__all__ = [
+    "Built",
+    "CellSpec",
+    "Discrepancy",
+    "NetlistSpec",
+    "ORACLES",
+    "OracleResult",
+    "PROFILES",
+    "ShrinkResult",
+    "VerifyConfig",
+    "VerifyReport",
+    "WireSpec",
+    "build",
+    "corpus_entry",
+    "example_rng",
+    "generate_spec",
+    "iter_corpus",
+    "load_entry",
+    "profile",
+    "replay_corpus",
+    "replay_entry",
+    "run_oracle",
+    "run_verify",
+    "save_entry",
+    "shrink",
+    "spec_from_json",
+    "validate",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.verify`` — the conformance harness CLI."""
+
+import sys
+
+from repro.verify.cli import main
+
+sys.exit(main())

@@ -1,0 +1,335 @@
+"""The conformance oracle matrix.
+
+Every oracle takes a :class:`~repro.verify.spec.NetlistSpec`, builds fresh
+circuits from it, and checks one invariant that must hold for *any* legal
+netlist.  Differential oracles compare two executions of the same circuit
+(reference vs sealed kernel, traced vs untraced, probed vs probe-free);
+metamorphic oracles compare executions of two *related* circuits whose
+outputs are analytically linked (time-shifted stimulus, commuted merger
+inputs, identity fault channels spliced into a wire, an export/import
+round trip).
+
+Oracles self-report applicability: a property that only holds in the
+absence of tie-order-sensitive cells (see :data:`TIE_ORDER_SENSITIVE`)
+declines circuits containing them rather than raising false alarms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.lint.api import lint_circuit
+from repro.pulsesim.simulator import Simulator
+from repro.verify.spec import Built, NetlistSpec, build
+from repro.verify import spec as specmod
+
+#: Internal cell state compared after runs (superset across the library;
+#: missing attributes read as None).  Cell state is the sharpest oracle:
+#: parity, dead-time filtering, and store/readout races are all
+#: order-sensitive, so any divergence in the event total order shows up.
+STATE_ATTRS: Tuple[str, ...] = (
+    "state", "reads", "collisions", "select",
+    "_armed", "_last_accept", "_a", "_b", "_seen", "_fired",
+)
+
+#: Cells for which equal-(time, priority) pulses on *different* input
+#: ports steer observably different outputs depending on engine-assigned
+#: sequence numbers.  Transformations that add or remove events (channel
+#: splices) legitimately perturb that order, so order-sensitive circuits
+#: are out of scope for those oracles.
+TIE_ORDER_SENSITIVE = frozenset({"Bff", "Dff2", "Mux", "Demux"})
+
+#: The time-shift applied by the shift-equivariance oracle (fs).
+SHIFT_DELTA = 7_000
+
+
+@dataclass
+class OracleResult:
+    """Outcome of one oracle on one spec."""
+
+    oracle: str
+    applicable: bool
+    ok: bool
+    detail: str = ""
+
+
+def state_snapshot(built: Built) -> Dict[str, tuple]:
+    """Internal cell state keyed by element name (comparable by-name
+    across transformed circuits that add or remove helper cells)."""
+    return {
+        element.name: tuple(
+            _freeze(getattr(element, attr, None)) for attr in STATE_ATTRS
+        )
+        for element in built.circuit.elements
+    }
+
+
+def _freeze(value):
+    return tuple(sorted(value.items())) if isinstance(value, dict) else value
+
+
+def run_built(built: Built, stimulus, kernel: Optional[str] = None,
+              trace=None) -> Dict:
+    """Drive a built circuit and snapshot everything comparable.
+
+    Mixes the single-pulse and batched scheduling paths exactly like the
+    kernel differential suite, so both entry points stay covered.
+    """
+    sim = Simulator(built.circuit, kernel=kernel, trace=trace)
+    for time in stimulus[:3]:
+        sim.schedule_input(built.entry, "a", time)
+    sim.schedule_train(built.entry, "a", stimulus[3:])
+    stats = sim.run()
+    return {
+        "recordings": [list(probe.times) for probe in built.probes],
+        "events": stats.events_processed,
+        "pulses": stats.pulses_emitted,
+        "end_time": stats.end_time,
+        "max_queue_depth": stats.max_queue_depth,
+        "now": sim.now,
+        "state": state_snapshot(built),
+    }
+
+
+def _first_difference(left: Dict, right: Dict) -> str:
+    for key in left:
+        if left[key] != right[key]:
+            return f"{key}: {left[key]!r} != {right[key]!r}"
+    return "identical"
+
+
+def _compare(name: str, left: Dict, right: Dict,
+             keys: Optional[Tuple[str, ...]] = None) -> OracleResult:
+    if keys is not None:
+        left = {key: left[key] for key in keys}
+        right = {key: right[key] for key in keys}
+    if left == right:
+        return OracleResult(name, True, True)
+    return OracleResult(name, True, False,
+                        detail=_first_difference(left, right))
+
+
+# -- oracles -------------------------------------------------------------------
+def oracle_lint_clean(spec: NetlistSpec) -> OracleResult:
+    """Generated circuits must pass every lint rule with zero diagnostics."""
+    built = build(spec)
+    report = lint_circuit(built.circuit,
+                          entry_points=[(built.entry, "a")])
+    if not report.diagnostics:
+        return OracleResult("lint-clean", True, True)
+    worst = report.diagnostics[0]
+    return OracleResult(
+        "lint-clean", True, False,
+        detail=f"{len(report.diagnostics)} diagnostics, first: "
+               f"[{worst.rule}] {worst.message}",
+    )
+
+
+def oracle_kernel_differential(spec: NetlistSpec) -> OracleResult:
+    """Reference heap loop and compiled sealed kernel agree exactly."""
+    reference = run_built(build(spec), spec.stimulus, kernel="reference")
+    sealed = run_built(build(spec), spec.stimulus, kernel="sealed")
+    return _compare("kernel-differential", reference, sealed)
+
+
+def oracle_trace_transparency(spec: NetlistSpec) -> OracleResult:
+    """A fully-tapped traced run is bit-identical to an untraced run."""
+    from repro.trace import TraceSession
+
+    untraced = run_built(build(spec), spec.stimulus)
+    traced_built = build(spec)
+    session = TraceSession(traced_built.circuit)
+    traced = run_built(traced_built, spec.stimulus, trace=session)
+    return _compare("trace-transparency", untraced, traced)
+
+
+def oracle_probe_transparency(spec: NetlistSpec) -> OracleResult:
+    """Attaching one more recorder does not disturb existing observers."""
+    baseline = run_built(build(spec), spec.stimulus)
+    probed = build(spec)
+    # Tap a *consumed* output (unconsumed ones already carry recorders):
+    # the sink of the last cell's first input, or the entry's q1.
+    if spec.cells:
+        slot = spec.cells[-1].inputs[0].source
+    else:
+        slot = 0
+    element, port = probed.pool[slot]
+    from repro.pulsesim.probe import PulseRecorder
+
+    probed.circuit.probe(element, port, probe=PulseRecorder("verify:extra"))
+    extra = run_built(probed, spec.stimulus)
+    return _compare("probe-transparency", baseline, extra)
+
+
+def oracle_time_shift(spec: NetlistSpec) -> OracleResult:
+    """Shifting all stimulus by Δ shifts every recording and the horizon
+    by exactly Δ and changes nothing else (time-translation symmetry)."""
+    base = run_built(build(spec), spec.stimulus)
+    shifted_spec = specmod.shift_stimulus(spec, SHIFT_DELTA)
+    shifted = run_built(build(shifted_spec), shifted_spec.stimulus)
+    expected = dict(base)
+    expected["recordings"] = [
+        [time + SHIFT_DELTA for time in timeline]
+        for timeline in base["recordings"]
+    ]
+    expected["end_time"] = base["end_time"] + SHIFT_DELTA
+    expected["now"] = base["now"] + SHIFT_DELTA
+    expected["state"] = _shift_state(base["state"], SHIFT_DELTA)
+    return _compare("time-shift", expected, shifted)
+
+
+def _shift_state(state: Dict[str, tuple], delta: int) -> Dict[str, tuple]:
+    """Displace absolute-time state (a merger's last-accept timestamp)
+    by ``delta``; everything else is time-translation invariant."""
+    index = STATE_ATTRS.index("_last_accept")
+    shifted = {}
+    for name, values in state.items():
+        values = list(values)
+        if isinstance(values[index], int):
+            values[index] += delta
+        shifted[name] = tuple(values)
+    return shifted
+
+
+def _merger_indices(spec: NetlistSpec) -> List[int]:
+    return [
+        index for index, cell in enumerate(spec.cells)
+        if cell.kind in ("Merger", "IdealMerger")
+    ]
+
+
+def oracle_merger_commutativity(spec: NetlistSpec) -> OracleResult:
+    """Swapping which wires feed a merger's two inputs changes nothing."""
+    mergers = _merger_indices(spec)
+    if not mergers:
+        return OracleResult("merger-commutativity", False, True,
+                            detail="no merger cells")
+    base = run_built(build(spec), spec.stimulus)
+    for index in mergers:
+        swapped_spec = specmod.swap_cell_inputs(spec, index)
+        swapped = run_built(build(swapped_spec), swapped_spec.stimulus)
+        result = _compare("merger-commutativity", base, swapped)
+        if not result.ok:
+            result.detail = f"merger c{index}: {result.detail}"
+            return result
+    return OracleResult("merger-commutativity", True, True)
+
+
+def _identity_oracle(name: str, kind: str, params,
+                     spec: NetlistSpec) -> OracleResult:
+    if not spec.cells:
+        return OracleResult(name, False, True, detail="no wires to splice")
+    if any(cell.kind in TIE_ORDER_SENSITIVE for cell in spec.cells):
+        return OracleResult(
+            name, False, True,
+            detail="circuit contains tie-order-sensitive cells",
+        )
+    base = run_built(build(spec), spec.stimulus)
+    spliced_spec = specmod.splice_cell(spec, len(spec.cells) - 1, 0, kind,
+                                       params=params)
+    spliced = run_built(build(spliced_spec), spliced_spec.stimulus)
+    # The channel adds events and its own element, so only the original
+    # observers, cell states, and the time horizon are comparable.
+    channel_name = f"c{len(spec.cells) - 1}"  # spliced before the last cell
+    base_cmp = {"recordings": base["recordings"], "state": base["state"],
+                "end_time": base["end_time"]}
+    spliced_cmp = {
+        "recordings": spliced["recordings"],
+        "state": _renamed_without_channel(spliced["state"], channel_name,
+                                          len(spec.cells)),
+        "end_time": spliced["end_time"],
+    }
+    return _compare(name, base_cmp, spliced_cmp)
+
+
+def _renamed_without_channel(state: Dict[str, tuple], channel: str,
+                             original_cells: int) -> Dict[str, tuple]:
+    """Map spliced-circuit cell names back to base-circuit names.
+
+    The channel sits at index ``original_cells - 1``; the original last
+    cell shifted to index ``original_cells``.  Every other name is stable.
+    """
+    renamed = {}
+    for name, snapshot in state.items():
+        if name == channel:
+            continue  # the identity channel itself has no counterpart
+        if name == f"c{original_cells}":
+            renamed[f"c{original_cells - 1}"] = snapshot
+        else:
+            renamed[name] = snapshot
+    return renamed
+
+
+def oracle_drop_identity(spec: NetlistSpec) -> OracleResult:
+    """``DropChannel(drop_rate=0)`` spliced into a wire is a no-op."""
+    return _identity_oracle("drop-identity", "DropChannel",
+                            (("drop_rate", 0.0),), spec)
+
+
+def oracle_jitter_identity(spec: NetlistSpec) -> OracleResult:
+    """``JitterChannel(std_fs=0)`` spliced into a wire is a no-op."""
+    return _identity_oracle("jitter-identity", "JitterChannel",
+                            (("std_fs", 0),), spec)
+
+
+def oracle_export_import(spec: NetlistSpec) -> OracleResult:
+    """describe → import → describe is byte-stable and the re-imported
+    circuit replays the exact pulse timelines on the probed ports."""
+    from repro.pulsesim.export import import_netlist, netlist_description
+
+    built = build(spec)
+    description = netlist_description(built.circuit)
+    rebuilt_circuit = import_netlist(description)
+    redescription = netlist_description(rebuilt_circuit)
+    if redescription != description:
+        return OracleResult(
+            "export-import", True, False,
+            detail="netlist description changed across import round trip",
+        )
+    base = run_built(built, spec.stimulus)
+    # Align the re-imported recorders with the base circuit's pool-order
+    # probes by label (default PulseRecorder labels are "<cell>.<port>").
+    by_label = {
+        tap.probe.label: tap.probe
+        for taps in rebuilt_circuit._taps.values()
+        for tap in taps
+    }
+    rebuilt = Built(
+        circuit=rebuilt_circuit,
+        entry=rebuilt_circuit[specmod.ENTRY_NAME],
+        probes=[by_label[probe.label] for probe in built.probes],
+        pool=[],
+    )
+    rerun = run_built(rebuilt, spec.stimulus)
+    return _compare("export-import", base, rerun,
+                    keys=("recordings", "events", "pulses", "end_time",
+                          "max_queue_depth", "now"))
+
+
+#: The full matrix, in canonical execution order.
+ORACLES: Dict[str, Callable[[NetlistSpec], OracleResult]] = {
+    "lint-clean": oracle_lint_clean,
+    "kernel-differential": oracle_kernel_differential,
+    "trace-transparency": oracle_trace_transparency,
+    "probe-transparency": oracle_probe_transparency,
+    "time-shift": oracle_time_shift,
+    "merger-commutativity": oracle_merger_commutativity,
+    "drop-identity": oracle_drop_identity,
+    "jitter-identity": oracle_jitter_identity,
+    "export-import": oracle_export_import,
+}
+
+
+def run_oracle(name: str, spec: NetlistSpec) -> OracleResult:
+    """Run one oracle by name (corpus replay uses this)."""
+    try:
+        oracle = ORACLES[name]
+    except KeyError:
+        from repro.errors import VerificationError
+
+        known = ", ".join(ORACLES)
+        raise VerificationError(
+            f"unknown oracle {name!r}; known oracles: {known}"
+        ) from None
+    return oracle(spec)

@@ -1,0 +1,140 @@
+"""Greedy counterexample minimisation.
+
+Given a failing spec and a predicate ("does this spec still exhibit the
+failure?"), the shrinker repeatedly applies legality-preserving
+reductions and keeps every one the predicate accepts, until a fixpoint or
+the predicate-call budget runs out.  Reduction passes, in order of how
+much they simplify the eventual corpus entry:
+
+1. drop stimulus pulses (whole halves first, then single pulses),
+2. remove leaf cells (cells whose outputs nothing consumes),
+3. zero wire delays,
+4. halve wire delays that resist zeroing,
+5. zero then halve stimulus times.
+
+Every candidate is structurally validated before the predicate runs, so
+shrinking can never escape the legal-spec space — though a shrunk spec is
+not guaranteed lint-*clean* (e.g. collapsing wire delays can introduce a
+merger-collision timing diagnostic); the predicate, which replays the
+original failing oracle, is the only arbiter of which reductions stick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Iterator
+
+from repro.errors import VerificationError
+from repro.verify.spec import NetlistSpec, WireSpec, remove_cell, validate
+
+#: Default cap on predicate invocations per shrink.
+DEFAULT_BUDGET = 400
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink: the minimal spec plus bookkeeping."""
+
+    spec: NetlistSpec
+    calls: int
+    improved: bool
+
+
+def _drop_stimulus(spec: NetlistSpec) -> Iterator[NetlistSpec]:
+    count = len(spec.stimulus)
+    if count > 1:
+        half = count // 2
+        yield replace(spec, stimulus=spec.stimulus[:half])
+        yield replace(spec, stimulus=spec.stimulus[half:])
+    for index in range(count):
+        yield replace(
+            spec,
+            stimulus=spec.stimulus[:index] + spec.stimulus[index + 1:],
+        )
+
+
+def _drop_cells(spec: NetlistSpec) -> Iterator[NetlistSpec]:
+    # Last-to-first: later cells are leaves more often, and removing one
+    # can turn its drivers into leaves for the next round.
+    for index in reversed(range(len(spec.cells))):
+        try:
+            yield remove_cell(spec, index)
+        except VerificationError:
+            continue  # not a leaf
+
+
+def _rewire(spec: NetlistSpec, cell_index: int, input_index: int,
+            delay: int) -> NetlistSpec:
+    cell = spec.cells[cell_index]
+    inputs = list(cell.inputs)
+    inputs[input_index] = WireSpec(inputs[input_index].source, delay)
+    cells = list(spec.cells)
+    cells[cell_index] = replace(cell, inputs=tuple(inputs))
+    return replace(spec, cells=tuple(cells))
+
+
+def _zero_delays(spec: NetlistSpec) -> Iterator[NetlistSpec]:
+    for cell_index, cell in enumerate(spec.cells):
+        for input_index, wire in enumerate(cell.inputs):
+            if wire.delay:
+                yield _rewire(spec, cell_index, input_index, 0)
+
+
+def _halve_delays(spec: NetlistSpec) -> Iterator[NetlistSpec]:
+    for cell_index, cell in enumerate(spec.cells):
+        for input_index, wire in enumerate(cell.inputs):
+            if wire.delay > 1:
+                yield _rewire(spec, cell_index, input_index, wire.delay // 2)
+
+
+def _shrink_times(spec: NetlistSpec) -> Iterator[NetlistSpec]:
+    for index, time in enumerate(spec.stimulus):
+        for smaller in (0, time // 2):
+            if smaller < time:
+                yield replace(
+                    spec,
+                    stimulus=spec.stimulus[:index] + (smaller,)
+                    + spec.stimulus[index + 1:],
+                )
+
+
+_PASSES = (_drop_stimulus, _drop_cells, _zero_delays, _halve_delays,
+           _shrink_times)
+
+
+def shrink(spec: NetlistSpec,
+           predicate: Callable[[NetlistSpec], bool],
+           budget: int = DEFAULT_BUDGET) -> ShrinkResult:
+    """Minimise ``spec`` while ``predicate`` keeps returning True.
+
+    ``predicate`` is only ever called with structurally valid specs; it
+    must return True when the candidate still exhibits the failure being
+    chased.  The original ``spec`` is assumed failing and never re-checked.
+    """
+    calls = 0
+
+    def still_fails(candidate: NetlistSpec) -> bool:
+        nonlocal calls
+        if calls >= budget:
+            return False
+        try:
+            validate(candidate)
+        except VerificationError:
+            return False
+        calls += 1
+        return bool(predicate(candidate))
+
+    current = spec
+    progress = True
+    while progress and calls < budget:
+        progress = False
+        for reduction in _PASSES:
+            accepted = True
+            while accepted and calls < budget:
+                accepted = False
+                for candidate in reduction(current):
+                    if still_fails(candidate):
+                        current = candidate
+                        accepted = progress = True
+                        break
+    return ShrinkResult(spec=current, calls=calls, improved=current != spec)

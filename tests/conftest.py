@@ -1,8 +1,18 @@
 """Shared fixtures for the test suite."""
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro.encoding.epoch import EpochSpec
+
+# Property tests measure wall time per example; under instrumented runs
+# (coverage collection, tracing) the default 200 ms deadline produces
+# flaky DeadlineExceeded failures.  CI and coverage runs select the
+# "ci" profile via HYPOTHESIS_PROFILE=ci.
+settings.register_profile("ci", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture

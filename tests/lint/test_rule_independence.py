@@ -1,0 +1,228 @@
+"""Rule independence: one minimal circuit per rule, firing *only* that rule.
+
+``test_rules.py`` proves each rule fires on a violation and stays silent
+on the fix.  This module proves the stronger property the fuzzing
+generator in :mod:`repro.verify` relies on: the rules are independent
+axes.  Each circuit here is the smallest netlist that violates exactly
+one rule, and the assertion is over *every* diagnostic in the report —
+any cross-talk between rules (a violation of rule A also tripping rule
+B) would fail the exact-set check.
+
+One coupling is definitional and documented rather than worked around:
+an undriven clock port *is* an undriven input port, so ``no-clock-driver``
+can never fire without ``floating-input`` on the same port (see
+:func:`test_no_clock_driver_coupling_is_exactly_the_clock_port`).
+"""
+
+from repro.cells import Dff, Jtl, Merger, Splitter, Tff
+from repro.encoding.epoch import EpochSpec
+from repro.lint import LintConfig, Severity, lint_circuit
+from repro.lint.rules import rule_catalogue
+from repro.models import technology as tech
+from repro.pulsesim import Circuit
+
+
+def fired(report):
+    """Every rule with at least one diagnostic, regardless of severity."""
+    return {diagnostic.rule for diagnostic in report.diagnostics}
+
+
+# -- drc rules, one at a time --------------------------------------------------
+def test_implicit_fanout_fires_alone():
+    circuit = Circuit()
+    src = circuit.add(Jtl("src"))
+    s1 = circuit.add(Jtl("s1"))
+    s2 = circuit.add(Jtl("s2"))
+    circuit.connect(src, "q", s1, "a")
+    circuit.connect(src, "q", s2, "a")
+    circuit.probe(s1, "q")
+    circuit.probe(s2, "q")
+    report = lint_circuit(circuit, entry_points=[(src, "a")])
+    assert fired(report) == {"implicit-fanout"}
+    (hit,) = report.diagnostics
+    assert (hit.element, hit.port) == ("src", "q")
+
+
+def test_unmerged_fanin_fires_alone():
+    circuit = Circuit()
+    a = circuit.add(Jtl("a"))
+    b = circuit.add(Jtl("b"))
+    sink = circuit.add(Jtl("sink"))
+    circuit.connect(a, "q", sink, "a")
+    circuit.connect(b, "q", sink, "a")
+    circuit.probe(sink, "q")
+    report = lint_circuit(circuit, entry_points=[(a, "a"), (b, "a")])
+    assert fired(report) == {"unmerged-fanin"}
+    (hit,) = report.diagnostics
+    assert (hit.element, hit.port) == ("sink", "a")
+
+
+def test_floating_input_fires_alone():
+    # A merger with one driven input: port b floats, but with a single
+    # arrival the merger-collision rule has nothing to compare.
+    circuit = Circuit()
+    m = circuit.add(Merger("m"))
+    circuit.probe(m, "q")
+    report = lint_circuit(circuit, entry_points=[(m, "a")])
+    assert fired(report) == {"floating-input"}
+    (hit,) = report.diagnostics
+    assert (hit.element, hit.port) == ("m", "b")
+
+
+def test_dead_element_fires_alone():
+    # The dead island must have every input driven (no floating-input),
+    # every output consumed (no dangling-output), and its feedback loop
+    # broken by a storage cell (no combinational-loop) — which forces it
+    # to be a splitter/DFF pair, the smallest self-sustaining subgraph.
+    circuit = Circuit()
+    src = circuit.add(Jtl("src"))
+    circuit.probe(src, "q")
+    split = circuit.add(Splitter("split"))
+    dff = circuit.add(Dff("dff"))
+    circuit.connect(dff, "q", split, "a")
+    circuit.connect(split, "q1", dff, "d")
+    circuit.connect(split, "q2", dff, "clk")
+    report = lint_circuit(circuit, entry_points=[(src, "a")])
+    assert fired(report) == {"dead-element"}
+    assert {d.element for d in report.diagnostics} == {"split", "dff"}
+
+
+def test_dead_element_vacuous_diagnostic_fires_alone():
+    # No entry points at all: reachability is vacuous, and on an empty
+    # circuit no other rule has anything to say.
+    report = lint_circuit(Circuit())
+    assert fired(report) == {"dead-element"}
+    (hit,) = report.diagnostics
+    assert hit.element is None and "vacuous" in hit.message
+
+
+def test_dangling_output_fires_alone():
+    circuit = Circuit()
+    t = circuit.add(Tff("t"))
+    report = lint_circuit(circuit, entry_points=[(t, "a")])
+    assert fired(report) == {"dangling-output"}
+    (hit,) = report.diagnostics
+    assert (hit.element, hit.port) == ("t", "q")
+    assert hit.severity is Severity.WARNING
+
+
+def test_dangling_buffer_output_is_still_only_dangling_output():
+    # Buffer termination downgrades to INFO but stays the same rule.
+    circuit = Circuit()
+    j = circuit.add(Jtl("j"))
+    report = lint_circuit(circuit, entry_points=[(j, "a")])
+    assert fired(report) == {"dangling-output"}
+    (hit,) = report.diagnostics
+    assert hit.severity is Severity.INFO
+
+
+def test_combinational_loop_fires_alone():
+    circuit = Circuit()
+    split = circuit.add(Splitter("split"))
+    j = circuit.add(Jtl("j"))
+    circuit.connect(split, "q1", j, "a")
+    circuit.connect(j, "q", split, "a")
+    circuit.probe(split, "q2")
+    report = lint_circuit(circuit, entry_points=[(split, "a")])
+    assert fired(report) == {"combinational-loop"}
+    (hit,) = report.diagnostics
+    assert "split" in hit.message and "j" in hit.message
+
+
+def test_no_clock_driver_coupling_is_exactly_the_clock_port():
+    """An undriven clock port is, definitionally, a floating input: the
+    two rules test the same predicate on clock ports, so they can never
+    be separated.  Independence here means the overlap is *only* that
+    port — no third rule joins in, and both diagnostics anchor there."""
+    circuit = Circuit()
+    src = circuit.add(Jtl("src"))
+    dff = circuit.add(Dff("dff"))
+    circuit.connect(src, "q", dff, "d")
+    circuit.probe(dff, "q")
+    report = lint_circuit(circuit, entry_points=[(src, "a")])
+    assert fired(report) == {"no-clock-driver", "floating-input"}
+    assert {(d.element, d.port) for d in report.diagnostics} == {("dff", "clk")}
+
+
+# -- timing rules --------------------------------------------------------------
+def test_merger_collision_fires_alone():
+    circuit = Circuit()
+    m = circuit.add(Merger("m"))
+    circuit.probe(m, "q")
+    report = lint_circuit(circuit, entry_points=[(m, "a"), (m, "b")])
+    assert fired(report) == {"merger-collision"}
+    (hit,) = report.diagnostics
+    assert hit.element == "m" and "0 fs apart" in hit.message
+
+
+def test_merger_collision_silent_when_paths_staggered():
+    circuit = Circuit()
+    a = circuit.add(Jtl("a"))
+    b = circuit.add(Jtl("b"))
+    m = circuit.add(Merger("m"))
+    circuit.connect(a, "q", m, "a")
+    circuit.connect(b, "q", m, "b", delay=tech.T_MERGER_DEAD_FS)
+    circuit.probe(m, "q")
+    report = lint_circuit(circuit, entry_points=[(a, "a"), (b, "a")])
+    assert report.ok and fired(report) == set()
+
+
+def test_epoch_overflow_fires_alone_and_only_when_configured():
+    circuit = Circuit()
+    j = circuit.add(Jtl("j"))
+    circuit.probe(j, "q")
+    entries = [(j, "a")]
+    assert fired(lint_circuit(circuit, entry_points=entries)) == set()
+    report = lint_circuit(
+        circuit,
+        entry_points=entries,
+        config=LintConfig(epoch=EpochSpec(bits=1, slot_fs=1)),
+    )
+    assert fired(report) == {"epoch-overflow"}
+    (hit,) = report.diagnostics
+    assert (hit.element, hit.port) == ("j", "q")
+
+
+# -- budget rule ---------------------------------------------------------------
+def test_jj_budget_fires_alone_and_only_when_configured():
+    circuit = Circuit()
+    j = circuit.add(Jtl("j"))
+    circuit.probe(j, "q")
+    entries = [(j, "a")]
+    assert fired(lint_circuit(circuit, entry_points=entries)) == set()
+    report = lint_circuit(
+        circuit,
+        entry_points=entries,
+        config=LintConfig(expected_jj=10 * circuit.jj_count),
+    )
+    assert fired(report) == {"jj-budget"}
+    (hit,) = report.diagnostics
+    assert hit.severity is Severity.WARNING
+
+    # On an exact match the rule still speaks, as an INFO receipt.
+    report = lint_circuit(
+        circuit,
+        entry_points=entries,
+        config=LintConfig(expected_jj=circuit.jj_count),
+    )
+    assert fired(report) == {"jj-budget"}
+    (hit,) = report.diagnostics
+    assert hit.severity is Severity.INFO
+
+
+# -- catalogue coverage --------------------------------------------------------
+def test_every_registered_rule_has_an_independence_circuit():
+    """A new rule must come with its minimal isolating circuit."""
+    covered = {
+        "implicit-fanout",
+        "unmerged-fanin",
+        "floating-input",
+        "dead-element",
+        "dangling-output",
+        "combinational-loop",
+        "no-clock-driver",
+        "merger-collision",
+        "epoch-overflow",
+        "jj-budget",
+    }
+    assert {info.name for info in rule_catalogue()} == covered

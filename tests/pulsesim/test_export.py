@@ -1,10 +1,20 @@
-"""Netlist export: JSON description, census, DOT."""
+"""Netlist export: JSON description, census, DOT, and re-import."""
 
 import json
 
+import pytest
+
+from repro.cells import Dff, Jtl, Merger, Splitter, Tff
 from repro.core.dpu import build_dpu
-from repro.pulsesim import Circuit
-from repro.pulsesim.export import cell_census, netlist_description, to_dot
+from repro.errors import NetlistError
+from repro.pulsesim import Circuit, PulseRecorder, Simulator, WaveformProbe
+from repro.pulsesim.export import (
+    cell_census,
+    default_cell_registry,
+    import_netlist,
+    netlist_description,
+    to_dot,
+)
 
 
 def _small_dpu():
@@ -105,3 +115,109 @@ def test_trace_taps_are_exported_as_probes():
     assert all(p["type"] == "TracePort" for p in description["probes"])
     labels = [p["label"] for p in description["probes"]]
     assert labels == sorted(labels)
+
+
+# -- import_netlist ------------------------------------------------------------
+def _mixed_circuit():
+    """Entry splitter fanning into a delayed JTL chain, a merger with a
+    custom dead time, a DFF, and a toggle — plus two probe flavours."""
+    circuit = Circuit("mixed")
+    entry = circuit.add(Splitter("entry"))
+    jtl = circuit.add(Jtl("jtl", delay=1_234))
+    merger = circuit.add(Merger("m", delay=700, dead_time=4_000))
+    dff = circuit.add(Dff("dff"))
+    tff = circuit.add(Tff("t"))
+    circuit.connect(entry, "q1", jtl, "a", delay=500)
+    circuit.connect(entry, "q2", merger, "a")
+    circuit.connect(jtl, "q", merger, "b", delay=250)
+    circuit.connect(merger, "q", dff, "clk")
+    circuit.connect(dff, "q", tff, "a")
+    circuit.probe(dff, "q", probe=WaveformProbe("wave"))
+    circuit.probe(tff, "q")
+    return circuit, entry
+
+
+def test_description_embeds_constructor_params():
+    circuit, _entry = _mixed_circuit()
+    description = netlist_description(circuit)
+    by_name = {cell["name"]: cell for cell in description["cells"]}
+    assert by_name["jtl"]["params"] == {"delay": 1_234}
+    assert by_name["m"]["params"] == {"delay": 700, "dead_time": 4_000}
+
+
+def test_import_round_trips_description():
+    circuit, _entry = _mixed_circuit()
+    description = netlist_description(circuit)
+    rebuilt = import_netlist(description)
+    assert netlist_description(rebuilt) == description
+    # Twice over, for determinism of the rebuilt circuit itself.
+    assert netlist_description(import_netlist(netlist_description(rebuilt))) \
+        == description
+
+
+@pytest.mark.parametrize("kernel", ["reference", "sealed"])
+def test_imported_circuit_runs_identically(kernel):
+    stimulus = [0, 0, 3_000, 3_000, 9_000, 20_000, 20_000]
+
+    def run(circuit, entry):
+        sim = Simulator(circuit, kernel=kernel)
+        sim.schedule_train(entry, "a", stimulus)
+        sim.run()
+        return {
+            tap.probe.label: list(tap.probe.times)
+            for taps in circuit._taps.values()
+            for tap in taps
+        }
+
+    original, entry = _mixed_circuit()
+    rebuilt = import_netlist(netlist_description(original))
+    assert run(rebuilt, rebuilt["entry"]) == run(original, entry)
+
+
+def test_import_unknown_cell_type_raises():
+    circuit, _entry = _mixed_circuit()
+    description = netlist_description(circuit)
+    description["cells"][0]["type"] = "FluxCapacitor"
+    with pytest.raises(NetlistError, match="FluxCapacitor"):
+        import_netlist(description)
+
+
+def test_import_without_params_raises():
+    circuit, _entry = _mixed_circuit()
+    description = netlist_description(circuit)
+    del description["cells"][0]["params"]
+    with pytest.raises(NetlistError, match="params"):
+        import_netlist(description)
+
+
+def test_import_unknown_probe_type_raises():
+    from repro.trace import TraceSession
+
+    circuit, _entry = _mixed_circuit()
+    TraceSession(circuit)  # attaches TracePort taps
+    with pytest.raises(NetlistError, match="TracePort"):
+        import_netlist(netlist_description(circuit))
+
+
+def test_registry_covers_the_full_cell_library():
+    registry = default_cell_registry()
+    for kind in ("Jtl", "Splitter", "Merger", "IdealMerger", "Ndro", "Dff",
+                 "Dff2", "Tff", "Tff2", "Inverter", "Bff", "Mux", "Demux",
+                 "FirstArrival", "LastArrival", "ClockedAnd", "ClockedOr",
+                 "ClockedXor", "DropChannel", "JitterChannel"):
+        assert kind in registry
+
+
+def test_cells_without_recoverable_params_export_without_them():
+    class Mystery(Jtl):
+        def __init__(self, name, secret=7):
+            super().__init__(name)
+            self._hidden = secret
+
+    circuit = Circuit("mystery")
+    circuit.add(Mystery("m"))
+    description = netlist_description(circuit)
+    assert "params" not in description["cells"][0]
+    registry = {**default_cell_registry(), "Mystery": Mystery}
+    with pytest.raises(NetlistError, match="params"):
+        import_netlist(description, registry=registry)

@@ -10,125 +10,25 @@ state is the sharpest oracle: balancer/TFF parity, merger dead-time
 filtering, and NDRO/DFF stores are all order-sensitive, so any divergence
 in the ``(time, priority, sequence)`` total order shows up as a state or
 recording mismatch.
+
+The netlist strategy and run snapshotter live in :mod:`tests.strategies`,
+shared with the trace-transparency suite and mirrored by the standalone
+fuzzing harness in :mod:`repro.verify`.
 """
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.cells.interconnect import IdealMerger, Jtl, Merger, Splitter
-from repro.cells.logic import FirstArrival, Inverter, LastArrival
-from repro.cells.storage import Dff, Dff2, Ndro
-from repro.cells.toggle import Tff, Tff2
-from repro.pulsesim import Circuit, Simulator
-
-#: (factory, input ports, output ports).  LastArrival/FirstArrival have no
-#: inline opcode, so drawing them exercises the generic-call path and the
-#: non-monotonic drain mode alongside the compiled opcodes.
-_CELLS = [
-    (Jtl, ("a",), ("q",)),
-    (Splitter, ("a",), ("q1", "q2")),
-    (Merger, ("a", "b"), ("q",)),
-    (IdealMerger, ("a", "b"), ("q",)),
-    (Ndro, ("set", "reset", "clk"), ("q",)),
-    (Dff, ("d", "clk"), ("q",)),
-    (Dff2, ("a", "c1", "c2"), ("y1", "y2")),
-    (Tff, ("a",), ("q",)),
-    (Tff2, ("a",), ("q1", "q2")),
-    (Inverter, ("a", "clk"), ("q",)),
-    (LastArrival, ("reset", "a", "b"), ("q",)),
-    (FirstArrival, ("reset", "a", "b"), ("q",)),
-]
-
-#: Observable internal state, per cell, after a run.
-_STATE_ATTRS = ("state", "reads", "collisions", "_armed", "_last_accept",
-                "_first_emitted")
-
-
-@st.composite
-def netlists(draw):
-    """A random layered DAG plus stimulus: ``(build, stimulus, n_layers)``.
-
-    Returns a zero-argument ``build()`` so each kernel run gets an
-    identical, freshly constructed circuit (cells are stateful objects —
-    they cannot be shared between the two runs without a reset, and
-    rebuilding also exercises compilation from scratch).
-    """
-    n_layers = draw(st.integers(1, 3))
-    layer_specs = []  # per layer: list of (cell_index, per-input wiring)
-    n_outputs = 2  # the entry splitter's q1/q2
-    for _ in range(n_layers):
-        width = draw(st.integers(1, 3))
-        cells = []
-        for _ in range(width):
-            cell_index = draw(st.integers(0, len(_CELLS) - 1))
-            inputs = _CELLS[cell_index][1]
-            wiring = [
-                (draw(st.integers(0, n_outputs - 1)),
-                 draw(st.integers(0, 3)) * 500)  # wire delay in {0..1500}
-                for _ in inputs
-            ]
-            cells.append((cell_index, wiring))
-        layer_specs.append(cells)
-        n_outputs += sum(len(_CELLS[ci][2]) for ci, _ in cells)
-    probe_mask = draw(st.integers(0, (1 << n_outputs) - 1))
-    stimulus = draw(
-        st.lists(st.integers(0, 40), min_size=1, max_size=25).map(
-            lambda raw: [t * 1_000 for t in raw]  # many duplicate times
-        )
-    )
-
-    def build():
-        circuit = Circuit("differential")
-        entry = circuit.add(Splitter("entry"))
-        outputs = [(entry, "q1"), (entry, "q2")]
-        for layer, cells in enumerate(layer_specs):
-            for position, (cell_index, wiring) in enumerate(cells):
-                factory, inputs, outs = _CELLS[cell_index]
-                cell = circuit.add(factory(f"c{layer}_{position}"))
-                for port, (source_index, delay) in zip(inputs, wiring):
-                    source, source_port = outputs[source_index]
-                    circuit.connect(source, source_port, cell, port,
-                                    delay=delay)
-                outputs.extend((cell, out) for out in outs)
-        probes = []
-        for index, (element, port) in enumerate(outputs):
-            if probe_mask >> index & 1 or index == len(outputs) - 1:
-                probes.append(circuit.probe(element, port))
-        return circuit, entry, probes
-
-    return build, stimulus
-
-
-def _run(build, stimulus, kernel):
-    circuit, entry, probes = build()
-    sim = Simulator(circuit, kernel=kernel)
-    # Mix single-pulse scheduling with the batched path.
-    for time in stimulus[:3]:
-        sim.schedule_input(entry, "a", time)
-    sim.schedule_train(entry, "a", stimulus[3:])
-    stats = sim.run()
-    state = [
-        tuple(getattr(element, attr, None) for attr in _STATE_ATTRS)
-        for element in circuit.elements
-    ]
-    assert stats.wall_s >= 0.0  # the one non-deterministic stat: not compared
-    return {
-        "recordings": [list(probe.times) for probe in probes],
-        "events": stats.events_processed,
-        "pulses": stats.pulses_emitted,
-        "end_time": stats.end_time,
-        "max_queue_depth": stats.max_queue_depth,
-        "now": sim.now,
-        "state": state,
-    }
+from repro.pulsesim import Simulator
+from tests.strategies import netlists, run_case
 
 
 @settings(max_examples=60, deadline=None)
 @given(netlists())
 def test_sealed_kernel_matches_reference(case):
     build, stimulus = case
-    reference = _run(build, stimulus, "reference")
-    sealed = _run(build, stimulus, "sealed")
+    reference = run_case(build, stimulus, "reference")
+    sealed = run_case(build, stimulus, "sealed")
     assert sealed == reference
 
 

@@ -1,0 +1,140 @@
+"""Shared Hypothesis strategies and runners for simulator conformance.
+
+Two netlist generators live in this repo, on purpose:
+
+* :func:`netlists` (here) — free-form layered DAGs that exploit the
+  simulator's permissiveness (implicit fanout, arbitrary probe subsets)
+  to stress engine paths a physical netlist never reaches;
+* :func:`repro.verify.generate_spec` — lint-clean-by-construction
+  circuits for the conformance harness; :func:`verify_specs` wraps it as
+  a Hypothesis strategy so property tests can draw legal specs too.
+
+Both the kernel-differential and the trace-transparency suites use
+:func:`run_case` so "everything comparable about a run" is defined in
+exactly one place (mirroring ``repro.verify.oracles.run_built``).
+"""
+
+from hypothesis import strategies as st
+
+from repro.cells.interconnect import IdealMerger, Jtl, Merger, Splitter
+from repro.cells.logic import FirstArrival, Inverter, LastArrival
+from repro.cells.storage import Dff, Dff2, Ndro
+from repro.cells.toggle import Tff, Tff2
+from repro.pulsesim import Circuit, Simulator
+from repro.verify.generator import example_rng, generate_spec, profile
+from repro.verify.oracles import STATE_ATTRS
+
+#: (factory, input ports, output ports).  LastArrival/FirstArrival have no
+#: inline opcode, so drawing them exercises the generic-call path and the
+#: non-monotonic drain mode alongside the compiled opcodes.
+CELLS = [
+    (Jtl, ("a",), ("q",)),
+    (Splitter, ("a",), ("q1", "q2")),
+    (Merger, ("a", "b"), ("q",)),
+    (IdealMerger, ("a", "b"), ("q",)),
+    (Ndro, ("set", "reset", "clk"), ("q",)),
+    (Dff, ("d", "clk"), ("q",)),
+    (Dff2, ("a", "c1", "c2"), ("y1", "y2")),
+    (Tff, ("a",), ("q",)),
+    (Tff2, ("a",), ("q1", "q2")),
+    (Inverter, ("a", "clk"), ("q",)),
+    (LastArrival, ("reset", "a", "b"), ("q",)),
+    (FirstArrival, ("reset", "a", "b"), ("q",)),
+]
+
+
+@st.composite
+def netlists(draw):
+    """A random layered DAG plus stimulus: ``(build, stimulus)``.
+
+    Returns a zero-argument ``build()`` so each kernel run gets an
+    identical, freshly constructed circuit (cells are stateful objects —
+    they cannot be shared between the two runs without a reset, and
+    rebuilding also exercises compilation from scratch).
+    """
+    n_layers = draw(st.integers(1, 3))
+    layer_specs = []  # per layer: list of (cell_index, per-input wiring)
+    n_outputs = 2  # the entry splitter's q1/q2
+    for _ in range(n_layers):
+        width = draw(st.integers(1, 3))
+        cells = []
+        for _ in range(width):
+            cell_index = draw(st.integers(0, len(CELLS) - 1))
+            inputs = CELLS[cell_index][1]
+            wiring = [
+                (draw(st.integers(0, n_outputs - 1)),
+                 draw(st.integers(0, 3)) * 500)  # wire delay in {0..1500}
+                for _ in inputs
+            ]
+            cells.append((cell_index, wiring))
+        layer_specs.append(cells)
+        n_outputs += sum(len(CELLS[ci][2]) for ci, _ in cells)
+    probe_mask = draw(st.integers(0, (1 << n_outputs) - 1))
+    stimulus = draw(
+        st.lists(st.integers(0, 40), min_size=1, max_size=25).map(
+            lambda raw: [t * 1_000 for t in raw]  # many duplicate times
+        )
+    )
+
+    def build():
+        circuit = Circuit("differential")
+        entry = circuit.add(Splitter("entry"))
+        outputs = [(entry, "q1"), (entry, "q2")]
+        for layer, cells in enumerate(layer_specs):
+            for position, (cell_index, wiring) in enumerate(cells):
+                factory, inputs, outs = CELLS[cell_index]
+                cell = circuit.add(factory(f"c{layer}_{position}"))
+                for port, (source_index, delay) in zip(inputs, wiring):
+                    source, source_port = outputs[source_index]
+                    circuit.connect(source, source_port, cell, port,
+                                    delay=delay)
+                outputs.extend((cell, out) for out in outs)
+        probes = []
+        for index, (element, port) in enumerate(outputs):
+            if probe_mask >> index & 1 or index == len(outputs) - 1:
+                probes.append(circuit.probe(element, port))
+        return circuit, entry, probes
+
+    return build, stimulus
+
+
+@st.composite
+def verify_specs(draw, profile_name="smoke"):
+    """A lint-clean :class:`repro.verify.NetlistSpec` via the harness's
+    own generator, driven by a Hypothesis-drawn substream index."""
+    seed = draw(st.integers(0, 2**32 - 1))
+    example = draw(st.integers(0, 9999))
+    return generate_spec(example_rng(seed, example), profile(profile_name))
+
+
+def run_case(build, stimulus, kernel, trace_factory=None):
+    """Run one generated case and snapshot everything comparable.
+
+    ``trace_factory`` (circuit -> session), when given, attaches a trace
+    session before the run; the returned dict is identical in shape either
+    way so traced and untraced runs compare with ``==``.
+    """
+    circuit, entry, probes = build()
+    session = trace_factory(circuit) if trace_factory is not None else None
+    sim = Simulator(circuit, kernel=kernel, trace=session)
+    # Mix single-pulse scheduling with the batched path.
+    for time in stimulus[:3]:
+        sim.schedule_input(entry, "a", time)
+    sim.schedule_train(entry, "a", stimulus[3:])
+    stats = sim.run()
+    assert stats.wall_s >= 0.0  # the one non-deterministic stat: not compared
+    if session is not None:
+        assert sum(s.cohort for s in session.health) == stats.events_processed
+    state = [
+        tuple(getattr(element, attr, None) for attr in STATE_ATTRS)
+        for element in circuit.elements
+    ]
+    return {
+        "recordings": [list(probe.times) for probe in probes],
+        "events": stats.events_processed,
+        "pulses": stats.pulses_emitted,
+        "end_time": stats.end_time,
+        "max_queue_depth": stats.max_queue_depth,
+        "now": sim.now,
+        "state": state,
+    }

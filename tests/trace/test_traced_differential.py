@@ -1,6 +1,6 @@
 """Tracing must not change results: traced vs untraced, both kernels.
 
-Reuses the Hypothesis netlist strategy from the kernel differential suite:
+Reuses the shared Hypothesis netlist strategy from :mod:`tests.strategies`:
 random layered DAGs with heavy simultaneous stimulus.  A traced run (all
 output ports tapped, scheduler health sampled per distinct timestamp)
 must produce bit-identical probe recordings, stats, and cell state to an
@@ -13,43 +13,15 @@ from hypothesis import strategies as st
 
 from repro.pulsesim import Simulator
 from repro.trace import TraceSession
-from tests.pulsesim.test_kernel_differential import _STATE_ATTRS, netlists
-
-
-def _run(build, stimulus, kernel, traced):
-    circuit, entry, probes = build()
-    session = None
-    if traced:
-        session = TraceSession(circuit)
-    sim = Simulator(circuit, kernel=kernel, trace=session)
-    for time in stimulus[:3]:
-        sim.schedule_input(entry, "a", time)
-    sim.schedule_train(entry, "a", stimulus[3:])
-    stats = sim.run()
-    assert stats.wall_s >= 0.0
-    if traced:
-        assert sum(s.cohort for s in session.health) == stats.events_processed
-    state = [
-        tuple(getattr(element, attr, None) for attr in _STATE_ATTRS)
-        for element in circuit.elements
-    ]
-    return {
-        "recordings": [list(probe.times) for probe in probes],
-        "events": stats.events_processed,
-        "pulses": stats.pulses_emitted,
-        "end_time": stats.end_time,
-        "max_queue_depth": stats.max_queue_depth,
-        "now": sim.now,
-        "state": state,
-    }
+from tests.strategies import netlists, run_case
 
 
 @settings(max_examples=30, deadline=None)
 @given(netlists(), st.sampled_from(["reference", "sealed"]))
 def test_traced_run_is_bit_identical(case, kernel):
     build, stimulus = case
-    untraced = _run(build, stimulus, kernel, traced=False)
-    traced = _run(build, stimulus, kernel, traced=True)
+    untraced = run_case(build, stimulus, kernel)
+    traced = run_case(build, stimulus, kernel, trace_factory=TraceSession)
     assert traced == untraced
 
 

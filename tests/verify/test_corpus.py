@@ -1,0 +1,82 @@
+"""Corpus round trip: save, load, iterate, replay, reject malformed."""
+
+import json
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.verify.corpus import (
+    FORMAT,
+    corpus_entry,
+    entry_path,
+    iter_corpus,
+    load_entry,
+    replay_entry,
+    save_entry,
+)
+from repro.verify.spec import CellSpec, NetlistSpec, WireSpec
+
+
+def _spec():
+    return NetlistSpec(cells=(CellSpec("Jtl", (WireSpec(0),)),),
+                       stimulus=(0, 4_000))
+
+
+def test_entry_round_trip(tmp_path):
+    entry = corpus_entry("kernel-differential", "events: 3 != 4", _spec(),
+                        profile="ci", seed=0, example=17)
+    path = save_entry(tmp_path, entry)
+    assert path.name == f"kernel-differential-{_spec().key()}.json"
+    assert load_entry(path) == entry
+    assert entry["format"] == FORMAT
+    assert entry["original_key"] == _spec().key()
+
+
+def test_identical_shrunk_specs_dedupe_to_one_file(tmp_path):
+    first = corpus_entry("time-shift", "d1", _spec(), example=1)
+    second = corpus_entry("time-shift", "d2", _spec(), example=2)
+    assert entry_path(tmp_path, first) == entry_path(tmp_path, second)
+    save_entry(tmp_path, first)
+    save_entry(tmp_path, second)
+    assert len(list(tmp_path.glob("*.json"))) == 1
+
+
+def test_iter_corpus_sorted_and_missing_dir(tmp_path):
+    assert list(iter_corpus(tmp_path / "absent")) == []
+    save_entry(tmp_path, corpus_entry("time-shift", "", _spec()))
+    save_entry(tmp_path, corpus_entry("lint-clean", "", _spec()))
+    names = [path.name for path, _entry in iter_corpus(tmp_path)]
+    assert names == sorted(names)
+    assert len(names) == 2
+
+
+def test_replay_entry_runs_the_named_oracle():
+    entry = corpus_entry("kernel-differential", "", _spec())
+    result = replay_entry(entry)
+    assert result.oracle == "kernel-differential"
+    assert result.ok  # no defect injected: the fixed bug stays fixed
+
+
+def test_load_rejects_bad_format_and_missing_fields(tmp_path):
+    good = corpus_entry("time-shift", "", _spec())
+
+    bad_format = dict(good, format=99)
+    path = tmp_path / "bad-format.json"
+    path.write_text(json.dumps(bad_format))
+    with pytest.raises(VerificationError, match="unsupported format"):
+        load_entry(path)
+
+    for field in ("oracle", "spec"):
+        broken = {k: v for k, v in good.items() if k != field}
+        path = tmp_path / f"missing-{field}.json"
+        path.write_text(json.dumps(broken))
+        with pytest.raises(VerificationError, match=field):
+            load_entry(path)
+
+    path = tmp_path / "not-json.json"
+    path.write_text("{nope")
+    with pytest.raises(VerificationError, match="unreadable"):
+        load_entry(path)
+
+    with pytest.raises(VerificationError, match="unreadable"):
+        load_entry(tmp_path / "never-written.json")

@@ -1,0 +1,96 @@
+"""Generator: determinism, legality, and lint-cleanliness by construction."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import VerificationError
+from repro.lint.api import lint_circuit
+from repro.pulsesim.element import CellRole
+from repro.verify.generator import (
+    KIND_WEIGHTS,
+    PROFILES,
+    example_rng,
+    generate_spec,
+    profile,
+)
+from repro.verify.spec import build, template, validate
+from tests.strategies import verify_specs
+
+
+def test_profiles_and_unknown_profile():
+    assert profile("ci").examples == 200
+    assert set(PROFILES) == {"smoke", "ci", "nightly"}
+    with pytest.raises(VerificationError, match="unknown profile"):
+        profile("exhaustive")
+
+
+def test_example_rng_is_a_deterministic_substream():
+    assert example_rng(3, 7).random() == example_rng(3, 7).random()
+    assert example_rng(3, 7).random() != example_rng(3, 8).random()
+    assert example_rng(3, 7).random() != example_rng(4, 7).random()
+
+
+def test_generation_is_deterministic():
+    prof = profile("smoke")
+    first = [generate_spec(example_rng(0, i), prof) for i in range(10)]
+    second = [generate_spec(example_rng(0, i), prof) for i in range(10)]
+    assert first == second
+
+
+def test_specs_respect_profile_envelope():
+    prof = profile("smoke")
+    for example in range(30):
+        spec = generate_spec(example_rng(5, example), prof)
+        validate(spec)
+        assert 1 <= len(spec.stimulus) <= prof.max_stimulus
+        assert all(0 <= t <= prof.max_slot * prof.time_scale
+                   for t in spec.stimulus)
+        # Cell count can exceed the target via splitter insertion, but
+        # only by the largest fan-in the library needs (4-input Bff).
+        assert len(spec.cells) <= prof.max_cells + 4
+
+
+@settings(max_examples=40, deadline=None)
+@given(verify_specs())
+def test_generated_circuits_are_lint_clean(spec):
+    built = build(spec)
+    report = lint_circuit(built.circuit, entry_points=[(built.entry, "a")])
+    assert not report.diagnostics, report.format_text()
+
+
+def test_merger_arrivals_are_spaced_by_dead_time():
+    # The generator's static arrival model must keep worst-case merger
+    # input skew >= dead_time; mergers appear often enough in 40 specs.
+    from repro.lint.graph import CircuitGraph
+
+    prof = profile("ci")
+    seen = 0
+    for example in range(40):
+        spec = generate_spec(example_rng(11, example), prof)
+        built = build(spec)
+        graph = CircuitGraph(built.circuit,
+                             entry_points=[(built.entry, "a")])
+        arrivals = graph.arrival_times()
+        for element in built.circuit.elements:
+            dead_time = getattr(element, "dead_time", 0)
+            if not element.has_role(CellRole.MERGER) or not dead_time:
+                continue
+            times = sorted(
+                arrivals[id(wire.source)] + wire.source.propagation_delay_fs
+                + wire.delay
+                for port in element.input_names
+                for wire in built.circuit.wires_into(element, port)
+            )
+            seen += 1
+            for early, late in zip(times, times[1:]):
+                assert late - early >= dead_time
+    assert seen > 0
+
+
+def test_kind_weights_cover_only_spliceable_library():
+    for kind, weight in KIND_WEIGHTS:
+        assert weight > 0
+        template(kind)  # raises for unknown kinds
+    kinds = {kind for kind, _ in KIND_WEIGHTS}
+    assert "DropChannel" not in kinds  # fault channels are oracle-only
+    assert "JitterChannel" not in kinds

@@ -1,0 +1,64 @@
+"""Greedy shrinking: minimises, stays legal, respects its budget."""
+
+from repro.verify.generator import example_rng, generate_spec, profile
+from repro.verify.shrink import shrink
+from repro.verify.spec import NetlistSpec, validate
+
+
+def _big_spec():
+    return generate_spec(example_rng(42, 7), profile("ci"))
+
+
+def test_shrink_to_any_jtl_failure():
+    spec = _big_spec()
+    checked = []
+
+    def has_jtl(candidate: NetlistSpec) -> bool:
+        checked.append(candidate)
+        return any(cell.kind == "Jtl" for cell in candidate.cells)
+
+    if not has_jtl(spec):  # make the predicate initially true
+        spec = generate_spec(example_rng(42, 9), profile("ci"))
+        assert has_jtl(spec)
+    result = shrink(spec, has_jtl)
+    validate(result.spec)
+    for candidate in checked:
+        validate(candidate)  # the predicate only ever saw legal specs
+    # Minimal failing form: some cells (>=1 Jtl plus any non-leaf
+    # ancestors) with no stimulus left.
+    assert any(cell.kind == "Jtl" for cell in result.spec.cells)
+    assert len(result.spec.cells) <= len(spec.cells)
+    assert result.spec.stimulus == ()
+    assert result.improved
+
+
+def test_shrink_zeroes_delays_and_times():
+    spec = _big_spec()
+
+    def failing(candidate: NetlistSpec) -> bool:
+        return len(candidate.cells) >= 1
+
+    result = shrink(spec, failing)
+    assert all(wire.delay == 0
+               for cell in result.spec.cells for wire in cell.inputs)
+    assert result.spec.stimulus == ()
+    assert len(result.spec.cells) == 1
+
+
+def test_budget_caps_predicate_calls():
+    spec = _big_spec()
+    calls = []
+
+    def failing(candidate: NetlistSpec) -> bool:
+        calls.append(1)
+        return True
+
+    result = shrink(spec, failing, budget=5)
+    assert result.calls == len(calls) == 5
+
+
+def test_unshrinkable_failure_returns_original():
+    spec = _big_spec()
+    result = shrink(spec, lambda candidate: False)
+    assert result.spec == spec
+    assert not result.improved
