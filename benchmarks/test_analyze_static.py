@@ -1,0 +1,188 @@
+"""Static analysis vs. a simulated epoch: the ``usfq-analyze`` speed claim.
+
+The analyzer's value proposition is that it proves epoch-overflow and
+merger-collision safety *without* running the simulator.  This module
+pins that down on the shipped DPU block (the paper's full datapath,
+Fig. 16): one proof-mode ``analyze_circuit`` call is compared against
+simulating one dense worst-case epoch of the *same netlist* — every
+entry port driven in all 256 slots — under the reference kernel with a
+trace session attached.
+
+The traced reference simulation is the comparator because it is the
+semantic ground truth the analyzer's bounds are checked against by the
+repro.verify soundness oracle: observing per-port pulse counts and
+arrival windows dynamically *requires* tracing.  The faster sealed /
+untraced configurations are measured and reported too (see
+``results/analyze/benchmark.json``) so the ratio is transparent across
+every kernel configuration, but the asserted claim is against the
+observing reference run.
+
+``test_static_vs_simulated_speedup`` measures both sides interleaved in
+one process (sequential benchmark blocks sit in different host-load
+windows) and asserts the >= 100x floor; the pytest-benchmark entries
+track the two absolute timings in the baseline history.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Callable, Dict, List, Tuple
+
+from repro.analyze.api import Analysis
+from repro.analyze.blocks import analyze_built_block, config_for_block
+from repro.lint.blocks import BuiltBlock, build_shipped_block
+from repro.pulsesim import Simulator
+from repro.trace.session import TraceSession
+
+#: The asserted floor for static-analysis speedup over the traced
+#: reference epoch (the committed JSON reports the measured ratios).
+SPEEDUP_FLOOR = 100.0
+
+_RESULTS_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "results", "analyze", "benchmark.json",
+)
+
+
+def _dense_epoch_stimulus(built: BuiltBlock) -> List[int]:
+    """One pulse in every slot of the block's epoch (worst-case duty)."""
+    epoch = built.config.epoch
+    return [slot * epoch.slot_fs for slot in range(epoch.n_max)]
+
+
+def _run_dense_epoch(built: BuiltBlock, kernel: str, traced: bool):
+    """Simulate one dense epoch on the block's own netlist.
+
+    Returns the run stats; detaches taps and resets circuit state so the
+    same ``BuiltBlock`` can host repeated rounds.
+    """
+    circuit = built.circuit
+    times = _dense_epoch_stimulus(built)
+    session = TraceSession(circuit) if traced else None
+    sim = Simulator(circuit, kernel=kernel, trace=session)
+    for element, port in built.entry_points:
+        sim.schedule_train(element, port, times)
+    stats = sim.run()
+    events, pulses = stats.events_processed, stats.pulses_emitted
+    if session is not None:
+        session.detach()
+    circuit.reset()
+    return events, pulses
+
+
+def _check_proofs(analysis: Analysis) -> None:
+    """The proof obligations the static side must discharge per round."""
+    report = analysis.report
+    assert report.ok, report.format_text(verbose=True)
+    assert report.stats["epoch_slack_fs"] > 0
+    assert report.stats["mergers_proved"] == report.stats["mergers_checked"]
+    assert report.stats["queue_depth_bound"] is not None
+
+
+def _best_of(fn: Callable[[], object], rounds: int, reps: int) -> float:
+    """Best mean-per-call over ``rounds`` blocks of ``reps`` calls."""
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for _ in range(reps):
+            fn()
+        best = min(best, (time.perf_counter() - start) / reps)
+    return best
+
+
+def test_static_analysis_dpu(benchmark):
+    """Proof-mode analysis of the shipped DPU (epoch + collision proofs)."""
+    built = build_shipped_block("dpu")
+    analysis = benchmark(analyze_built_block, built)
+    _check_proofs(analysis)
+    assert analysis.fixpoint.iterations == len(built.circuit.elements)
+
+
+def test_simulated_epoch_dpu_reference_traced(benchmark):
+    """The dynamic comparator: dense traced epoch, reference kernel."""
+    built = build_shipped_block("dpu")
+    events, pulses = benchmark(_run_dense_epoch, built, "reference", True)
+    assert events > 0 and pulses > 0
+
+
+def test_static_vs_simulated_speedup(tmp_path):
+    """Assert the >= 100x claim and emit ``results/analyze/benchmark.json``.
+
+    Both sides run interleaved in this one process: the static side as
+    best-of-7 blocks of 50 analyses, each dynamic configuration as
+    best-of-3 single epochs.  Interleaving keeps host-load drift from
+    polluting a cross-measurement ratio (same reasoning as the kernel
+    regression gate's trace-overhead re-measurement).
+    """
+    static_block = build_shipped_block("dpu")
+    config = config_for_block(static_block)
+
+    # Warm the evaluation-plan cache (first call pays the flattening);
+    # steady-state cost is the claim, matching lint/verify usage.
+    analysis = analyze_built_block(static_block, config)
+    _check_proofs(analysis)
+
+    static_s = _best_of(
+        lambda: analyze_built_block(static_block, config), rounds=7, reps=50)
+
+    dynamic_configs: List[Tuple[str, str, bool]] = [
+        ("reference_traced", "reference", True),
+        ("reference_untraced", "reference", False),
+        ("auto_traced", "auto", True),
+        ("auto_untraced", "auto", False),
+    ]
+    dynamic: Dict[str, Dict[str, object]] = {}
+    counts: Dict[str, Tuple[int, int]] = {}
+    for label, kernel, traced in dynamic_configs:
+        built = build_shipped_block("dpu")
+        counts[label] = _run_dense_epoch(built, kernel, traced)  # warm-up
+        elapsed = _best_of(
+            lambda b=built, k=kernel, t=traced: _run_dense_epoch(b, k, t),
+            rounds=3, reps=1)
+        dynamic[label] = {
+            "kernel": kernel,
+            "traced": traced,
+            "wall_s": elapsed,
+            "events_processed": counts[label][0],
+            "pulses_emitted": counts[label][1],
+            "speedup_vs_static": elapsed / static_s,
+        }
+
+    headline = dynamic["reference_traced"]["wall_s"] / static_s
+    entry = {
+        "benchmark": "analyze-static-vs-simulated-epoch",
+        "block": "dpu",
+        "protocol": {
+            "static": "proof-mode analyze_circuit on the shipped DPU "
+                      "netlist (warm evaluation plan, fresh report), "
+                      "best-of-7 x 50 calls",
+            "dynamic": "one dense epoch (every entry port pulsed in all "
+                       "256 slots) on the same netlist, best-of-3 runs",
+            "comparator": "reference_traced (tracing is required to "
+                          "observe the per-port counts/windows the "
+                          "analyzer bounds statically)",
+        },
+        "epoch": {
+            "bits": static_block.config.epoch.bits,
+            "slot_fs": static_block.config.epoch.slot_fs,
+            "duration_fs": static_block.config.epoch.duration_fs,
+        },
+        "static_analysis_wall_s": static_s,
+        "dynamic": dynamic,
+        "speedup_vs_reference_traced": headline,
+        "speedup_floor": SPEEDUP_FLOOR,
+    }
+
+    os.makedirs(os.path.dirname(_RESULTS_PATH), exist_ok=True)
+    with open(_RESULTS_PATH, "w", encoding="utf-8") as fh:
+        json.dump(entry, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+    assert headline >= SPEEDUP_FLOOR, (
+        f"static analysis is only {headline:.0f}x faster than the traced "
+        f"reference epoch ({static_s * 1e6:.1f} us vs "
+        f"{dynamic['reference_traced']['wall_s'] * 1e3:.2f} ms); "
+        f"floor is {SPEEDUP_FLOOR:.0f}x"
+    )

@@ -1,0 +1,7 @@
+"""``python -m repro.analyze`` — the pulse-flow analyzer CLI."""
+
+import sys
+
+from repro.analyze.cli import main
+
+sys.exit(main())

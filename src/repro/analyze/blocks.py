@@ -1,0 +1,59 @@
+"""Shipped-block front end: abstract-interpret the lint registry.
+
+Reuses :mod:`repro.lint.blocks`' :class:`BuiltBlock` builders — the same
+netlists, entry points, epoch geometry, and waiver policy the linter
+runs — so ``usfq-analyze`` and ``usfq-lint`` always agree on what a
+block *is* and disagree only in how deeply they reason about it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analyze.api import CHECKS, Analysis, AnalyzeConfig, analyze_circuit
+from repro.lint.blocks import SHIPPED_BLOCKS, BuiltBlock, build_shipped_block
+
+__all__ = [
+    "SHIPPED_BLOCKS",
+    "analyze_built_block",
+    "analyze_shipped_block",
+    "analyze_all_blocks",
+]
+
+
+def config_for_block(built: BuiltBlock) -> AnalyzeConfig:
+    """Map a block's lint policy onto the analyzer's.
+
+    The epoch geometry carries over directly; lint rule suppressions
+    that name an analyzer check (e.g. the merger-tree adder's
+    ``merger-collision`` waiver — collisions there are the paper's
+    documented failure mode, cured by scheduling) become waivers.
+    """
+    return AnalyzeConfig(
+        epoch=built.config.epoch,
+        waive=frozenset(built.config.suppress) & frozenset(CHECKS),
+    )
+
+
+def analyze_built_block(built: BuiltBlock,
+                        config: Optional[AnalyzeConfig] = None) -> Analysis:
+    return analyze_circuit(
+        built.circuit,
+        entry_points=built.entry_points,
+        observed_outputs=built.observed_outputs,
+        config=config or config_for_block(built),
+        target=built.target,
+    )
+
+
+def analyze_shipped_block(name: str) -> Analysis:
+    """Abstract-interpret one registry entry by name (proof mode)."""
+    return analyze_built_block(build_shipped_block(name))
+
+
+def analyze_all_blocks() -> List[Analysis]:
+    """Analyze every shipped block, in registry order."""
+    return [
+        analyze_built_block(entry.build())
+        for entry in SHIPPED_BLOCKS.values()
+    ]

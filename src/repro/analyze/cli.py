@@ -1,0 +1,141 @@
+"""Command-line interface for the pulse-flow abstract interpreter.
+
+Usage::
+
+    python -m repro.analyze --all-blocks           # analyze every block
+    python -m repro.analyze pnm dpu                # a subset by name
+    python -m repro.analyze --list-blocks          # show analyzable blocks
+    python -m repro.analyze --all-blocks --json    # machine-readable output
+    python -m repro.analyze --all-blocks --fail-on warning
+    python -m repro.analyze dpu --output results/analyze/dpu.json
+    usfq-analyze --all-blocks                      # console-script alias
+
+The exit code is 0 when no live finding reaches the ``--fail-on``
+severity (default ``error``) and 1 otherwise, so CI can gate on it
+directly.  ``--bounds`` adds the full per-port bounds table to JSON
+output (verbose; meant for debugging transfer functions).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analyze.api import Analysis
+from repro.analyze.blocks import (
+    SHIPPED_BLOCKS,
+    analyze_shipped_block,
+)
+from repro.lint.report import Severity
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="usfq-analyze",
+        description=(
+            "Abstract-interpretation pulse-flow analysis for the shipped "
+            "U-SFQ netlists: pulse-count/arrival-window bounds, epoch and "
+            "merger-collision proofs, queue-depth and switching-energy "
+            "envelopes."
+        ),
+    )
+    parser.add_argument(
+        "blocks",
+        nargs="*",
+        metavar="BLOCK",
+        help="shipped block names to analyze (see --list-blocks)",
+    )
+    parser.add_argument(
+        "--all-blocks",
+        action="store_true",
+        help="analyze every shipped structural block",
+    )
+    parser.add_argument(
+        "--list-blocks",
+        action="store_true",
+        help="list analyzable block names",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit one JSON document instead of text",
+    )
+    parser.add_argument(
+        "--bounds",
+        action="store_true",
+        help="include the full per-port bounds table in JSON output",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also print waived findings in text output",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="PATH",
+        help="write the JSON document to PATH instead of stdout",
+    )
+    parser.add_argument(
+        "--fail-on",
+        default="error",
+        choices=["info", "warning", "error", "never"],
+        help="lowest severity that makes the exit code non-zero "
+             "(default: error)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_blocks:
+        for entry in SHIPPED_BLOCKS.values():
+            print(f"{entry.name:20s} {entry.description}")
+        return 0
+
+    names = list(SHIPPED_BLOCKS) if args.all_blocks else args.blocks
+    if not names:
+        parser.error("nothing to analyze: pass block names or --all-blocks")
+    unknown = [name for name in names if name not in SHIPPED_BLOCKS]
+    if unknown:
+        parser.error(
+            f"unknown block(s) {', '.join(unknown)}; see --list-blocks"
+        )
+
+    analyses: List[Analysis] = [analyze_shipped_block(name) for name in names]
+
+    if args.json or args.output:
+        targets = []
+        for analysis in analyses:
+            entry = analysis.report.to_dict()
+            if args.bounds:
+                entry["bounds"] = analysis.bounds_table()
+            targets.append(entry)
+        document = {
+            "targets": targets,
+            "ok": all(a.report.ok for a in analyses),
+        }
+        text = json.dumps(document, indent=2)
+        if args.output:
+            path = Path(args.output)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text + "\n")
+        else:
+            print(text)
+    else:
+        for analysis in analyses:
+            print(analysis.report.format_text(verbose=args.verbose))
+            print()
+        counts = [a.report.counts() for a in analyses]
+        print(
+            f"analyzed {len(analyses)} block(s): "
+            f"{sum(c['error'] for c in counts)} error(s), "
+            f"{sum(c['warning'] for c in counts)} warning(s)"
+        )
+
+    if args.fail_on == "never":
+        return 0
+    level = Severity.parse(args.fail_on)
+    return 1 if any(a.report.fails_at(level) for a in analyses) else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

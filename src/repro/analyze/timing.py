@@ -1,0 +1,134 @@
+"""The shared worst-case timing engine behind lint *and* analyze.
+
+Historically the ``epoch-overflow`` and ``merger-collision`` rule bodies
+lived in :mod:`repro.lint.rules`; they are hoisted here so the linter and
+the abstract interpreter consume one timing engine.  The scalar layer
+(this module) runs longest-path worst-case arrivals over a
+:class:`~repro.lint.graph.CircuitGraph`; the interval layer
+(:mod:`repro.analyze.engine`) sharpens the same questions with
+per-(element, port) arrival *windows* and pulse-count intervals.
+
+The diagnostic producers here are byte-compatible with the historical
+lint rules: same messages, same locations, same dedup policy — locked by
+the existing lint test suite.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.encoding.epoch import EpochSpec
+from repro.lint.graph import CircuitGraph
+from repro.lint.report import Diagnostic, Severity
+from repro.models import technology as tech
+from repro.pulsesim.element import CellRole, Element
+from repro.pulsesim.netlist import Circuit
+
+
+def worst_case_output_arrival(graph: CircuitGraph, element: Element,
+                              port: str) -> Optional[int]:
+    """Worst-case time a pulse leaves ``element.port`` (longest path)."""
+    return graph.output_arrival(element, port)
+
+
+def worst_case_port_arrivals(graph: CircuitGraph,
+                             element: Element) -> List[Tuple[str, int]]:
+    """Per driven input port, the worst-case arrival time of any pulse.
+
+    Entry-point drives count as arriving at t = 0 (the linter's stimulus
+    convention).  Ports with no computable arrival are omitted.
+    """
+    arrivals: List[Tuple[str, int]] = []
+    for port in element.input_names:
+        port_arrivals = [
+            a
+            for a in (
+                graph.wire_arrival(w) for w in graph.fan_in(element, port)
+            )
+            if a is not None
+        ]
+        if graph.is_entry(element, port):
+            port_arrivals.append(0)
+        if port_arrivals:
+            arrivals.append((port, max(port_arrivals)))
+    return arrivals
+
+
+def epoch_overflow_diagnostics(
+    circuit: Circuit,
+    graph: CircuitGraph,
+    epoch: EpochSpec,
+    severity: Severity = Severity.ERROR,
+    rule: str = "epoch-overflow",
+) -> List[Diagnostic]:
+    """Worst-case paths longer than the computing epoch, one per element."""
+    budget = epoch.duration_fs
+    diagnostics: List[Diagnostic] = []
+    seen: Set[int] = set()
+    for element in circuit.elements:
+        for port in element.output_names:
+            if not (
+                graph.is_observed(element, port)
+                or graph.fan_out(element, port)
+            ):
+                continue
+            arrival = graph.output_arrival(element, port)
+            if arrival is None or arrival <= budget:
+                continue
+            if id(element) in seen:
+                continue
+            seen.add(id(element))
+            diagnostics.append(
+                Diagnostic(
+                    rule=rule,
+                    severity=severity,
+                    message=(
+                        f"worst-case arrival {arrival} fs exceeds the "
+                        f"{epoch.bits}-bit epoch ({budget} fs = "
+                        f"2^{epoch.bits} x {epoch.slot_fs} fs); pulses "
+                        "spill into the next epoch"
+                    ),
+                    element=element.name,
+                    port=port,
+                )
+            )
+    return diagnostics
+
+
+def merger_collision_diagnostics(
+    circuit: Circuit,
+    graph: CircuitGraph,
+    severity: Severity = Severity.WARNING,
+    rule: str = "merger-collision",
+) -> List[Diagnostic]:
+    """Merger input pairs whose worst-case arrivals fall inside the dead
+    time (paper Fig 5b)."""
+    diagnostics: List[Diagnostic] = []
+    for element in circuit.elements:
+        if not element.has_role(CellRole.MERGER):
+            continue
+        dead_time = int(getattr(element, "dead_time", tech.T_MERGER_DEAD_FS))
+        if dead_time <= 0:
+            continue
+        arrivals = worst_case_port_arrivals(graph, element)
+        if len(arrivals) < 2:
+            continue
+        arrivals.sort(key=lambda item: item[1])
+        for (port_a, t_a), (port_b, t_b) in zip(arrivals, arrivals[1:]):
+            skew = t_b - t_a
+            if skew < dead_time:
+                diagnostics.append(
+                    Diagnostic(
+                        rule=rule,
+                        severity=severity,
+                        message=(
+                            f"inputs {port_a} and {port_b} arrive {skew} fs "
+                            f"apart (< dead time {dead_time} fs); coincident "
+                            "pulses collide and one is lost (paper Fig 5b) — "
+                            "stagger the paths or accept the documented loss"
+                        ),
+                        element=element.name,
+                        port=port_b,
+                    )
+                )
+    return diagnostics

@@ -1,39 +1,92 @@
-"""Registry of the shipped structural blocks, pre-wired for linting.
+"""Registry of the shipped structural blocks, pre-wired for analysis.
 
 Every netlist builder the library ships is represented here with the
 entry points it is designed to be driven through, the epoch geometry its
 datapath clocks at (t_INV for multipliers, t_BFF for balancer adders,
 t_TFF2 for PNM-fed paths — paper section 4), and the analytical JJ figure
 from :mod:`repro.models` it must stay calibrated against.  The CLI's
-``--all-blocks`` sweep, the ``lint`` experiment, and the regression tests
-all iterate this one registry, so a new structural builder becomes lint
-coverage by adding one entry.
+``--all-blocks`` sweep, the ``lint`` experiment, the abstract
+interpreter (:mod:`repro.analyze.blocks`), and the regression tests all
+iterate this one registry, so a new structural builder becomes lint *and*
+static-analysis coverage by adding one entry.
+
+Construction and consumption are split: each entry's builder returns a
+:class:`BuiltBlock` — the instantiated circuit plus the endpoints and
+policy any analysis needs — and the linter (or analyzer) consumes it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
 
 from repro.encoding.epoch import EpochSpec
 from repro.errors import ConfigurationError
-from repro.lint.api import LintConfig, lint_block, lint_circuit
+from repro.lint.api import LintConfig, lint_circuit
+from repro.lint.graph import Endpoint
 from repro.lint.report import Report
 from repro.models import technology as tech
+from repro.pulsesim.block import Block
+from repro.pulsesim.netlist import Circuit
+
+
+@dataclass
+class BuiltBlock:
+    """One instantiated shipped block, ready for lint or static analysis."""
+
+    target: str
+    circuit: Circuit
+    entry_points: List[Endpoint]
+    observed_outputs: List[Endpoint]
+    config: LintConfig
+    actual_jj: Optional[int] = None
+
+    def lint(self) -> Report:
+        return lint_circuit(
+            self.circuit,
+            entry_points=self.entry_points,
+            observed_outputs=self.observed_outputs,
+            config=self.config,
+            actual_jj=self.actual_jj,
+            target=self.target,
+        )
+
+
+def _from_block(block: Block, config: LintConfig) -> BuiltBlock:
+    """Seed a :class:`BuiltBlock` from a Block's exposed ports.
+
+    The block's exposed inputs become the stimulus entry points and its
+    exposed outputs the observed outputs, which is exactly how the
+    structural builders intend their blocks to be driven (mirrors
+    :func:`repro.lint.api.lint_block`).
+    """
+    return BuiltBlock(
+        target=f"{block.circuit.name}:{block.name}",
+        circuit=block.circuit,
+        entry_points=[block.input(alias) for alias in block.input_aliases],
+        observed_outputs=[
+            block.output(alias) for alias in block.output_aliases
+        ],
+        config=config,
+        actual_jj=block.jj_count if block.elements else None,
+    )
 
 
 @dataclass(frozen=True)
 class ShippedBlock:
-    """One lintable structural block."""
+    """One registry entry: name, description, and the netlist builder."""
 
     name: str
     description: str
-    run: Callable[[], Report]
+    build: Callable[[], BuiltBlock] = field(compare=False)
+
+    def run(self) -> Report:
+        """Build and lint (the historical one-shot entry point)."""
+        return self.build().lint()
 
 
-def _lint_unipolar_multiplier() -> Report:
+def _build_unipolar_multiplier() -> BuiltBlock:
     from repro.core.multiplier import MULTIPLIER_UNIPOLAR_JJ, build_unipolar_multiplier
-    from repro.pulsesim.netlist import Circuit
 
     circuit = Circuit("multiplier_unipolar")
     block = build_unipolar_multiplier(circuit, "mul")
@@ -41,12 +94,11 @@ def _lint_unipolar_multiplier() -> Report:
         epoch=EpochSpec(bits=8, slot_fs=tech.T_INV_FS),
         expected_jj=MULTIPLIER_UNIPOLAR_JJ,
     )
-    return lint_block(block, config)
+    return _from_block(block, config)
 
 
-def _lint_bipolar_multiplier() -> Report:
+def _build_bipolar_multiplier() -> BuiltBlock:
     from repro.core.multiplier import MULTIPLIER_BIPOLAR_JJ, build_bipolar_multiplier
-    from repro.pulsesim.netlist import Circuit
 
     circuit = Circuit("multiplier_bipolar")
     block = build_bipolar_multiplier(circuit, "mul")
@@ -54,12 +106,11 @@ def _lint_bipolar_multiplier() -> Report:
         epoch=EpochSpec(bits=8, slot_fs=tech.T_INV_FS),
         expected_jj=MULTIPLIER_BIPOLAR_JJ,
     )
-    return lint_block(block, config)
+    return _from_block(block, config)
 
 
-def _lint_balancer() -> Report:
+def _build_balancer() -> BuiltBlock:
     from repro.core.balancer import BALANCER_JJ, build_structural_balancer
-    from repro.pulsesim.netlist import Circuit
 
     circuit = Circuit("balancer")
     block = build_structural_balancer(circuit, "bal")
@@ -67,12 +118,11 @@ def _lint_balancer() -> Report:
         epoch=EpochSpec(bits=8, slot_fs=tech.T_BFF_FS),
         expected_jj=BALANCER_JJ,
     )
-    return lint_block(block, config)
+    return _from_block(block, config)
 
 
-def _lint_merger_adder() -> Report:
+def _build_merger_adder() -> BuiltBlock:
     from repro.core.adder import build_merger_tree, merger_tree_jj
-    from repro.pulsesim.netlist import Circuit
 
     circuit = Circuit("merger_adder")
     block = build_merger_tree(circuit, "add", m_inputs=4)
@@ -84,12 +134,11 @@ def _lint_merger_adder() -> Report:
         # staggered-offset schedule, not a netlist change.
         suppress=frozenset({"merger-collision"}),
     )
-    return lint_block(block, config)
+    return _from_block(block, config)
 
 
-def _lint_counting_network() -> Report:
+def _build_counting_network() -> BuiltBlock:
     from repro.core.counting import build_counting_network, counting_network_jj
-    from repro.pulsesim.netlist import Circuit
 
     circuit = Circuit("counting_network")
     block = build_counting_network(circuit, "cn", m_inputs=4)
@@ -97,12 +146,11 @@ def _lint_counting_network() -> Report:
         epoch=EpochSpec(bits=8, slot_fs=tech.T_BFF_FS),
         expected_jj=counting_network_jj(4),
     )
-    return lint_block(block, config)
+    return _from_block(block, config)
 
 
-def _lint_pnm() -> Report:
+def _build_pnm() -> BuiltBlock:
     from repro.core.pnm import build_tff2_pnm, pnm_jj
-    from repro.pulsesim.netlist import Circuit
 
     bits = 4
     circuit = Circuit("pnm")
@@ -111,12 +159,11 @@ def _lint_pnm() -> Report:
         epoch=EpochSpec(bits=bits, slot_fs=tech.T_TFF2_FS),
         expected_jj=pnm_jj(bits),
     )
-    return lint_block(block, config)
+    return _from_block(block, config)
 
 
-def _lint_dpu() -> Report:
+def _build_dpu() -> BuiltBlock:
     from repro.core.dpu import build_dpu, dpu_compute_jj
-    from repro.pulsesim.netlist import Circuit
 
     length = 4
     circuit = Circuit("dpu")
@@ -125,7 +172,7 @@ def _lint_dpu() -> Report:
         epoch=EpochSpec(bits=8, slot_fs=tech.T_BFF_FS),
         expected_jj=dpu_compute_jj(length),
     )
-    return lint_block(block, config)
+    return _from_block(block, config)
 
 
 def _unipolar_pe_jj() -> int:
@@ -142,15 +189,14 @@ def _unipolar_pe_jj() -> int:
     return MULTIPLIER_UNIPOLAR_JJ + BALANCER_JJ + INTEGRATOR_STAGE_JJ
 
 
-def _lint_pe() -> Report:
+def _build_pe() -> BuiltBlock:
     from repro.core.pe import build_processing_element
-    from repro.pulsesim.netlist import Circuit
 
     epoch = EpochSpec(bits=8, slot_fs=tech.T_BFF_FS)
     circuit = Circuit("processing_element")
     block = build_processing_element(circuit, "pe", epoch)
     config = LintConfig(epoch=epoch, expected_jj=_unipolar_pe_jj())
-    return lint_block(block, config)
+    return _from_block(block, config)
 
 
 def _structural_fir_jj(taps: int, bits: int) -> int:
@@ -170,12 +216,12 @@ def _structural_fir_jj(taps: int, bits: int) -> int:
     return datapath + delay_line + tech.JJ_SPLITTER + membank_jj(taps, bits)
 
 
-def _lint_structural_fir() -> Report:
+def _build_structural_fir() -> BuiltBlock:
     from repro.core.fir_structural import StructuralUnaryFir
 
     epoch = EpochSpec(bits=4, slot_fs=tech.T_TFF2_FS)
     fir = StructuralUnaryFir(epoch, coefficient_words=[3, 5, 7, 9])
-    entry_points = [(fir._head, "a")]
+    entry_points: List[Endpoint] = [(fir._head, "a")]
     for mult in fir.multipliers:
         entry_points.append(mult.input("a"))
         entry_points.append(mult.input("epoch"))
@@ -183,36 +229,35 @@ def _lint_structural_fir() -> Report:
     config = LintConfig(
         epoch=epoch, expected_jj=_structural_fir_jj(fir.taps, epoch.bits)
     )
-    return lint_circuit(
-        fir.circuit,
+    return BuiltBlock(
+        target="structural_fir",
+        circuit=fir.circuit,
         entry_points=entry_points,
         observed_outputs=observed,
         config=config,
         actual_jj=fir.jj_count,
-        target="structural_fir",
     )
 
 
-def _lint_cgra_fabric() -> Report:
+def _build_cgra_fabric() -> BuiltBlock:
     from repro.cgra.fabric import Fabric, build_fabric_netlist
-    from repro.pulsesim.netlist import Circuit
 
     epoch = EpochSpec(bits=6, slot_fs=tech.T_BFF_FS)
     fabric = Fabric(rows=2, cols=2, epoch=epoch)
     circuit = Circuit("cgra_fabric")
     pes = build_fabric_netlist(circuit, fabric)
-    entry_points: List = []
-    observed: List = []
+    entry_points: List[Endpoint] = []
+    observed: List[Endpoint] = []
     for pe in pes:
         entry_points.extend(pe.input(alias) for alias in pe.input_aliases)
         observed.extend(pe.output(alias) for alias in pe.output_aliases)
     config = LintConfig(epoch=epoch, expected_jj=fabric.n_pes * _unipolar_pe_jj())
-    return lint_circuit(
-        circuit,
+    return BuiltBlock(
+        target=fabric.describe(),
+        circuit=circuit,
         entry_points=entry_points,
         observed_outputs=observed,
         config=config,
-        target=fabric.describe(),
     )
 
 
@@ -222,59 +267,59 @@ SHIPPED_BLOCKS: Dict[str, ShippedBlock] = {
         ShippedBlock(
             "multiplier-unipolar",
             "one-NDRO unipolar multiplier (Fig 3c left)",
-            _lint_unipolar_multiplier,
+            _build_unipolar_multiplier,
         ),
         ShippedBlock(
             "multiplier-bipolar",
             "two-NDRO + inverter bipolar multiplier (Fig 3c right)",
-            _lint_bipolar_multiplier,
+            _build_bipolar_multiplier,
         ),
         ShippedBlock(
             "balancer",
             "BFF routing unit + DFF2 output stage (Fig 6)",
-            _lint_balancer,
+            _build_balancer,
         ),
         ShippedBlock(
             "adder-merger",
             "4:1 merger-tree adder (Fig 5)",
-            _lint_merger_adder,
+            _build_merger_adder,
         ),
         ShippedBlock(
             "counting-network",
             "4:1 balancer counting network (Fig 8)",
-            _lint_counting_network,
+            _build_counting_network,
         ),
         ShippedBlock(
             "pnm",
             "4-bit TFF2-chain pulse-number multiplier (Fig 9b)",
-            _lint_pnm,
+            _build_pnm,
         ),
         ShippedBlock(
             "dpu",
             "length-4 unipolar dot-product unit (Fig 15)",
-            _lint_dpu,
+            _build_dpu,
         ),
         ShippedBlock(
             "pe",
             "unipolar processing element (Fig 13a)",
-            _lint_pe,
+            _build_pe,
         ),
         ShippedBlock(
             "structural-fir",
             "4-tap structural unary FIR (Fig 17)",
-            _lint_structural_fir,
+            _build_structural_fir,
         ),
         ShippedBlock(
             "cgra-fabric",
             "2x2 CGRA fabric of PEs (Fig 13b)",
-            _lint_cgra_fabric,
+            _build_cgra_fabric,
         ),
     )
 }
 
 
-def lint_shipped_block(name: str) -> Report:
-    """Lint one registry entry by name."""
+def build_shipped_block(name: str) -> BuiltBlock:
+    """Instantiate one registry entry's netlist + analysis policy."""
     try:
         entry = SHIPPED_BLOCKS[name]
     except KeyError:
@@ -282,7 +327,12 @@ def lint_shipped_block(name: str) -> Report:
         raise ConfigurationError(
             f"unknown block {name!r}; known blocks: {known}"
         ) from None
-    return entry.run()
+    return entry.build()
+
+
+def lint_shipped_block(name: str) -> Report:
+    """Lint one registry entry by name."""
+    return build_shipped_block(name).lint()
 
 
 def lint_all_blocks() -> List[Report]:

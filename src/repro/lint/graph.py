@@ -55,15 +55,19 @@ class CircuitGraph:
         for element, port in circuit.probed_ports():
             self.observed.add((id(element), port))
 
-        # Per-port indexes.
-        self.out_wires: Dict[Tuple[int, str], List[Wire]] = {}
-        self.in_wires: Dict[Tuple[int, str], List[Wire]] = {}
+        # Per-port indexes: snapshots of the circuit's own wire buckets
+        # (same (id, port) keying), copied so later connect() calls do not
+        # leak into this graph's view.
+        self.out_wires: Dict[Tuple[int, str], List[Wire]] = {
+            key: list(wires) for key, wires in circuit._fanout.items()
+        }
+        self.in_wires: Dict[Tuple[int, str], List[Wire]] = {
+            key: list(wires) for key, wires in circuit._fanin.items()
+        }
         # Element-level adjacency (ids, stable under mutation-free analysis).
         self.successors: Dict[int, List[Wire]] = {id(e): [] for e in circuit.elements}
         self.predecessors: Dict[int, List[Wire]] = {id(e): [] for e in circuit.elements}
         for wire in circuit.iter_wires():
-            self.out_wires.setdefault((id(wire.source), wire.source_port), []).append(wire)
-            self.in_wires.setdefault((id(wire.sink), wire.sink_port), []).append(wire)
             self.successors[id(wire.source)].append(wire)
             self.predecessors[id(wire.sink)].append(wire)
 

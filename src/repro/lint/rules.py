@@ -29,7 +29,6 @@ from typing import Callable, Dict, List, Optional
 from repro.encoding.epoch import EpochSpec
 from repro.lint.graph import CircuitGraph
 from repro.lint.report import Diagnostic, Severity
-from repro.models import technology as tech
 from repro.pulsesim.element import CellRole
 from repro.pulsesim.netlist import Circuit
 
@@ -293,6 +292,10 @@ def check_no_clock_driver(ctx: LintContext) -> List[Diagnostic]:
 
 
 # -- static timing analysis ----------------------------------------------------
+# The rule bodies live in repro.analyze.timing so the linter and the
+# abstract interpreter share one worst-case timing engine; the thin
+# wrappers here keep the rules registered (and their severities
+# registry-controlled) without duplicating the path analysis.
 @rule(
     "epoch-overflow",
     "timing",
@@ -302,34 +305,12 @@ def check_no_clock_driver(ctx: LintContext) -> List[Diagnostic]:
 def check_epoch_overflow(ctx: LintContext) -> List[Diagnostic]:
     if ctx.epoch is None:
         return []
-    budget = ctx.epoch.duration_fs
-    diagnostics = []
-    seen = set()
-    for element in ctx.circuit.elements:
-        for port in element.output_names:
-            if not (
-                ctx.graph.is_observed(element, port)
-                or ctx.graph.fan_out(element, port)
-            ):
-                continue
-            arrival = ctx.graph.output_arrival(element, port)
-            if arrival is None or arrival <= budget:
-                continue
-            if id(element) in seen:
-                continue
-            seen.add(id(element))
-            diagnostics.append(
-                _diag(
-                    "epoch-overflow",
-                    f"worst-case arrival {arrival} fs exceeds the "
-                    f"{ctx.epoch.bits}-bit epoch ({budget} fs = "
-                    f"2^{ctx.epoch.bits} x {ctx.epoch.slot_fs} fs); pulses "
-                    "spill into the next epoch",
-                    element,
-                    port,
-                )
-            )
-    return diagnostics
+    from repro.analyze.timing import epoch_overflow_diagnostics
+
+    return epoch_overflow_diagnostics(
+        ctx.circuit, ctx.graph, ctx.epoch,
+        severity=RULES["epoch-overflow"].severity,
+    )
 
 
 @rule(
@@ -339,45 +320,12 @@ def check_epoch_overflow(ctx: LintContext) -> List[Diagnostic]:
     "Two merger inputs can arrive within the cell's dead time.",
 )
 def check_merger_collision(ctx: LintContext) -> List[Diagnostic]:
-    diagnostics = []
-    for element in ctx.circuit.elements:
-        if not element.has_role(CellRole.MERGER):
-            continue
-        dead_time = getattr(element, "dead_time", tech.T_MERGER_DEAD_FS)
-        if dead_time <= 0:
-            continue
-        arrivals = []
-        for port in element.input_names:
-            port_arrivals = [
-                a
-                for a in (
-                    ctx.graph.wire_arrival(w)
-                    for w in ctx.graph.fan_in(element, port)
-                )
-                if a is not None
-            ]
-            if ctx.graph.is_entry(element, port):
-                port_arrivals.append(0)
-            if port_arrivals:
-                arrivals.append((port, max(port_arrivals)))
-        if len(arrivals) < 2:
-            continue
-        arrivals.sort(key=lambda item: item[1])
-        for (port_a, t_a), (port_b, t_b) in zip(arrivals, arrivals[1:]):
-            skew = t_b - t_a
-            if skew < dead_time:
-                diagnostics.append(
-                    _diag(
-                        "merger-collision",
-                        f"inputs {port_a} and {port_b} arrive {skew} fs apart "
-                        f"(< dead time {dead_time} fs); coincident pulses "
-                        "collide and one is lost (paper Fig 5b) — stagger the "
-                        "paths or accept the documented loss",
-                        element,
-                        port_b,
-                    )
-                )
-    return diagnostics
+    from repro.analyze.timing import merger_collision_diagnostics
+
+    return merger_collision_diagnostics(
+        ctx.circuit, ctx.graph,
+        severity=RULES["merger-collision"].severity,
+    )
 
 
 # -- area budget ---------------------------------------------------------------

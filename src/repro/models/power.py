@@ -12,9 +12,14 @@ states it, with a per-JJ fallback.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError
 from repro.models import technology as tech
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pulsesim.netlist import Circuit
+    from repro.trace.session import TraceSession
 
 #: Junction hops a pulse traverses through each block's datapath; together
 #: with the cycle time these reproduce the Table 3 active-power rows.
@@ -99,6 +104,36 @@ def passive_power_w(jj_count: int) -> float:
 def ersfq_power_w(active_w: float) -> float:
     """ERSFQ/eSFQ eliminate passive power (at ~1.4x area, section 5.4.5)."""
     return active_w
+
+
+# -- event-counted switching energy (static envelope vs measured activity) -----
+def switching_energy_j(events: int) -> float:
+    """Total switching energy of ``events`` JJ switching events.
+
+    The event convention — each pulse a cell emits switches that cell's
+    ``jj_count`` junctions once — is shared by the static envelope
+    (:func:`repro.analyze.checks.switching_event_envelope`) and the
+    measured count below, so the two are directly comparable:
+    ``lo <= switching_energy_j(measured) <= hi``.
+    """
+    if events < 0:
+        raise ConfigurationError(f"events must be >= 0, got {events}")
+    return events * tech.E_SWITCH_J
+
+
+def measured_switching_events(session: "TraceSession",
+                              circuit: "Circuit") -> int:
+    """JJ switching events observed by a full-tap traced run.
+
+    Sums ``jj_count x emitted pulses`` over every tapped output port;
+    with a full-coverage tap set this is the measured counterpart of the
+    analyzer's static ``[lo, hi]`` envelope.
+    """
+    jj_by_name = {element.name: element.jj_count
+                  for element in circuit.elements}
+    return sum(
+        jj_by_name.get(tap.cell, 0) * tap.total for tap in session.ports
+    )
 
 
 # -- Fig 21: bipolar multiplier active power vs operands -------------------------

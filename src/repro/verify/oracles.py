@@ -307,6 +307,68 @@ def oracle_export_import(spec: NetlistSpec) -> OracleResult:
                           "max_queue_depth", "now"))
 
 
+def oracle_static_soundness(spec: NetlistSpec) -> OracleResult:
+    """Simulation must stay inside the abstract interpreter's bounds.
+
+    The circuit is abstract-interpreted with the *exact* stimulus
+    abstraction (repro.analyze stimulus mode), then simulated once; for
+    every probed output the observed pulse count, every timestamp, and
+    every consecutive spacing must respect the static bounds, and the
+    kernel's peak queue depth must not exceed the static bound.  Any
+    escape disproves a transfer function's soundness argument.
+    """
+    from repro.analyze import analyze_circuit
+    from repro.analyze.domain import INF, describe
+
+    built = build(spec)
+    observed = run_built(built, spec.stimulus)
+
+    # Fresh build for analysis: the analyzer only reads structure, but a
+    # virgin circuit keeps the contract obvious (and the pools align —
+    # builds are deterministic).
+    fresh = build(spec)
+    analysis = analyze_circuit(
+        fresh.circuit,
+        stimulus={(fresh.entry, "a"): list(spec.stimulus)},
+    )
+    consumed = specmod.used_sources(spec)
+    probe_slots = [
+        slot for slot in range(len(fresh.pool)) if slot not in consumed
+    ]
+    for slot, times in zip(probe_slots, observed["recordings"]):
+        element, port = fresh.pool[slot]
+        bounds = analysis.output_bounds(element, port)
+        where = f"{element.name}.{port}"
+        if not bounds.contains_count(len(times)):
+            return OracleResult(
+                "static-soundness", True, False,
+                detail=(f"{where}: {len(times)} pulse(s) outside "
+                        f"{describe(bounds)}"),
+            )
+        for time in times:
+            if not bounds.contains_time(time):
+                return OracleResult(
+                    "static-soundness", True, False,
+                    detail=(f"{where}: pulse at {time} fs outside "
+                            f"{describe(bounds)}"),
+                )
+        for earlier, later in zip(times, times[1:]):
+            if bounds.gap < INF and later - earlier < bounds.gap:
+                return OracleResult(
+                    "static-soundness", True, False,
+                    detail=(f"{where}: spacing {later - earlier} fs below "
+                            f"{describe(bounds)}"),
+                )
+    depth_bound = analysis.queue_depth_bound
+    if observed["max_queue_depth"] > depth_bound:
+        return OracleResult(
+            "static-soundness", True, False,
+            detail=(f"max_queue_depth {observed['max_queue_depth']} exceeds "
+                    f"static bound {depth_bound}"),
+        )
+    return OracleResult("static-soundness", True, True)
+
+
 #: The full matrix, in canonical execution order.
 ORACLES: Dict[str, Callable[[NetlistSpec], OracleResult]] = {
     "lint-clean": oracle_lint_clean,
@@ -318,6 +380,7 @@ ORACLES: Dict[str, Callable[[NetlistSpec], OracleResult]] = {
     "drop-identity": oracle_drop_identity,
     "jitter-identity": oracle_jitter_identity,
     "export-import": oracle_export_import,
+    "static-soundness": oracle_static_soundness,
 }
 
 

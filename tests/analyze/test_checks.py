@@ -1,0 +1,156 @@
+"""Derived checks: overflow witnesses, collisions, dead paths, and the
+queue/energy bounds cross-checked against a real simulation."""
+
+from repro.analyze.api import AnalyzeConfig, analyze_circuit
+from repro.cells.interconnect import IdealMerger, Jtl, Merger, Splitter
+from repro.encoding.epoch import EpochSpec
+from repro.lint.api import LintConfig, lint_circuit
+from repro.lint.report import Severity
+from repro.models.power import measured_switching_events
+from repro.pulsesim import Circuit, Simulator
+from repro.trace.session import TraceSession
+
+
+def _epoch():
+    return EpochSpec(bits=2, slot_fs=100)  # 400 fs budget
+
+
+def _overlong_chain():
+    """Entry -> jtl -> (1000 fs wire) -> jtl -> observed: blows a 400 fs
+    epoch on the last hop only."""
+    circuit = Circuit("overlong")
+    head = circuit.add(Jtl("head", delay=10))
+    tail = circuit.add(Jtl("tail", delay=10))
+    circuit.connect(head, "q", tail, "a", delay=1_000)
+    return circuit, head, tail
+
+
+class TestEpochOverflow:
+    def test_seeded_fault_caught_with_witness_chain(self):
+        circuit, head, tail = _overlong_chain()
+        analysis = analyze_circuit(
+            circuit, [(head, "a")], [(tail, "q")],
+            config=AnalyzeConfig(epoch=_epoch()),
+        )
+        report = analysis.report
+        assert not report.ok
+        [finding] = report.by_check("epoch-overflow")
+        assert finding.severity is Severity.ERROR
+        assert finding.element == "tail" and finding.port == "q"
+        # Witness reads stimulus-first and ends at the flagged emission.
+        assert "stimulus" in finding.witness[0]
+        assert finding.witness[-1].startswith("tail.q")
+        assert report.stats["epoch_slack_fs"] == 400 - 1_020
+
+    def test_linter_agrees_on_the_same_fault(self):
+        circuit, head, tail = _overlong_chain()
+        lint = lint_circuit(
+            circuit, [(head, "a")], [(tail, "q")],
+            config=LintConfig(epoch=_epoch()),
+        )
+        assert any(d.rule == "epoch-overflow" for d in lint.diagnostics)
+
+    def test_within_budget_is_clean_with_positive_slack(self):
+        circuit = Circuit("short")
+        head = circuit.add(Jtl("head", delay=10))
+        analysis = analyze_circuit(
+            circuit, [(head, "a")], [(head, "q")],
+            config=AnalyzeConfig(epoch=_epoch()),
+        )
+        assert analysis.report.ok
+        assert analysis.report.stats["epoch_slack_fs"] == 390
+
+
+class TestMergerCollision:
+    def _fan_in(self, dead_time, skew):
+        circuit = Circuit("fanin")
+        a = circuit.add(Jtl("a", delay=10))
+        b = circuit.add(Jtl("b", delay=10 + skew))
+        m = circuit.add(Merger("m", delay=10, dead_time=dead_time))
+        circuit.connect(a, "q", m, "a", delay=0)
+        circuit.connect(b, "q", m, "b", delay=0)
+        return circuit, a, b, m
+
+    def test_disjoint_windows_prove_freedom(self):
+        circuit, a, b, m = self._fan_in(dead_time=50, skew=500)
+        analysis = analyze_circuit(
+            circuit, [(a, "a"), (b, "a")], [(m, "q")])
+        assert not analysis.report.by_check("merger-collision")
+        assert analysis.report.stats["mergers_proved"] == 1
+
+    def test_overlapping_windows_flagged_with_both_streams(self):
+        circuit, a, b, m = self._fan_in(dead_time=50, skew=0)
+        analysis = analyze_circuit(
+            circuit, [(a, "a"), (b, "a")], [(m, "q")])
+        [finding] = analysis.report.by_check("merger-collision")
+        assert finding.severity is Severity.WARNING
+        assert len(finding.witness) == 2  # one line per live input
+        assert analysis.report.stats["mergers_proved"] == 0
+
+    def test_waiver_moves_finding_aside(self):
+        circuit, a, b, m = self._fan_in(dead_time=50, skew=0)
+        analysis = analyze_circuit(
+            circuit, [(a, "a"), (b, "a")], [(m, "q")],
+            config=AnalyzeConfig(waive=frozenset({"merger-collision"})),
+        )
+        assert not analysis.report.findings
+        assert len(analysis.report.waived) == 1
+
+
+class TestDeadPath:
+    def test_requires_stimulus_mode(self):
+        circuit = Circuit("dead")
+        a = circuit.add(Jtl("a", delay=10))
+        b = circuit.add(Jtl("b", delay=10))
+        circuit.connect(a, "q", b, "a", delay=0)
+        # Proof mode: liveness not judged.
+        proof = analyze_circuit(circuit, [(a, "a")], [(b, "q")])
+        assert not proof.report.by_check("dead-path")
+        # Stimulus mode with a silent entry: both the wired input and the
+        # observed output are provably dead.
+        analysis = analyze_circuit(
+            circuit, [(a, "a")], [(b, "q")],
+            stimulus={(a, "a"): []},
+        )
+        dead = analysis.report.by_check("dead-path")
+        assert {(f.element, f.port) for f in dead} == {("b", "a"), ("b", "q")}
+
+
+class TestDynamicBracketing:
+    """Static bounds must contain what one simulation actually does."""
+
+    def _tree(self):
+        circuit = Circuit("tree")
+        root = circuit.add(Splitter("root", delay=10))
+        left = circuit.add(Jtl("left", delay=10))
+        right = circuit.add(Jtl("right", delay=10))
+        m = circuit.add(IdealMerger("m", delay=10))
+        circuit.connect(root, "q1", left, "a", delay=100)
+        circuit.connect(root, "q2", right, "a", delay=200)
+        circuit.connect(left, "q", m, "a", delay=0)
+        circuit.connect(right, "q", m, "b", delay=0)
+        circuit.probe(m, "q")
+        return circuit, root
+
+    def test_queue_bound_dominates_simulated_peak(self):
+        circuit, root = self._tree()
+        times = [0, 1_000, 2_000]
+        analysis = analyze_circuit(
+            circuit, stimulus={(root, "a"): times})
+        sim = Simulator(circuit, kernel="reference")
+        sim.schedule_train(root, "a", times)
+        stats = sim.run()
+        assert analysis.queue_depth_bound >= stats.max_queue_depth
+
+    def test_energy_envelope_brackets_measured_activity(self):
+        circuit, root = self._tree()
+        times = [0, 1_000, 2_000]
+        analysis = analyze_circuit(
+            circuit, stimulus={(root, "a"): times})
+        lo, hi = analysis.switching_events
+        session = TraceSession(circuit)
+        sim = Simulator(circuit, kernel="reference", trace=session)
+        sim.schedule_train(root, "a", times)
+        sim.run()
+        measured = measured_switching_events(session, circuit)
+        assert lo <= measured <= hi

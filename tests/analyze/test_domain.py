@@ -1,0 +1,170 @@
+"""Algebraic invariants of the PulseBounds abstract domain."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analyze.domain import (
+    INF,
+    NONE,
+    TOP,
+    PulseBounds,
+    bounds_to_dict,
+    contains,
+    describe,
+    join,
+    sat_add,
+    single_pulse_bounds,
+    stimulus_bounds,
+    superpose,
+    superpose_all,
+    widen,
+)
+
+
+def _bounds():
+    """Arbitrary well-formed PulseBounds values (INF-aware)."""
+
+    @st.composite
+    def build(draw):
+        n_hi = draw(st.sampled_from([0, 1, 2, 5, 100, INF]))
+        if n_hi == 0:
+            return NONE
+        n_lo = draw(st.integers(0, min(n_hi, 100)))
+        t_min = draw(st.sampled_from([0, 1, 12_000, 10**6]))
+        t_max = draw(st.sampled_from([t_min, t_min + 12_000, INF]))
+        gap = draw(st.sampled_from([0, 1, 12_000, INF]))
+        return PulseBounds(n_lo, n_hi, t_min, t_max, gap)
+
+    return build()
+
+
+class TestConstruction:
+    def test_fields_and_tuple_identity(self):
+        b = PulseBounds(1, 2, 3, 4, 5)
+        assert (b.n_lo, b.n_hi, b.t_min, b.t_max, b.gap) == (1, 2, 3, 4, 5)
+        assert tuple(b) == (1, 2, 3, 4, 5)
+        assert b == PulseBounds(1, 2, 3, 4, 5)
+        assert hash(b) == hash((1, 2, 3, 4, 5))
+
+    def test_malformed_count_interval_rejected(self):
+        with pytest.raises(ValueError, match="count interval"):
+            PulseBounds(3, 2, 0, 0, 0)
+        with pytest.raises(ValueError, match="count interval"):
+            PulseBounds(-1, 2, 0, 0, 0)
+
+    def test_malformed_window_rejected_only_when_live(self):
+        with pytest.raises(ValueError, match="time window"):
+            PulseBounds(0, 1, 10, 5, 0)
+        # An empty stream's window is vacuous.
+        assert PulseBounds(0, 0, 10, 5, 0).is_none
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(ValueError, match="gap"):
+            PulseBounds(0, 1, 0, 0, -1)
+
+    def test_repr_mentions_fields(self):
+        assert "n_lo=1" in repr(PulseBounds(1, 2, 3, 4, 5))
+
+
+class TestQueries:
+    def test_none_and_top(self):
+        assert NONE.is_none
+        assert not TOP.is_none
+        assert TOP.contains_count(10**9)
+        assert TOP.contains_time(0) and TOP.contains_time(10**12)
+
+    def test_shift_preserves_counts_and_gap(self):
+        b = PulseBounds(1, 3, 100, 200, 50)
+        s = b.shift(10)
+        assert (s.n_lo, s.n_hi, s.gap) == (1, 3, 50)
+        assert (s.t_min, s.t_max) == (110, 210)
+        assert b.shift(0) is b
+        assert NONE.shift(123) is NONE
+
+    def test_shift_clamps_at_inf(self):
+        b = PulseBounds(0, 1, 0, INF, 0)
+        assert b.shift(10).t_max == INF
+
+    def test_scale_and_with_count(self):
+        b = PulseBounds(4, 9, 0, 10, 5)
+        halved = b.scale_count(2, 2)
+        assert (halved.n_lo, halved.n_hi) == (2, 4)
+        assert b.with_count(0, 0).is_none
+        assert b.with_count(2, 20).n_hi == 20
+
+
+class TestOperators:
+    @given(_bounds(), _bounds())
+    def test_join_is_an_upper_bound(self, a, b):
+        j = join(a, b)
+        assert contains(j, a) and contains(j, b)
+
+    @given(_bounds(), _bounds())
+    def test_superpose_counts_add(self, a, b):
+        s = superpose(a, b)
+        assert s.n_hi == sat_add(a.n_hi, b.n_hi)
+        if not (a.is_none or b.is_none):
+            assert s.n_lo == sat_add(a.n_lo, b.n_lo)
+            assert s.t_min == min(a.t_min, b.t_min)
+            assert s.t_max == max(a.t_max, b.t_max)
+
+    def test_superpose_identity_is_none(self):
+        b = PulseBounds(1, 2, 5, 9, 4)
+        assert superpose(NONE, b) == b
+        assert superpose(b, NONE) == b
+
+    def test_superpose_disjoint_windows_keep_cross_gap(self):
+        early = PulseBounds(1, 1, 0, 10, INF)
+        late = PulseBounds(1, 1, 100, 110, INF)
+        assert superpose(early, late).gap == 90
+
+    def test_superpose_overlapping_windows_lose_spacing(self):
+        a = PulseBounds(1, 2, 0, 100, 50)
+        b = PulseBounds(1, 2, 50, 150, 60)
+        assert superpose(a, b).gap == 0
+
+    def test_superpose_all(self):
+        streams = [single_pulse_bounds(t) for t in (0, 100, 200)]
+        total = superpose_all(streams)
+        assert (total.n_lo, total.n_hi) == (0, 3)
+        assert (total.t_min, total.t_max) == (0, 200)
+
+    @given(_bounds(), _bounds())
+    def test_widen_over_approximates(self, old, new):
+        w = widen(old, new)
+        if not new.is_none and not old.is_none:
+            assert contains(w, old) and contains(w, new)
+
+    def test_widen_reaches_fixpoint_per_field(self):
+        old = PulseBounds(1, 2, 0, 100, 10)
+        grown = PulseBounds(1, 3, 0, 150, 10)
+        once = widen(old, grown)
+        assert once.n_hi == INF and once.t_max == INF
+        # A second growth step in the same fields is absorbed.
+        assert widen(once, PulseBounds(1, 5, 0, 10**9, 10)) == once
+
+
+class TestStimulus:
+    def test_stimulus_bounds_exact(self):
+        b = stimulus_bounds([300, 0, 100])
+        assert (b.n_lo, b.n_hi) == (3, 3)
+        assert (b.t_min, b.t_max) == (0, 300)
+        assert b.gap == 100
+        assert stimulus_bounds([]).is_none
+
+    def test_single_pulse(self):
+        b = single_pulse_bounds(42)
+        assert (b.n_lo, b.n_hi, b.t_min, b.t_max, b.gap) == (0, 1, 42, 42, INF)
+
+
+class TestRendering:
+    def test_describe(self):
+        assert describe(NONE) == "none"
+        text = describe(PulseBounds(1, INF, 0, INF, 3))
+        assert "n=[1,inf]" in text and "gap>=3" in text
+
+    def test_bounds_to_dict_encodes_inf_as_none(self):
+        d = bounds_to_dict(PulseBounds(1, INF, 0, INF, INF))
+        assert d == {"n_lo": 1, "n_hi": None, "t_min": 0,
+                     "t_max": None, "gap": None}

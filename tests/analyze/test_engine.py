@@ -1,0 +1,109 @@
+"""Fixpoint engine: DAG exactness, widening termination, plan caching."""
+
+import pytest
+
+from repro.analyze.domain import INF, single_pulse_bounds
+from repro.analyze.engine import MAX_VISITS, fixpoint
+from repro.cells.interconnect import IdealMerger, Jtl, Splitter
+from repro.lint.graph import CircuitGraph
+from repro.pulsesim import Circuit
+
+
+def _chain(length=3, delay=10, wire_delay=5):
+    circuit = Circuit("chain")
+    cells = [circuit.add(Jtl(f"j{i}", delay=delay)) for i in range(length)]
+    for a, b in zip(cells, cells[1:]):
+        circuit.connect(a, "q", b, "a", delay=wire_delay)
+    return circuit, cells
+
+
+def _entry(cells):
+    return {(id(cells[0]), "a"): single_pulse_bounds(0)}
+
+
+def test_dag_converges_in_one_pass_with_exact_bounds():
+    circuit, cells = _chain(4)
+    graph = CircuitGraph(circuit, [(cells[0], "a")])
+    fx = fixpoint(circuit, graph, _entry(cells))
+    # Topological seeding: exactly one evaluation per element.
+    assert fx.iterations == 4
+    assert not fx.widened
+    # Exact propagation: each hop adds cell delay + wire delay.
+    for hop, cell in enumerate(cells):
+        out = fx.output_bounds(cell, "q")
+        assert (out.n_lo, out.n_hi) == (0, 1)
+        assert out.t_min == out.t_max == (hop + 1) * 10 + hop * 5
+
+
+def test_undriven_subgraph_stays_none():
+    circuit, cells = _chain(3)
+    orphan = circuit.add(Jtl("orphan"))
+    graph = CircuitGraph(circuit, [(cells[0], "a")])
+    fx = fixpoint(circuit, graph, _entry(cells))
+    assert fx.output_bounds(orphan, "q").is_none
+    assert fx.input_bounds(orphan, "a").is_none
+
+
+def test_feedback_loop_widens_and_terminates():
+    # splitter -> merger -> splitter: a combinational pulse racetrack.
+    circuit = Circuit("loop")
+    merger = circuit.add(IdealMerger("m", delay=10))
+    split = circuit.add(Splitter("s", delay=10))
+    circuit.connect(merger, "q", split, "a", delay=5)
+    circuit.connect(split, "q1", merger, "b", delay=5)
+    graph = CircuitGraph(circuit, [(merger, "a")])
+    fx = fixpoint(circuit, graph,
+                  {(id(merger), "a"): single_pulse_bounds(0)})
+    assert fx.widened  # the loop forced widening
+    out = fx.output_bounds(split, "q2")
+    assert out.n_hi == INF  # soundly unbounded: the loop recirculates
+    total = sum(
+        1 for _ in circuit.elements
+    ) * MAX_VISITS
+    assert fx.iterations <= total
+
+
+def test_plan_cache_reused_and_invalidated_by_mutation():
+    circuit, cells = _chain(2)
+    graph = CircuitGraph(circuit, [(cells[0], "a")])
+    fixpoint(circuit, graph, _entry(cells))
+    cached = circuit._pulseflow_plan
+    fixpoint(circuit, graph, _entry(cells))
+    assert circuit._pulseflow_plan is cached  # same topology, same plan
+
+    tail = circuit.add(Jtl("tail", delay=10))
+    circuit.connect(cells[-1], "q", tail, "a", delay=5)
+    graph = CircuitGraph(circuit, [(cells[0], "a")])
+    fx = fixpoint(circuit, graph, _entry(cells))
+    assert circuit._pulseflow_plan is not cached  # version bump rebuilt it
+    assert fx.output_bounds(tail, "q").t_max == 40
+
+
+def test_entry_superposes_with_wired_drive():
+    circuit = Circuit("mix")
+    head, tail = circuit.add(Jtl("h", delay=10)), circuit.add(Jtl("t", delay=10))
+    circuit.connect(head, "q", tail, "a", delay=0)
+    graph = CircuitGraph(circuit, [(head, "a"), (tail, "a")])
+    fx = fixpoint(circuit, graph, {
+        (id(head), "a"): single_pulse_bounds(0),
+        (id(tail), "a"): single_pulse_bounds(0),
+    })
+    at_tail = fx.input_bounds(tail, "a")
+    assert (at_tail.n_lo, at_tail.n_hi) == (0, 2)  # stimulus + wired
+    assert (at_tail.t_min, at_tail.t_max) == (0, 10)
+
+
+def test_nonconvergence_backstop_raises():
+    # Force pathological revisits by disabling widening entirely.
+    circuit = Circuit("loop")
+    merger = circuit.add(IdealMerger("m", delay=10))
+    split = circuit.add(Splitter("s", delay=10))
+    circuit.connect(merger, "q", split, "a", delay=5)
+    circuit.connect(split, "q1", merger, "b", delay=5)
+    graph = CircuitGraph(circuit, [(merger, "a")])
+    from repro.errors import SimulationError
+
+    with pytest.raises(SimulationError, match="failed to converge"):
+        fixpoint(circuit, graph,
+                 {(id(merger), "a"): single_pulse_bounds(0)},
+                 widen_after=10 * MAX_VISITS)

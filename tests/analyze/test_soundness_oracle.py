@@ -1,0 +1,44 @@
+"""The repro.verify static-soundness oracle: registered, holds on honest
+transfers, and has teeth against a deliberately unsound one."""
+
+from repro.analyze import transfer as transfermod
+from repro.analyze.domain import NONE
+from repro.verify.generator import example_rng, generate_spec, profile
+from repro.verify.oracles import ORACLES, oracle_static_soundness
+from repro.verify.spec import CellSpec, NetlistSpec, WireSpec
+
+
+def _jtl_spec():
+    # Entry splitter (pool slots 0-1) feeding a Jtl chain; the tail's
+    # output and the entry's q2 stay unconsumed, hence probed.
+    return NetlistSpec(
+        cells=(
+            CellSpec("Jtl", (WireSpec(0),)),
+            CellSpec("Jtl", (WireSpec(2, delay=1_000),)),
+        ),
+        stimulus=(0, 5_000, 10_000),
+    )
+
+
+def test_oracle_is_registered_in_the_matrix():
+    assert ORACLES["static-soundness"] is oracle_static_soundness
+    assert list(ORACLES).index("static-soundness") == len(ORACLES) - 1
+
+
+def test_holds_on_generated_and_handwritten_specs():
+    spec = generate_spec(example_rng(0, 0), profile("smoke"))
+    assert oracle_static_soundness(spec).ok
+    result = oracle_static_soundness(_jtl_spec())
+    assert result.ok and result.applicable
+
+
+def test_catches_an_unsound_transfer_function(monkeypatch):
+    # A Jtl "transfer" claiming the output stays silent is a soundness
+    # lie; the simulated pulses escape the bounds and the oracle trips.
+    def unsound_jtl(element, inputs):
+        return {"q": NONE}
+
+    monkeypatch.setitem(transfermod.TRANSFER, "Jtl", unsound_jtl)
+    result = oracle_static_soundness(_jtl_spec())
+    assert not result.ok
+    assert "outside" in result.detail

@@ -1,0 +1,102 @@
+"""Spot checks of per-cell transfer functions against cell semantics."""
+
+from repro.analyze.domain import (
+    INF,
+    NONE,
+    PulseBounds,
+    single_pulse_bounds,
+    stimulus_bounds,
+)
+from repro.analyze.transfer import (
+    epoch_latency_fs,
+    epoch_relative_transfer,
+    transfer,
+)
+from repro.cells.interconnect import IdealMerger, Jtl, Merger, Splitter
+from repro.cells.logic import Inverter
+from repro.cells.storage import Ndro
+from repro.cells.toggle import Tff, Tff2
+from repro.core.buffer import RlBuffer
+
+
+def test_jtl_shifts_by_cell_delay():
+    jtl = Jtl("j", delay=7)
+    out = transfer(jtl, {"a": stimulus_bounds([0, 100])})
+    assert out["q"] == PulseBounds(2, 2, 7, 107, 100)
+
+
+def test_splitter_duplicates_stream():
+    sp = Splitter("s", delay=3)
+    out = transfer(sp, {"a": single_pulse_bounds(10)})
+    assert out["q1"] == out["q2"]
+    assert out["q1"].t_min == 10 + 3
+
+
+def test_merger_counts_add_and_dead_time_spaces_output():
+    m = IdealMerger("m", delay=0)
+    out = transfer(m, {"a": single_pulse_bounds(0),
+                       "b": single_pulse_bounds(500)})
+    assert (out["q"].n_lo, out["q"].n_hi) == (0, 2)
+    assert out["q"].gap == 500  # disjoint windows keep their separation
+
+    lossy = Merger("m2", delay=0, dead_time=1_000)
+    out = transfer(lossy, {"a": stimulus_bounds([0, 100]), "b": NONE})
+    # Collisions possible: only the first arrival is guaranteed through,
+    # and whatever does emerge is spaced at least a dead time apart.
+    assert out["q"].n_lo == 1
+    assert out["q"].n_hi == 2
+    assert out["q"].gap == 1_000
+
+
+def test_tff_halves_counts_and_doubles_gap():
+    tff = Tff("t", delay=0)
+    out = transfer(tff, {"a": stimulus_bounds([0, 100, 200, 300])})
+    assert (out["q"].n_lo, out["q"].n_hi) == (2, 2)
+    assert out["q"].gap == 200
+
+
+def test_tff2_alternates_starting_at_q1():
+    tff2 = Tff2("t2", delay=0)
+    out = transfer(tff2, {"a": stimulus_bounds([0, 100, 200])})
+    assert (out["q1"].n_lo, out["q1"].n_hi) == (2, 2)
+    assert (out["q2"].n_lo, out["q2"].n_hi) == (1, 1)
+
+
+def test_ndro_gates_clock_by_set_state():
+    ndro = Ndro("n", delay=0)
+    clk = stimulus_bounds([0, 100, 200])
+    # Armed: at most one emission per clock, timed like the clock.
+    out = transfer(ndro, {"set": single_pulse_bounds(0), "clk": clk})
+    assert (out["q"].n_lo, out["q"].n_hi) == (0, 3)
+    assert (out["q"].t_min, out["q"].t_max) == (0, 200)
+    # Never set: provably silent.
+    assert transfer(ndro, {"set": NONE, "clk": clk})["q"].is_none
+
+
+def test_inverter_suppression_lowers_floor_only():
+    inv = Inverter("i", delay=0)
+    clk = stimulus_bounds([0, 100, 200])
+    out = transfer(inv, {"a": single_pulse_bounds(0), "clk": clk})
+    assert (out["q"].n_lo, out["q"].n_hi) == (2, 3)
+
+
+def test_unknown_cell_degrades_to_top_not_crash():
+    class Exotic:
+        name = "x"
+        input_names = ("a",)
+        output_names = ("q",)
+
+    out = transfer(Exotic(), {"a": single_pulse_bounds(5)})
+    assert out["q"].n_hi == INF
+    assert out["q"].t_min == 5
+
+
+def test_epoch_relative_transfer_reanchors_rl_storage():
+    rl = RlBuffer("rl", epoch_fs=1_000)
+    assert epoch_latency_fs(rl) == 1_000
+    stream = single_pulse_bounds(50)
+    real = transfer(rl, {"in": stream})["out"]
+    rebased = epoch_relative_transfer(rl, {"in": stream})["out"]
+    assert real.t_min == 1_050  # replayed one epoch later, in real time
+    assert rebased.t_min == 50  # same slot of the *next* epoch
+    assert epoch_latency_fs(Jtl("j")) == 0
