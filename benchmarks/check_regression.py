@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
 """Gate a pytest-benchmark JSON run against the committed baseline.
 
-Two always-on checks, the most machine-independent one first, plus an
-opt-in third:
+Three always-on checks, the most machine-independent ones first, plus an
+opt-in fourth:
 
 1. **Kernel speedup ratio** (within the new run, so host speed cancels
    out): for every pair ``<name>_reference_kernel`` /
@@ -11,7 +11,15 @@ opt-in third:
    property the compiled kernel exists for; losing it is a regression no
    matter how fast the host is.
 
-2. **Relative regression vs baseline**: medians are normalised by the
+2. **Batch throughput floor** (also within the new run): for every pair
+   ``<name>_batch_kernel`` / ``<name>_sealed_kernel`` that recorded
+   per-run event counts in ``extra_info``, the batch kernel's aggregate
+   events/s must be at least ``--min-batch-speedup`` (default 50x) times
+   the sealed kernel's — the fleet-scale property the batch kernel
+   exists for.  Skipped when the run has no ``*_batch_kernel``
+   benchmarks.
+
+3. **Relative regression vs baseline**: medians are normalised by the
    run-wide median of new/baseline ratios, which absorbs the host being
    uniformly slower or faster than the machine that produced
    ``BENCH_baseline.json``.  Any single benchmark whose *normalised*
@@ -19,7 +27,7 @@ opt-in third:
    shape of change means one code path got slower, not that CI got a cold
    runner.
 
-3. **Tracing-off overhead** (``--max-trace-overhead``, measured by this
+4. **Tracing-off overhead** (``--max-trace-overhead``, measured by this
    script itself): the public ``Simulator.run()`` — whose only addition
    over the kernel loop is the is-a-trace-session-installed dispatch —
    against the sealed ``_run`` loop called directly, interleaved in one
@@ -36,12 +44,13 @@ benchmarks and re-baseline in the same change.
 Re-baseline (run from the repository root)::
 
     PYTHONPATH=src python -m pytest benchmarks/test_microbench_kernels.py \
+        benchmarks/test_batch_kernel.py \
         --benchmark-json=benchmarks/BENCH_baseline.json -q
 
 Gate a fresh run::
 
     PYTHONPATH=src python -m pytest benchmarks/test_microbench_kernels.py \
-        --benchmark-json=bench.json -q
+        benchmarks/test_batch_kernel.py --benchmark-json=bench.json -q
     python benchmarks/check_regression.py bench.json
 """
 
@@ -56,6 +65,7 @@ from typing import Dict, List, Optional, Tuple
 
 _REF_SUFFIX = "_reference_kernel"
 _SEALED_SUFFIX = "_sealed_kernel"
+_BATCH_SUFFIX = "_batch_kernel"
 
 
 def load_medians(path: Path) -> Dict[str, float]:
@@ -65,6 +75,18 @@ def load_medians(path: Path) -> Dict[str, float]:
     return {
         bench["name"]: bench["stats"]["median"]
         for bench in document["benchmarks"]
+    }
+
+
+def load_events(path: Path) -> Dict[str, int]:
+    """``benchmark name -> events per run`` (from ``extra_info``), where
+    the benchmark recorded one."""
+    with open(path) as handle:
+        document = json.load(handle)
+    return {
+        bench["name"]: bench["extra_info"]["events"]
+        for bench in document["benchmarks"]
+        if "events" in bench.get("extra_info", {})
     }
 
 
@@ -91,6 +113,53 @@ def check_speedups(
             failures.append(
                 f"sealed kernel only {speedup:.2f}x faster than reference "
                 f"on {reference[: -len(_REF_SUFFIX)]} (need {min_speedup:.2f}x)"
+            )
+
+
+def check_batch_throughput(
+    new: Dict[str, float],
+    events: Dict[str, int],
+    min_speedup: float,
+    failures: List[str],
+) -> None:
+    """Fleet-scale floor: for every ``<name>_batch_kernel`` /
+    ``<name>_sealed_kernel`` pair that recorded per-run event counts, the
+    batch kernel's aggregate events/s must be at least ``min_speedup``
+    times the sealed kernel's.  Rates come from the same run, so host
+    speed cancels out; workloads may differ per kernel (the batch side
+    runs 1024 lanes), which is why this compares events/s rather than raw
+    medians.
+    """
+    batch_names = [name for name in sorted(new) if name.endswith(_BATCH_SUFFIX)]
+    if not batch_names:
+        print("  (no *_batch_kernel benchmarks in this run)")
+        return
+    for batch in batch_names:
+        sealed = batch[: -len(_BATCH_SUFFIX)] + _SEALED_SUFFIX
+        if sealed not in new:
+            failures.append(f"{batch} has no {sealed} counterpart")
+            continue
+        missing = [n for n in (batch, sealed) if n not in events]
+        if missing:
+            failures.append(
+                f"{', '.join(missing)}: no extra_info['events'] recorded; "
+                "cannot gate batch throughput"
+            )
+            continue
+        batch_rate = events[batch] / new[batch]
+        sealed_rate = events[sealed] / new[sealed]
+        speedup = batch_rate / sealed_rate
+        verdict = "ok" if speedup >= min_speedup else "FAIL"
+        print(
+            f"  batch throughput {batch[: -len(_BATCH_SUFFIX)]}: "
+            f"{batch_rate:,.0f} vs {sealed_rate:,.0f} events/s "
+            f"({speedup:.0f}x, floor {min_speedup:.0f}x) [{verdict}]"
+        )
+        if speedup < min_speedup:
+            failures.append(
+                f"batch kernel only {speedup:.1f}x the sealed kernel's "
+                f"aggregate events/s on {batch[: -len(_BATCH_SUFFIX)]} "
+                f"(need {min_speedup:.0f}x)"
             )
 
 
@@ -221,6 +290,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         "committed results/ measurements track the real figure)",
     )
     parser.add_argument(
+        "--min-batch-speedup",
+        type=float,
+        default=50.0,
+        metavar="X",
+        help="required batch-vs-sealed aggregate events/s ratio for every "
+        "*_batch_kernel / *_sealed_kernel pair (default: 50.0; skipped "
+        "when the run contains no batch benchmarks)",
+    )
+    parser.add_argument(
         "--max-trace-overhead",
         type=float,
         default=None,
@@ -237,6 +315,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     failures: List[str] = []
     print("kernel speedup gate:")
     check_speedups(new, args.min_speedup, failures)
+    print("batch throughput gate:")
+    check_batch_throughput(
+        new, load_events(Path(args.run)), args.min_batch_speedup, failures
+    )
     if args.max_trace_overhead is not None:
         print("tracing-off overhead gate:")
         check_trace_overhead(args.max_trace_overhead, failures)

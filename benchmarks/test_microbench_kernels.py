@@ -34,12 +34,12 @@ _FABRIC_TRAINS = [
 ]
 
 
-def _run_stream_fabric(kernel, direct=False):
-    """Build the fabric fresh (compile cost counts too) and run one epoch.
+def _build_stream_fabric():
+    """The fabric netlist: JTL chains into an IdealMerger reduction tree.
 
-    ``direct=True`` bypasses the public ``run()`` dispatcher and calls the
-    kernel's ``_run`` hot loop straight — the yardstick for the tracing-off
-    overhead gate.
+    Returns ``(circuit, heads, probe)``; shared with the batch-kernel
+    benchmarks in ``test_batch_kernel.py`` so the scalar and vectorized
+    kernels are measured on the same topology.
     """
     circuit = Circuit(f"fabric{_FABRIC_LANES}x{_FABRIC_DEPTH}")
     heads = []
@@ -63,6 +63,17 @@ def _run_stream_fabric(kernel, direct=False):
         tails = merged
         level += 1
     probe = circuit.probe(*tails[0])
+    return circuit, heads, probe
+
+
+def _run_stream_fabric(kernel, direct=False):
+    """Build the fabric fresh (compile cost counts too) and run one epoch.
+
+    ``direct=True`` bypasses the public ``run()`` dispatcher and calls the
+    kernel's ``_run`` hot loop straight — the yardstick for the tracing-off
+    overhead gate.
+    """
+    circuit, heads, probe = _build_stream_fabric()
     sim = Simulator(circuit, kernel=kernel)
     for head, times in zip(heads, _FABRIC_TRAINS):
         sim.schedule_train(head, "a", times)
@@ -82,6 +93,9 @@ def test_stream_fabric_sealed_kernel(benchmark):
     events, merged = benchmark(_run_stream_fabric, "sealed")
     assert merged == _FABRIC_LANES * len(_FABRIC_TRAINS[0])
     assert events > 200_000
+    # Events per run: check_regression.py's batch-throughput gate divides
+    # this by the median to get aggregate events/s for the scalar kernel.
+    benchmark.extra_info["events"] = events
 
 
 def test_stream_fabric_sealed_hotloop(benchmark):

@@ -10,10 +10,29 @@ memory — see :mod:`repro.models.technology`).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 from repro.models import technology as tech
+
+
+def quantise_level(value: float, n_max: int) -> int:
+    """Quantise ``value`` in [0, 1] to an integer level in [0, n_max].
+
+    Ties round half-away-from-zero on the *bipolar* axis: a level maps to
+    bipolar via ``b = 2 * level / n_max - 1``, so a tie at ``k + 0.5``
+    rounds up exactly when the midpoint lies at or above the bipolar
+    origin (``k >= n_max // 2``).  Python's built-in ``round``
+    (half-to-even) would leave midpoints asymmetric, breaking
+    ``quantise_bipolar(v) == -quantise_bipolar(-v)``.
+    """
+    scaled = value * n_max
+    level = math.floor(scaled)
+    fraction = scaled - level
+    if fraction > 0.5 or (fraction == 0.5 and level >= n_max // 2):
+        level += 1
+    return min(n_max, max(0, level))
 
 
 @dataclass(frozen=True)
@@ -57,7 +76,12 @@ class EpochSpec:
         return epoch_index * self.duration_fs
 
     def epoch_window(self, epoch_index: int):
-        """``(start, end)`` absolute times of epoch ``epoch_index``."""
+        """``(start, end)`` absolute times of epoch ``epoch_index``.
+
+        Windows are half-open: a pulse at exactly ``end`` belongs to
+        epoch ``epoch_index + 1``.  Every decode predicate in the
+        encoding layer uses ``start <= t < end``.
+        """
         start = self.epoch_start(epoch_index)
         return start, start + self.duration_fs
 

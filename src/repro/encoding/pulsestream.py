@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from repro.encoding.epoch import EpochSpec
+from repro.encoding.epoch import EpochSpec, quantise_level
 from repro.errors import EncodingError
 from repro.pulsesim.schedule import burst_stream_times, uniform_stream_times
 
@@ -39,7 +39,7 @@ class PulseStreamCodec:
         """Quantise a unipolar value in [0, 1] to a pulse count."""
         if not 0.0 <= value <= 1.0:
             raise EncodingError(f"unipolar value must be in [0, 1], got {value}")
-        return min(self.epoch.n_max, round(value * self.epoch.n_max))
+        return quantise_level(value, self.epoch.n_max)
 
     def count_for_bipolar(self, value: float) -> int:
         """Quantise a bipolar value in [-1, 1] to a pulse count."""

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.encoding.epoch import EpochSpec
+from repro.encoding.epoch import EpochSpec, quantise_level
 from repro.errors import EncodingError
 
 
@@ -26,7 +26,7 @@ class RaceLogicCodec:
         """Quantise a unipolar value in [0, 1] to its time slot."""
         if not 0.0 <= value <= 1.0:
             raise EncodingError(f"unipolar value must be in [0, 1], got {value}")
-        return min(self.epoch.n_max, round(value * self.epoch.n_max))
+        return quantise_level(value, self.epoch.n_max)
 
     def slot_for_bipolar(self, value: float) -> int:
         """Quantise a bipolar value in [-1, 1] to its time slot."""
@@ -44,27 +44,51 @@ class RaceLogicCodec:
         return 2.0 * self.unipolar_of_slot(slot_id) - 1.0
 
     # -- value <-> pulse time ------------------------------------------------
+    def pulse_time(self, slot_id: int, epoch_index: int = 0) -> int:
+        """Absolute pulse time for ``slot_id``, kept inside the epoch window.
+
+        Slot ``n_max`` (full scale) would start exactly at the window's
+        half-open end — which every window predicate assigns to the *next*
+        epoch — so it is encoded one femtosecond early, at ``end - 1``.
+        That sentinel needs ``slot_fs > 1`` to stay distinguishable from
+        the start of slot ``n_max - 1``.
+        """
+        self._check_slot(slot_id)
+        if slot_id == self.epoch.n_max:
+            if self.epoch.slot_fs == 1:
+                raise EncodingError(
+                    "slot n_max is not encodable with slot_fs=1: the epoch "
+                    "window has no room for the full-scale sentinel"
+                )
+            return self.epoch.epoch_window(epoch_index)[1] - 1
+        return self.epoch.slot_time(slot_id, epoch_index)
+
     def encode_unipolar(self, value: float, epoch_index: int = 0) -> int:
         """Absolute pulse time encoding a unipolar value."""
-        return self.epoch.slot_time(self.slot_for_unipolar(value), epoch_index)
+        return self.pulse_time(self.slot_for_unipolar(value), epoch_index)
 
     def encode_bipolar(self, value: float, epoch_index: int = 0) -> int:
         """Absolute pulse time encoding a bipolar value."""
-        return self.epoch.slot_time(self.slot_for_bipolar(value), epoch_index)
+        return self.pulse_time(self.slot_for_bipolar(value), epoch_index)
 
     def decode_time(self, time_fs: int, epoch_index: int = 0) -> int:
         """Slot id of a pulse observed at ``time_fs`` in ``epoch_index``.
 
-        The pulse must fall inside the epoch window; times inside a slot
-        (e.g. after cell propagation delays smaller than a slot) round down.
+        The epoch window is half-open — a pulse at exactly ``end`` belongs
+        to the next epoch — and times inside a slot (e.g. after cell
+        propagation delays smaller than a slot) round down.  ``end - 1``
+        is the full-scale sentinel written by :meth:`pulse_time` and
+        decodes to slot ``n_max`` (when ``slot_fs > 1``).
         """
         start, end = self.epoch.epoch_window(epoch_index)
-        if not start <= time_fs <= end:
+        if not start <= time_fs < end:
             raise EncodingError(
                 f"pulse at {time_fs} fs is outside epoch {epoch_index} "
-                f"[{start}, {end}]"
+                f"[{start}, {end})"
             )
-        return min(self.epoch.n_max, (time_fs - start) // self.epoch.slot_fs)
+        if time_fs == end - 1 and self.epoch.slot_fs > 1:
+            return self.epoch.n_max
+        return (time_fs - start) // self.epoch.slot_fs
 
     def decode_unipolar(self, time_fs: int, epoch_index: int = 0) -> float:
         return self.unipolar_of_slot(self.decode_time(time_fs, epoch_index))

@@ -85,6 +85,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "across kernels, only wall time differs",
     )
     parser.add_argument(
+        "--batch",
+        action="store_true",
+        help="coalesce Monte-Carlo sweep points into vectorized batch-kernel "
+        "calls where an experiment supports it (results are bit-identical "
+        "to the per-point path)",
+    )
+    parser.add_argument(
         "--fail-on",
         choices=("never", "claims"),
         default="claims",
@@ -119,7 +126,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         ids = ["table3-measured" if eid == "table3" else eid for eid in ids]
     cache = None if args.no_cache else ResultCache(pathlib.Path(args.cache_dir))
     try:
-        run = run_suite(ids, jobs=args.jobs, cache=cache)
+        run = run_suite(ids, jobs=args.jobs, cache=cache, batch=args.batch)
     except ConfigurationError as error:
         print(f"usfq-experiments: {error}", file=sys.stderr)
         return 2

@@ -23,6 +23,7 @@ Typical usage::
     assert probe.count() == 1
 """
 
+from repro.pulsesim.batch import BatchProgram, BatchSimulator, BatchStats, compile_batch
 from repro.pulsesim.block import Block
 from repro.pulsesim.element import CellRole, Element, PortSpec
 from repro.pulsesim.faults import DropChannel, JitterChannel
@@ -38,11 +39,16 @@ from repro.pulsesim.schedule import (
     burst_stream_times,
     clock_times,
     rl_pulse_time,
+    rl_pulse_times_batch,
     uniform_stream_times,
+    uniform_stream_times_batch,
 )
 from repro.pulsesim.simulator import SimulationStats, Simulator, capture_stats
 
 __all__ = [
+    "BatchProgram",
+    "BatchSimulator",
+    "BatchStats",
     "Block",
     "CellRole",
     "Circuit",
@@ -58,10 +64,13 @@ __all__ = [
     "WaveformProbe",
     "Wire",
     "capture_stats",
+    "compile_batch",
     "compile_circuit",
     "resolve_kernel",
     "burst_stream_times",
     "clock_times",
     "rl_pulse_time",
+    "rl_pulse_times_batch",
     "uniform_stream_times",
+    "uniform_stream_times_batch",
 ]

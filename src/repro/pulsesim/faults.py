@@ -76,10 +76,15 @@ class JitterChannel(Element):
         _TOTALS["jitter.pulses_seen"] += 1
         displacement = round(self._rng.gauss(0, self.std_fs)) if self.std_fs else 0
         delay = max(0, self.mean_fs + displacement)
-        if displacement:
+        # Count what the simulation actually did: clamping at zero delay can
+        # swallow part (or, with mean_fs=0, all) of a negative draw.
+        effective = delay - self.mean_fs
+        if effective:
             self.pulses_displaced += 1
             _TOTALS["jitter.pulses_displaced"] += 1
-        self.max_displacement_fs = max(self.max_displacement_fs, abs(displacement))
+            self.max_displacement_fs = max(
+                self.max_displacement_fs, abs(effective)
+            )
         self.emit(sim, "q", time + delay)
 
     def reset(self):

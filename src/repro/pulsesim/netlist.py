@@ -77,6 +77,7 @@ class Circuit:
         #: events referencing a program can never go stale.
         self._ops: Dict[Tuple[int, str], list] = {}
         self._emit_tables: Dict[int, dict] = {}
+        self._batch_compiled = None  # repro.pulsesim.batch.BatchProgram
 
     # -- construction --------------------------------------------------------
     def _mutate_topology(self, what: str) -> None:
@@ -212,6 +213,25 @@ class Circuit:
 
             compile_circuit(self)
         return self
+
+    def seal_batch(self):
+        """Seal the circuit and return its compiled batch program.
+
+        The :class:`~repro.pulsesim.batch.BatchProgram` is cached against
+        the circuit version, so attaching a probe (which bumps the
+        version) triggers a recompile with the new tap index on the next
+        call.  :class:`~repro.pulsesim.batch.BatchSimulator` calls this at
+        construction; the returned program is shared by all simulators of
+        the same circuit version.
+        """
+        self.seal()
+        cached = self._batch_compiled
+        if cached is None or cached.version != self._version:
+            from repro.pulsesim.batch import compile_batch
+
+            cached = compile_batch(self)
+            self._batch_compiled = cached
+        return cached
 
     # -- simulation support ---------------------------------------------------
     def fanout(self, source: Element, source_port: str) -> Sequence[Wire]:

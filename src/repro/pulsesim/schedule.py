@@ -11,7 +11,9 @@ quantised products the functional models predict.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
+
+import numpy as np
 
 from repro.errors import EncodingError
 
@@ -61,6 +63,67 @@ def rl_pulse_time(slot_id: int, slot_fs: int, start: int = 0) -> int:
     if slot_fs <= 0:
         raise EncodingError(f"slot width must be positive, got {slot_fs}")
     return start + slot_id * slot_fs
+
+
+def uniform_stream_times_batch(
+    counts,
+    n_max: int,
+    slot_fs: int,
+    start: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Flat ``(times, lanes)`` arrays of per-lane uniform-rate streams.
+
+    ``counts[i]`` is lane ``i``'s pulse count; lane ``i``'s times are
+    exactly ``uniform_stream_times(counts[i], n_max, slot_fs, start)``.
+    The result feeds :meth:`BatchSimulator.schedule_flat` directly.
+    Lanes sharing a count share one vectorised time computation, so a
+    Monte-Carlo batch with few distinct operand values costs almost
+    nothing to build.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    if counts.ndim != 1:
+        raise EncodingError(f"counts must be one-dimensional, got {counts.shape}")
+    if counts.size and (counts.min() < 0 or counts.max() > n_max):
+        raise EncodingError(
+            f"need 0 <= counts <= n_max, got range "
+            f"[{int(counts.min())}, {int(counts.max())}] with n_max={n_max}"
+        )
+    if slot_fs <= 0:
+        raise EncodingError(f"slot width must be positive, got {slot_fs}")
+    all_times = []
+    all_lanes = []
+    for n in np.unique(counts).tolist():
+        if n == 0:
+            continue
+        lanes = np.flatnonzero(counts == n)
+        k = np.arange(n, dtype=np.int64)
+        times = start + (k * n_max // n) * slot_fs
+        all_times.append(np.tile(times, lanes.size))
+        all_lanes.append(np.repeat(lanes, times.size))
+    if not all_times:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy()
+    return np.concatenate(all_times), np.concatenate(all_lanes)
+
+
+def rl_pulse_times_batch(
+    slots,
+    slot_fs: int,
+    start: int = 0,
+) -> np.ndarray:
+    """Per-lane Race-Logic pulse times: ``slots[i]`` is lane ``i``'s slot.
+
+    The ``(batch,)`` result feeds :meth:`BatchSimulator.schedule_input`
+    (array form: one pulse per lane).
+    """
+    slots = np.asarray(slots, dtype=np.int64)
+    if slots.size and slots.min() < 0:
+        raise EncodingError(
+            f"Race-Logic slot ids must be >= 0, got {int(slots.min())}"
+        )
+    if slot_fs <= 0:
+        raise EncodingError(f"slot width must be positive, got {slot_fs}")
+    return start + slots * slot_fs
 
 
 def clock_times(

@@ -67,6 +67,9 @@ class RunReport:
     #: run resolved to — recorded so manifests from the two kernels can be
     #: diffed for wall-time (the results themselves are bit-identical).
     kernel: str = "auto"
+    #: Whether sweep experiments routed through their ``run_points_batch``
+    #: hook (Monte-Carlo points coalesced into batch-kernel calls).
+    batch: bool = False
 
     @property
     def failures(self) -> int:
@@ -98,8 +101,16 @@ def run_suite(
     ids: Sequence[str],
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    batch: bool = False,
 ) -> RunReport:
-    """Run experiments (cache-aware, optionally parallel); registry order."""
+    """Run experiments (cache-aware, optionally parallel); registry order.
+
+    With ``batch=True``, sweep experiments whose module defines
+    ``run_points_batch`` execute as one unit through that hook, which
+    coalesces Monte-Carlo sweep points into single vectorized batch-kernel
+    calls.  Results are bit-identical to the per-point path (the hooks
+    guarantee it), so cached entries are shared between the modes.
+    """
     started = time.perf_counter()
     for experiment_id in ids:
         resolve_experiment(experiment_id)  # fail fast on unknown ids
@@ -109,6 +120,7 @@ def run_suite(
         cache_dir=str(cache.directory) if cache else None,
         source_digest=cache.digest if cache else None,
         kernel=resolve_kernel(None),
+        batch=batch,
     )
 
     # Phase 1: serve cache hits.
@@ -131,7 +143,10 @@ def run_suite(
     # per-point units when a pool is available.
     units: List[WorkUnit] = []
     for experiment_id in to_compute:
-        if jobs > 1 and experiment_id in SWEEPS:
+        module = SWEEPS.get(experiment_id)
+        if batch and module is not None and hasattr(module, "run_points_batch"):
+            units.append(WorkUnit(experiment_id, batched=True))
+        elif jobs > 1 and experiment_id in SWEEPS:
             for index, point in enumerate(SWEEPS[experiment_id].sweep_points()):
                 units.append(WorkUnit(experiment_id, index, point))
         else:

@@ -20,7 +20,9 @@ from repro.runner.engine import RunReport
 #: 3: per-experiment ``metrics`` (counters/gauges/histograms, including
 #:    ``faults.*`` channel counters), ``metrics_points`` for sweeps the
 #:    runner split across workers, and ``stats.max_queue_depth``.
-MANIFEST_SCHEMA = 3
+#: 4: added the top-level ``batch`` field (whether sweep experiments ran
+#:    through their Monte-Carlo-coalescing ``run_points_batch`` hook).
+MANIFEST_SCHEMA = 4
 
 
 def build_manifest(
@@ -51,6 +53,7 @@ def build_manifest(
         "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "jobs": report.jobs,
         "kernel": report.kernel,
+        "batch": report.batch,
         "wall_time_s": round(report.wall_time_s, 6),
         "cache": {
             "dir": report.cache_dir,

@@ -43,6 +43,12 @@ TIE_ORDER_SENSITIVE = frozenset({"Bff", "Dff2", "Mux", "Demux"})
 #: The time-shift applied by the shift-equivariance oracle (fs).
 SHIFT_DELTA = 7_000
 
+#: Lanes used by the batch-differential oracle.  Lane ``k`` replays the
+#: stimulus minus its last ``k`` pulses, so lane masks diverge from the
+#: first stateful cell onward — small enough to stay fast, varied enough
+#: to exercise mask splitting.
+BATCH_LANES = 4
+
 
 @dataclass
 class OracleResult:
@@ -369,10 +375,72 @@ def oracle_static_soundness(spec: NetlistSpec) -> OracleResult:
     return OracleResult("static-soundness", True, True)
 
 
+def oracle_batch_differential(spec: NetlistSpec) -> OracleResult:
+    """The vectorized batch kernel agrees with the scalar sealed kernel
+    lane by lane.
+
+    One :class:`~repro.pulsesim.batch.BatchSimulator` runs
+    :data:`BATCH_LANES` lanes whose stimulus trains are distinct prefixes
+    of the spec's stimulus; each lane is then compared against a fresh
+    scalar sealed run of the same prefix on recordings (sorted — the
+    batch kernel's analytic mode does not define an emission order within
+    one lane), per-lane event/pulse/end-time stats, and the full internal
+    cell-state snapshot.  Queue depth is excluded: the master queue's
+    depth has no per-lane meaning.
+    """
+    from repro.pulsesim.batch import BatchSimulator
+
+    built = build(spec)
+    trains = [
+        list(spec.stimulus[: max(0, len(spec.stimulus) - k)])
+        for k in range(BATCH_LANES)
+    ]
+    sim = BatchSimulator(built.circuit, batch=BATCH_LANES)
+    sim.schedule_lane_trains(built.entry, "a", trains)
+    stats = sim.run()
+    tap_ports = {
+        id(tap.probe): (tap.source, port)
+        for (_eid, port), taps in built.circuit._taps.items()
+        for tap in taps
+    }
+    for lane, train in enumerate(trains):
+        scalar = run_built(build(spec), train, kernel="sealed")
+        scalar_side = {
+            "recordings": [sorted(times) for times in scalar["recordings"]],
+            "events": scalar["events"],
+            "pulses": scalar["pulses"],
+            "end_time": scalar["end_time"],
+            "state": scalar["state"],
+        }
+        batch_side = {
+            "recordings": [
+                sim.port_times(*tap_ports[id(probe)], lane)
+                for probe in built.probes
+            ],
+            "events": int(stats.events[lane]),
+            "pulses": int(stats.pulses[lane]),
+            "end_time": int(stats.end_time[lane]),
+            "state": {
+                element.name: tuple(
+                    _freeze(sim.element_attr(element, attr, lane, None))
+                    for attr in STATE_ATTRS
+                )
+                for element in built.circuit.elements
+            },
+        }
+        result = _compare("batch-differential", scalar_side, batch_side)
+        if not result.ok:
+            result.detail = f"lane {lane} ({stats.mode}): {result.detail}"
+            return result
+    return OracleResult("batch-differential", True, True,
+                        detail=f"mode={stats.mode}")
+
+
 #: The full matrix, in canonical execution order.
 ORACLES: Dict[str, Callable[[NetlistSpec], OracleResult]] = {
     "lint-clean": oracle_lint_clean,
     "kernel-differential": oracle_kernel_differential,
+    "batch-differential": oracle_batch_differential,
     "trace-transparency": oracle_trace_transparency,
     "probe-transparency": oracle_probe_transparency,
     "time-shift": oracle_time_shift,

@@ -1,0 +1,47 @@
+"""Property: codec encode -> JTL-pipeline simulation -> decode is lossless.
+
+The shared :func:`tests.strategies.codec_cases` strategy draws
+``(EpochSpec, value, epoch_index)`` on the representable grid, the value
+is encoded to pulse times, transported through a probed JTL pipeline, and
+decoded from the observed arrival times minus the pipeline latency.  The
+batch-kernel suite (``tests/pulsesim/test_batch.py``) reuses the same
+strategy to lock the vectorized transport to this scalar behaviour.
+"""
+
+from hypothesis import given, settings
+
+from repro.encoding.pulsestream import PulseStreamCodec
+from repro.encoding.racelogic import RaceLogicCodec
+from repro.pulsesim import Simulator
+from tests.strategies import codec_cases, jtl_pipe
+
+
+@settings(max_examples=60, deadline=None)
+@given(codec_cases())
+def test_racelogic_roundtrip_through_jtl_pipeline(case):
+    epoch, value, epoch_index = case
+    codec = RaceLogicCodec(epoch)
+    circuit, entry, probe, latency = jtl_pipe()
+    sim = Simulator(circuit, kernel="sealed")
+    sim.schedule_input(entry, "a", codec.encode_unipolar(value, epoch_index))
+    sim.run()
+    arrivals = [time - latency for time in probe.times]
+    slot = codec.decode_pulse_train(arrivals, epoch_index)
+    assert slot == codec.slot_for_unipolar(value)
+    # Grid values are exactly representable: the round trip is lossless.
+    assert codec.unipolar_of_slot(slot) == value
+
+
+@settings(max_examples=60, deadline=None)
+@given(codec_cases())
+def test_pulsestream_roundtrip_through_jtl_pipeline(case):
+    epoch, value, epoch_index = case
+    codec = PulseStreamCodec(epoch)
+    circuit, entry, probe, latency = jtl_pipe()
+    sim = Simulator(circuit, kernel="sealed")
+    sim.schedule_train(entry, "a", codec.encode_unipolar(value, epoch_index))
+    sim.run()
+    arrivals = [time - latency for time in probe.times]
+    assert codec.count_in_epoch(arrivals, epoch_index) == \
+        codec.count_for_unipolar(value)
+    assert codec.decode_unipolar(arrivals, epoch_index) == value

@@ -88,3 +88,42 @@ def test_value_range_validation():
         pc.times_for_count(17)
     with pytest.raises(EncodingError):
         pc.unipolar_of_count(-1)
+
+
+class TestEpochBoundary:
+    """Full-scale streams must stay inside their own half-open window."""
+
+    @pytest.mark.parametrize("epoch_index", [0, 1, 2, 5])
+    def test_unipolar_full_scale_roundtrip(self, epoch_index):
+        pc = codec(4)
+        times = pc.encode_unipolar(1.0, epoch_index)
+        start, end = pc.epoch.epoch_window(epoch_index)
+        assert all(start <= t < end for t in times)
+        assert pc.decode_unipolar(times, epoch_index) == 1.0
+        assert pc.count_in_epoch(times, epoch_index + 1) == 0
+
+    @pytest.mark.parametrize("epoch_index", [0, 1, 3])
+    @pytest.mark.parametrize("value", [-1.0, 0.0, 1.0])
+    def test_bipolar_extremes_roundtrip(self, value, epoch_index):
+        pc = codec(3)
+        times = pc.encode_bipolar(value, epoch_index)
+        assert pc.decode_bipolar(times, epoch_index) == value
+
+
+class TestMidpointRounding:
+    """Round-half-away-from-zero on the bipolar axis (shared with RL)."""
+
+    def test_bits2_midpoint(self):
+        pc = codec(2)
+        assert pc.quantise_bipolar(0.25) == 0.5
+        assert pc.quantise_bipolar(-0.25) == -0.5
+
+    @given(
+        bits=st.integers(min_value=1, max_value=10),
+        numerator=st.integers(min_value=-2048, max_value=2048),
+    )
+    def test_bipolar_symmetry(self, bits, numerator):
+        # Dyadic grid: value * n_max is exact, so midpoints are hit exactly.
+        pc = codec(bits)
+        value = numerator / 2048
+        assert pc.quantise_bipolar(value) == -pc.quantise_bipolar(-value)

@@ -87,3 +87,66 @@ def test_value_range_validation():
         rc.slot_for_bipolar(-1.5)
     with pytest.raises(EncodingError):
         rc.unipolar_of_slot(17)
+
+
+class TestEpochBoundary:
+    """Regressions for the half-open-window fix: full scale (slot n_max)
+    must round-trip inside its *own* epoch and never leak into the next."""
+
+    @pytest.mark.parametrize("epoch_index", [0, 1, 2, 5])
+    def test_unipolar_full_scale_roundtrip(self, epoch_index):
+        rc = codec(4)
+        time = rc.encode_unipolar(1.0, epoch_index)
+        start, end = rc.epoch.epoch_window(epoch_index)
+        assert start <= time < end
+        assert rc.decode_pulse_train([time], epoch_index) == rc.epoch.n_max
+        assert rc.decode_unipolar(time, epoch_index) == 1.0
+        assert rc.decode_pulse_train([time], epoch_index + 1) is None
+
+    @pytest.mark.parametrize("epoch_index", [0, 1, 3])
+    @pytest.mark.parametrize("value", [-1.0, 0.0, 1.0])
+    def test_bipolar_extremes_roundtrip(self, value, epoch_index):
+        rc = codec(3)
+        time = rc.encode_bipolar(value, epoch_index)
+        slot = rc.decode_pulse_train([time], epoch_index)
+        assert slot is not None
+        assert rc.bipolar_of_slot(slot) == value
+
+    @pytest.mark.parametrize("epoch_index", [0, 2])
+    def test_zero_roundtrip(self, epoch_index):
+        rc = codec(4)
+        time = rc.encode_unipolar(0.0, epoch_index)
+        assert rc.decode_unipolar(time, epoch_index) == 0.0
+
+    def test_decode_window_is_half_open(self):
+        rc = codec(4)
+        start, end = rc.epoch.epoch_window(0)
+        with pytest.raises(EncodingError):
+            rc.decode_time(end, 0)  # epoch end belongs to the next epoch
+        assert rc.decode_time(end, 1) == 0
+        assert rc.decode_time(end - 1, 0) == rc.epoch.n_max  # sentinel
+
+    def test_full_scale_needs_room_for_the_sentinel(self):
+        rc = RaceLogicCodec(EpochSpec(bits=2, slot_fs=1))
+        with pytest.raises(EncodingError, match="slot_fs=1"):
+            rc.encode_unipolar(1.0)
+
+
+class TestMidpointRounding:
+    """Regressions for round-half-away-from-zero on the bipolar axis."""
+
+    def test_bits2_midpoint(self):
+        rc = codec(2)  # 0.25 sits exactly between representable levels
+        assert rc.quantise_bipolar(0.25) == 0.5
+        assert rc.quantise_bipolar(-0.25) == -0.5
+
+    @given(
+        bits=st.integers(min_value=1, max_value=10),
+        numerator=st.integers(min_value=-2048, max_value=2048),
+    )
+    def test_bipolar_symmetry(self, bits, numerator):
+        # Dyadic grid: value * n_max is exact in binary floating point, so
+        # every quantisation midpoint is hit exactly (no float-noise ties).
+        rc = codec(bits)
+        value = numerator / 2048
+        assert rc.quantise_bipolar(value) == -rc.quantise_bipolar(-value)

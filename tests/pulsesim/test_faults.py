@@ -62,6 +62,41 @@ class TestJitterChannel:
         with pytest.raises(ConfigurationError):
             JitterChannel("j", std_fs=-1)
 
+    def test_clamped_draws_are_not_counted_as_displacement(self):
+        """With mean_fs=0, every negative draw is fully clamped away — the
+        counters must reflect only pulses that actually moved."""
+        circuit = Circuit()
+        channel = circuit.add(JitterChannel("j", std_fs=5_000, mean_fs=0, seed=9))
+        probe = circuit.probe(channel, "q")
+        sim = Simulator(circuit)
+        inputs = [k * 1_000_000 for k in range(200)]  # spacing >> jitter
+        sim.schedule_train(channel, "a", inputs)
+        sim.run()
+        moved = [out - t for out, t in zip(sorted(probe.times), inputs)]
+        assert channel.pulses_displaced == sum(1 for d in moved if d)
+        assert channel.max_displacement_fs == max(moved)
+        # ~half the draws are negative (clamped), so the distinction matters:
+        assert 0 < channel.pulses_displaced < len(inputs)
+
+    def test_partial_clamp_records_effective_displacement(self):
+        """mean_fs > 0 with huge negative draws: the pulse moves early by at
+        most mean_fs, not by the raw draw size."""
+        circuit = Circuit()
+        channel = circuit.add(
+            JitterChannel("j", std_fs=1_000_000, mean_fs=10, seed=1)
+        )
+        probe = circuit.probe(channel, "q")
+        sim = Simulator(circuit)
+        inputs = [k * 10_000_000 for k in range(50)]
+        sim.schedule_train(channel, "a", inputs)
+        sim.run()
+        effective = [
+            out - t - channel.mean_fs
+            for out, t in zip(sorted(probe.times), inputs)
+        ]
+        assert channel.pulses_displaced == sum(1 for d in effective if d)
+        assert channel.max_displacement_fs == max(abs(d) for d in effective)
+
     @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
     def test_negative_effective_delay_clamped(self, seed):
         """Huge jitter must never schedule a pulse before its arrival."""

@@ -1,5 +1,6 @@
 """Stimulus generators: uniform/burst streams, RL pulses, clocks."""
 
+import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
@@ -8,7 +9,9 @@ from repro.pulsesim.schedule import (
     burst_stream_times,
     clock_times,
     rl_pulse_time,
+    rl_pulse_times_batch,
     uniform_stream_times,
+    uniform_stream_times_batch,
 )
 
 
@@ -72,6 +75,44 @@ def test_rl_pulse_time():
         rl_pulse_time(-1, 12_000)
     with pytest.raises(EncodingError):
         rl_pulse_time(1, 0)
+
+
+@given(
+    bits=st.integers(min_value=1, max_value=8),
+    counts=st.lists(st.integers(0, 256), min_size=1, max_size=16),
+    start=st.sampled_from([0, 7_500]),
+)
+def test_uniform_stream_batch_matches_scalar_per_lane(bits, counts, start):
+    n_max = 1 << bits
+    counts = [min(n, n_max) for n in counts]
+    times, lanes = uniform_stream_times_batch(counts, n_max, 1_000, start=start)
+    assert times.dtype == np.int64 and times.shape == lanes.shape
+    for lane, n in enumerate(counts):
+        got = sorted(times[lanes == lane].tolist())
+        assert got == uniform_stream_times(n, n_max, 1_000, start=start)
+
+
+def test_uniform_stream_batch_validated():
+    with pytest.raises(EncodingError):
+        uniform_stream_times_batch([3, 9], 8, 10)
+    with pytest.raises(EncodingError):
+        uniform_stream_times_batch([-1], 8, 10)
+    with pytest.raises(EncodingError):
+        uniform_stream_times_batch([[1, 2]], 8, 10)
+    with pytest.raises(EncodingError):
+        uniform_stream_times_batch([4], 8, 0)
+    times, lanes = uniform_stream_times_batch([0, 0], 8, 10)
+    assert times.size == 0 and lanes.size == 0
+
+
+def test_rl_pulse_times_batch_matches_scalar_per_lane():
+    slots = [0, 3, 7]
+    batch = rl_pulse_times_batch(slots, 12_000, start=500)
+    assert batch.tolist() == [rl_pulse_time(s, 12_000, start=500) for s in slots]
+    with pytest.raises(EncodingError):
+        rl_pulse_times_batch([-1], 12_000)
+    with pytest.raises(EncodingError):
+        rl_pulse_times_batch([1], 0)
 
 
 def test_clock_times():

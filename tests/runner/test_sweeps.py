@@ -43,6 +43,15 @@ def test_fig19_point_kinds_cover_every_study():
     assert kinds.count("quant") == 2
     assert "distribution" in kinds
     assert "spectra" in kinds
+    assert kinds.count("structural") == 6  # one per error rate
+
+
+def test_fig19_batched_points_match_per_point_path():
+    """run_points_batch must be partial-for-partial identical to run_point
+    (the runner caches results across the two modes)."""
+    module = SWEEPS["fig19"]
+    points = [p for p in module.sweep_points(trials=1) if p[0] == "structural"]
+    assert module.run_points_batch(points) == [module.run_point(p) for p in points]
 
 
 def test_fig19_unknown_point_rejected():

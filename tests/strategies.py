@@ -20,9 +20,14 @@ from repro.cells.interconnect import IdealMerger, Jtl, Merger, Splitter
 from repro.cells.logic import FirstArrival, Inverter, LastArrival
 from repro.cells.storage import Dff, Dff2, Ndro
 from repro.cells.toggle import Tff, Tff2
+from repro.encoding.epoch import EpochSpec
 from repro.pulsesim import Circuit, Simulator
 from repro.verify.generator import example_rng, generate_spec, profile
 from repro.verify.oracles import STATE_ATTRS
+
+#: Lanes used by the batch-vs-sealed property suites (kept small: every
+#: lane is re-run under the scalar kernel for comparison).
+BATCH_LANES = 4
 
 #: (factory, input ports, output ports).  LastArrival/FirstArrival have no
 #: inline opcode, so drawing them exercises the generic-call path and the
@@ -138,3 +143,102 @@ def run_case(build, stimulus, kernel, trace_factory=None):
         "now": sim.now,
         "state": state,
     }
+
+
+def lane_trains(stimulus, batch=BATCH_LANES):
+    """Per-lane stimulus prefixes: lane ``k`` drops the last ``k`` pulses.
+
+    Distinct prefixes make lane masks diverge at the first stateful cell,
+    which is exactly what the batch kernel's mask algebra must survive.
+    """
+    return [
+        list(stimulus[: max(0, len(stimulus) - lane)]) for lane in range(batch)
+    ]
+
+
+def scalar_comparable(result):
+    """Project a :func:`run_case` result onto the batch-comparable keys.
+
+    Recordings are sorted (the batch kernel's analytic mode defines no
+    emission order within a lane) and the master-queue-only stats
+    (``max_queue_depth``, ``now``) are dropped.
+    """
+    return {
+        "recordings": [sorted(times) for times in result["recordings"]],
+        "events": result["events"],
+        "pulses": result["pulses"],
+        "end_time": result["end_time"],
+        "state": result["state"],
+    }
+
+
+def run_case_batch(build, stimulus, batch=BATCH_LANES):
+    """Run per-lane stimulus prefixes under the batch kernel.
+
+    Returns one dict per lane, shaped like :func:`scalar_comparable` of a
+    scalar :func:`run_case` on :func:`lane_trains`'s matching prefix.
+    """
+    from repro.pulsesim.batch import BatchSimulator
+
+    circuit, entry, probes = build()
+    tap_ports = {
+        id(tap.probe): (tap.source, port)
+        for (_eid, port), taps in circuit._taps.items()
+        for tap in taps
+    }
+    sim = BatchSimulator(circuit, batch=batch)
+    sim.schedule_lane_trains(entry, "a", lane_trains(stimulus, batch))
+    stats = sim.run()
+    lanes = []
+    for lane in range(batch):
+        lanes.append({
+            "recordings": [
+                sim.port_times(*tap_ports[id(probe)], lane)
+                for probe in probes
+            ],
+            "events": int(stats.events[lane]),
+            "pulses": int(stats.pulses[lane]),
+            "end_time": int(stats.end_time[lane]),
+            "state": [
+                tuple(
+                    sim.element_attr(element, attr, lane, None)
+                    for attr in STATE_ATTRS
+                )
+                for element in circuit.elements
+            ],
+        })
+    return lanes
+
+
+@st.composite
+def codec_cases(draw):
+    """``(EpochSpec, value, epoch_index)`` for codec round-trip properties.
+
+    Values are drawn on the representable grid ``k / n_max`` (exact in
+    binary floating point for bits <= 10), so ``encode -> decode`` must be
+    lossless; ``slot_fs >= 2`` leaves room for the full-scale sentinel at
+    ``end - 1``.  Used by the scalar encode -> JTL-sim -> decode round
+    trip and reused by the batch-kernel differential suite.
+    """
+    bits = draw(st.integers(1, 8))
+    slot_fs = draw(st.sampled_from([2, 10, 500, 12_000]))
+    epoch = EpochSpec(bits=bits, slot_fs=slot_fs)
+    value = draw(st.integers(0, epoch.n_max)) / epoch.n_max
+    epoch_index = draw(st.integers(0, 5))
+    return epoch, value, epoch_index
+
+
+def jtl_pipe(n_stages=2, stage_delay=40, wire_delay=10):
+    """A probed JTL pipeline: ``(circuit, entry, probe, latency_fs)``.
+
+    The canonical transport fixture for codec round trips: pulses arrive
+    at the probe exactly ``latency_fs`` after injection, so decoding uses
+    ``time - latency_fs``.
+    """
+    circuit = Circuit("pipe")
+    stages = [circuit.add(Jtl(f"j{i}", delay=stage_delay)) for i in range(n_stages)]
+    for left, right in zip(stages, stages[1:]):
+        circuit.connect(left, "q", right, "a", delay=wire_delay)
+    probe = circuit.probe(stages[-1], "q")
+    latency = n_stages * stage_delay + (n_stages - 1) * wire_delay
+    return circuit, stages[0], probe, latency
