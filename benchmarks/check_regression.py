@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
 """Gate a pytest-benchmark JSON run against the committed baseline.
 
-Three always-on checks, the most machine-independent ones first, plus an
-opt-in fourth:
+Four always-on checks, the most machine-independent ones first, plus an
+opt-in fifth:
 
 1. **Kernel speedup ratio** (within the new run, so host speed cancels
    out): for every pair ``<name>_reference_kernel`` /
@@ -19,7 +19,15 @@ opt-in fourth:
    exists for.  Skipped when the run has no ``*_batch_kernel``
    benchmarks.
 
-3. **Relative regression vs baseline**: medians are normalised by the
+3. **Shard speedup floor** (``--min-shard-speedup``, default 2.5x, also
+   within the new run): for every pair ``<name>_shard_k<K>`` /
+   ``<name>_shard_mono``, the K-worker partitioned run must beat the
+   monolithic sealed run on wall clock.  CPU-aware: lanes whose
+   recording host had fewer than K CPUs are reported but skipped (a
+   1-CPU container cannot demonstrate parallel speedup), so the floor
+   only bites where it is physically meaningful.
+
+4. **Relative regression vs baseline**: medians are normalised by the
    run-wide median of new/baseline ratios, which absorbs the host being
    uniformly slower or faster than the machine that produced
    ``BENCH_baseline.json``.  Any single benchmark whose *normalised*
@@ -27,7 +35,7 @@ opt-in fourth:
    shape of change means one code path got slower, not that CI got a cold
    runner.
 
-4. **Tracing-off overhead** (``--max-trace-overhead``, measured by this
+5. **Tracing-off overhead** (``--max-trace-overhead``, measured by this
    script itself): the public ``Simulator.run()`` — whose only addition
    over the kernel loop is the is-a-trace-session-installed dispatch —
    against the sealed ``_run`` loop called directly, interleaved in one
@@ -44,13 +52,14 @@ benchmarks and re-baseline in the same change.
 Re-baseline (run from the repository root)::
 
     PYTHONPATH=src python -m pytest benchmarks/test_microbench_kernels.py \
-        benchmarks/test_batch_kernel.py \
+        benchmarks/test_batch_kernel.py benchmarks/test_shard_kernel.py \
         --benchmark-json=benchmarks/BENCH_baseline.json -q
 
 Gate a fresh run::
 
     PYTHONPATH=src python -m pytest benchmarks/test_microbench_kernels.py \
-        benchmarks/test_batch_kernel.py --benchmark-json=bench.json -q
+        benchmarks/test_batch_kernel.py benchmarks/test_shard_kernel.py \
+        --benchmark-json=bench.json -q
     python benchmarks/check_regression.py bench.json
 """
 
@@ -66,6 +75,8 @@ from typing import Dict, List, Optional, Tuple
 _REF_SUFFIX = "_reference_kernel"
 _SEALED_SUFFIX = "_sealed_kernel"
 _BATCH_SUFFIX = "_batch_kernel"
+_SHARD_MONO_SUFFIX = "_shard_mono"
+_SHARD_K_MARKER = "_shard_k"
 
 
 def load_medians(path: Path) -> Dict[str, float]:
@@ -87,6 +98,16 @@ def load_events(path: Path) -> Dict[str, int]:
         bench["name"]: bench["extra_info"]["events"]
         for bench in document["benchmarks"]
         if "events" in bench.get("extra_info", {})
+    }
+
+
+def load_extra(path: Path) -> Dict[str, dict]:
+    """``benchmark name -> full extra_info dict`` for every benchmark."""
+    with open(path) as handle:
+        document = json.load(handle)
+    return {
+        bench["name"]: bench.get("extra_info", {})
+        for bench in document["benchmarks"]
     }
 
 
@@ -160,6 +181,72 @@ def check_batch_throughput(
                 f"batch kernel only {speedup:.1f}x the sealed kernel's "
                 f"aggregate events/s on {batch[: -len(_BATCH_SUFFIX)]} "
                 f"(need {min_speedup:.0f}x)"
+            )
+
+
+def check_shard_speedup(
+    new: Dict[str, float],
+    extra: Dict[str, dict],
+    min_speedup: float,
+    failures: List[str],
+) -> None:
+    """Parallel-speedup floor: for every ``<name>_shard_k<K>`` /
+    ``<name>_shard_mono`` pair, the K-worker partitioned run must beat
+    the monolithic sealed run by ``min(min_speedup, min_speedup * K/4)``
+    — i.e. the full floor at the headline K=4 lane, proportionally less
+    at K=2, and never more than the flag asks for.
+
+    CPU-aware: each shard benchmark records the recording host's
+    ``os.cpu_count()`` in ``extra_info["cpus"]``; lanes the host could
+    not physically parallelise (``cpus < K``, including 1-CPU CI
+    containers) are reported but not enforced, as is the K=1 sanity
+    lane.  A shard lane that *failed to record* cpus fails the gate —
+    an unknowable host must not look like a pass.
+    """
+    shard_names = [
+        name for name in sorted(new)
+        if _SHARD_K_MARKER in name and not name.endswith(_SHARD_MONO_SUFFIX)
+    ]
+    if not shard_names:
+        print("  (no *_shard_k* benchmarks in this run)")
+        return
+    for name in shard_names:
+        base, _, k_text = name.rpartition(_SHARD_K_MARKER)
+        try:
+            num_shards = int(k_text)
+        except ValueError:
+            continue  # not a shard lane, just a name collision
+        mono = base + _SHARD_MONO_SUFFIX
+        if mono not in new:
+            failures.append(f"{name} has no {mono} counterpart")
+            continue
+        cpus = extra.get(name, {}).get("cpus")
+        if cpus is None:
+            failures.append(
+                f"{name}: no extra_info['cpus'] recorded; cannot tell "
+                "whether the host could parallelise this lane"
+            )
+            continue
+        speedup = new[mono] / new[name]
+        if num_shards < 2 or cpus < num_shards:
+            reason = ("sanity lane" if num_shards < 2
+                      else f"host had {cpus} CPU(s)")
+            print(
+                f"  shard speedup {base} K={num_shards}: {speedup:.2f}x "
+                f"vs monolithic [skipped: {reason}]"
+            )
+            continue
+        floor = min(min_speedup, min_speedup * num_shards / 4.0)
+        verdict = "ok" if speedup >= floor else "FAIL"
+        print(
+            f"  shard speedup {base} K={num_shards}: {speedup:.2f}x vs "
+            f"monolithic (floor {floor:.2f}x, host {cpus} CPUs) [{verdict}]"
+        )
+        if speedup < floor:
+            failures.append(
+                f"{num_shards}-shard parallel run only {speedup:.2f}x the "
+                f"monolithic sealed run on {base} (need {floor:.2f}x on a "
+                f"{cpus}-CPU host)"
             )
 
 
@@ -299,6 +386,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         "when the run contains no batch benchmarks)",
     )
     parser.add_argument(
+        "--min-shard-speedup",
+        type=float,
+        default=2.5,
+        metavar="X",
+        help="required K-shard-vs-monolithic wall-clock speedup at K=4 "
+        "(scaled proportionally for other K; default: 2.5; lanes the "
+        "recording host could not parallelise are skipped, so 1-CPU "
+        "containers still run the benchmarks without flaking the gate)",
+    )
+    parser.add_argument(
         "--max-trace-overhead",
         type=float,
         default=None,
@@ -318,6 +415,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     print("batch throughput gate:")
     check_batch_throughput(
         new, load_events(Path(args.run)), args.min_batch_speedup, failures
+    )
+    print("shard speedup gate:")
+    check_shard_speedup(
+        new, load_extra(Path(args.run)), args.min_shard_speedup, failures
     )
     if args.max_trace_overhead is not None:
         print("tracing-off overhead gate:")

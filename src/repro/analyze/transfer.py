@@ -139,6 +139,36 @@ def transfer_jitter(element: Element, inputs: Inputs) -> Outputs:
     return {"q": PulseBounds(a.n_lo, a.n_hi, a.t_min, INF, 0)}
 
 
+@register("NocLink")
+def transfer_noclink(element: Element, inputs: Inputs) -> Outputs:
+    """Temporal NoC link: shift by the minimum latency, serialize flits.
+
+    Departures obey ``depart_i+1 >= depart_i + serialization``, so the
+    output inherits at least the serialization slot as spacing.  When the
+    input spacing already beats the slot, flits never queue (every flit
+    departs at arrival + min latency) and at most ``delay // gap + 1``
+    are in flight at once; otherwise a backlog can defer the last flit by
+    one slot per queued flit and the FIFO bound may drop pulses.
+    """
+    a = _in(inputs, "a")
+    if a.is_none:
+        return {"q": NONE}
+    delay = _delay(element)
+    slot = int(getattr(element, "serialization_fs", 1))
+    fifo = int(getattr(element, "fifo_depth", 1))
+    if a.gap >= slot:
+        extra = 0
+        in_flight = delay // a.gap + 1 if a.gap > 0 else INF
+    else:
+        extra = INF if a.n_hi >= INF else (a.n_hi - 1) * slot
+        in_flight = INF
+    no_drops = a.n_hi <= fifo or in_flight <= fifo
+    n_lo = a.n_lo if no_drops else 0
+    gap = max(a.gap, slot) if a.n_hi > 1 else a.gap
+    out = PulseBounds(n_lo, a.n_hi, a.t_min, sat_add(a.t_max, extra), gap)
+    return {"q": out.shift(delay)}
+
+
 # -- toggles -------------------------------------------------------------------
 def _double_gap(gap: int) -> int:
     return INF if gap >= INF else min(2 * gap, INF)

@@ -31,6 +31,7 @@ from repro.cells.interconnect import Jtl, Merger, Splitter
 from repro.cells.library import CELL_SPECS, CellSpec, cell_spec
 from repro.cells.logic import FirstArrival, Inverter, LastArrival
 from repro.cells.mux import Demux, Mux
+from repro.cells.noc import NocLink
 from repro.cells.storage import Dff, Dff2, Ndro
 from repro.cells.toggle import Tff, Tff2
 
@@ -51,6 +52,7 @@ __all__ = [
     "Merger",
     "Mux",
     "Ndro",
+    "NocLink",
     "Splitter",
     "Tff",
     "Tff2",

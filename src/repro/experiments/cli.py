@@ -55,10 +55,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--jobs",
-        type=int,
-        default=1,
-        metavar="N",
-        help="worker processes for experiments and sweep points (default: 1)",
+        default="1",
+        metavar="N|auto",
+        help="worker processes for experiments and sweep points; "
+        "'auto' uses one per CPU (default: 1)",
     )
     parser.add_argument(
         "--cache-dir",

@@ -32,6 +32,7 @@ from repro.experiments import (
     fig20_regions,
     fig21_power,
     lint_blocks,
+    shard_noc,
     table1,
     table2,
     table3,
@@ -59,6 +60,7 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "fig20": fig20_regions.run,
     "fig21": fig21_power.run,
     "lint": lint_blocks.run,
+    "shard": shard_noc.run,
     "validation": validation.run,
 }
 

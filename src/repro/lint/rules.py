@@ -369,6 +369,49 @@ def check_jj_budget(ctx: LintContext) -> List[Diagnostic]:
     ]
 
 
+@rule(
+    "noc-link-lookahead",
+    "timing",
+    Severity.ERROR,
+    "A NoC link cell must carry a positive minimum latency and a usable FIFO.",
+)
+def check_noc_link_lookahead(ctx: LintContext) -> List[Diagnostic]:
+    """NOC-role cells carry the conservative-sync lookahead.
+
+    The partitioned parallel engine (:mod:`repro.shard`) advances shards
+    in time windows bounded by the minimum latency of the slowest-proof
+    cut link; a NOC cell with zero latency would collapse the window to
+    nothing and deadlock the protocol, and a zero-depth FIFO drops every
+    flit.  :class:`~repro.cells.noc.NocLink` enforces both at
+    construction; this rule keeps the invariant for custom NOC cells.
+    """
+    diagnostics = []
+    for element in ctx.circuit.elements:
+        if not element.has_role(CellRole.NOC):
+            continue
+        if element.propagation_delay_fs < 1:
+            diagnostics.append(
+                _diag(
+                    "noc-link-lookahead",
+                    f"minimum latency {element.propagation_delay_fs} fs is "
+                    "not positive; the conservative-sync lookahead would be "
+                    "zero and the partitioned engine could never advance",
+                    element,
+                )
+            )
+        fifo_depth = getattr(element, "fifo_depth", None)
+        if fifo_depth is not None and fifo_depth < 1:
+            diagnostics.append(
+                _diag(
+                    "noc-link-lookahead",
+                    f"link FIFO depth {fifo_depth} buffers nothing; every "
+                    "flit would be dropped",
+                    element,
+                )
+            )
+    return diagnostics
+
+
 def rule_catalogue() -> List[RuleInfo]:
     """All registered rules, DRC first, then timing, then budget."""
     order = {"drc": 0, "timing": 1, "budget": 2}

@@ -65,6 +65,18 @@ JJ_BFF = 12  # Polonsky et al. [43]
 JJ_MUX = 14  # Zheng et al. [57]
 JJ_DEMUX = 12  # Zheng et al. [57]
 
+# -- temporal NoC link model (PaST-NoC-style inter-fabric transport) ---------
+#: Flit serialization time onto the link: one temporal packet slot.
+T_NOC_SERIALIZATION_FS = ps(10)
+#: Per-hop router traversal + PTL flight time between fabric tiles.
+T_NOC_HOP_FS = ps(15)
+#: Bounded link FIFO depth (flits buffered at the ejection port).
+NOC_FIFO_DEPTH = 8
+#: JJ budget per router hop (arbiter + switch stage estimate).
+JJ_NOC_PER_HOP = 50
+#: JJ budget per FIFO flit slot (DFF-chain buffer estimate).
+JJ_NOC_PER_FLIT = 12
+
 # -- power calibration (Table 3 and Fig 21) ----------------------------------
 #: Energy dissipated per JJ switching event: ~ I_c * Phi_0 with I_c ~ 100 uA.
 E_SWITCH_J = 2.0e-19

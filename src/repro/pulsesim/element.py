@@ -64,6 +64,11 @@ class CellRole:
     #: The cell is a pass-through buffer; a dangling output on it is an
     #: intentional termination, not a forgotten net.
     BUFFER = "buffer"
+    #: The cell models temporal NoC transport between fabric partitions
+    #: (serialization + per-hop latency + a bounded link FIFO); lint
+    #: checks that such cells always carry a positive minimum latency —
+    #: the lookahead the partitioned parallel engine synchronizes on.
+    NOC = "noc"
 
 
 class Element:

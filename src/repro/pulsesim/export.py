@@ -126,6 +126,7 @@ def default_cell_registry() -> Dict[str, Type[Element]]:
     from repro.cells.interconnect import IdealMerger, Jtl, Merger, Splitter
     from repro.cells.logic import FirstArrival, Inverter, LastArrival
     from repro.cells.mux import Demux, Mux
+    from repro.cells.noc import NocLink
     from repro.cells.storage import Dff, Dff2, Ndro
     from repro.cells.toggle import Tff, Tff2
     from repro.pulsesim.faults import DropChannel, JitterChannel
@@ -133,7 +134,7 @@ def default_cell_registry() -> Dict[str, Type[Element]]:
     classes = (
         Bff, ClockedAnd, ClockedOr, ClockedXor, IdealMerger, Jtl, Merger,
         Splitter, FirstArrival, Inverter, LastArrival, Demux, Mux, Dff,
-        Dff2, Ndro, Tff, Tff2, DropChannel, JitterChannel,
+        Dff2, Ndro, Tff, Tff2, DropChannel, JitterChannel, NocLink,
     )
     return {cls.__name__: cls for cls in classes}
 

@@ -16,9 +16,8 @@
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.experiments.registry import (
     EXPERIMENTS,
@@ -27,6 +26,7 @@ from repro.experiments.registry import (
     resolve_experiment,
 )
 from repro.experiments.report import ExperimentResult
+from repro.parallel import pool_map, resolve_jobs
 from repro.pulsesim.kernel import resolve_kernel
 from repro.pulsesim.simulator import SimulationStats
 from repro.runner.cache import ResultCache
@@ -61,6 +61,9 @@ class RunReport:
     outcomes: Dict[str, ExperimentOutcome] = field(default_factory=dict)
     wall_time_s: float = 0.0
     jobs: int = 1
+    #: The ``jobs`` value as requested (e.g. ``"auto"``) before
+    #: :func:`repro.parallel.resolve_jobs` pinned it to a worker count.
+    jobs_requested: str = "1"
     cache_dir: Optional[str] = None
     source_digest: Optional[str] = None
     #: Effective simulator kernel ("auto", "reference", or "sealed") the
@@ -91,19 +94,25 @@ def _registry_ordered(ids: Iterable[str]) -> List[str]:
 
 
 def _execute(units: Sequence[WorkUnit], jobs: int) -> List[UnitOutcome]:
-    if jobs <= 1 or len(units) <= 1:
-        return [execute_unit(unit) for unit in units]
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        return list(pool.map(execute_unit, units))
+    # One shared fan-out implementation (repro.parallel) serves both this
+    # runner and the shard engine; submission order == result order, so
+    # the assembly below stays deterministic for any jobs value.
+    return pool_map(execute_unit, units, jobs)
 
 
 def run_suite(
     ids: Sequence[str],
-    jobs: int = 1,
+    jobs: Union[int, str, None] = 1,
     cache: Optional[ResultCache] = None,
     batch: bool = False,
 ) -> RunReport:
     """Run experiments (cache-aware, optionally parallel); registry order.
+
+    ``jobs`` accepts an int, a numeric string, or ``"auto"``/``None``
+    (one worker per CPU); anything else raises ``ConfigurationError``.
+    The resolved worker count lands in ``RunReport.jobs`` and the raw
+    request in ``RunReport.jobs_requested`` — results are byte-identical
+    either way, so manifests stay diffable across hosts.
 
     With ``batch=True``, sweep experiments whose module defines
     ``run_points_batch`` execute as one unit through that hook, which
@@ -112,11 +121,14 @@ def run_suite(
     guarantee it), so cached entries are shared between the modes.
     """
     started = time.perf_counter()
+    jobs_requested = "auto" if jobs is None else str(jobs)
+    jobs = resolve_jobs(jobs)
     for experiment_id in ids:
         resolve_experiment(experiment_id)  # fail fast on unknown ids
 
     report = RunReport(
         jobs=jobs,
+        jobs_requested=jobs_requested,
         cache_dir=str(cache.directory) if cache else None,
         source_digest=cache.digest if cache else None,
         kernel=resolve_kernel(None),

@@ -22,7 +22,10 @@ from repro.runner.engine import RunReport
 #:    runner split across workers, and ``stats.max_queue_depth``.
 #: 4: added the top-level ``batch`` field (whether sweep experiments ran
 #:    through their Monte-Carlo-coalescing ``run_points_batch`` hook).
-MANIFEST_SCHEMA = 4
+#: 5: ``jobs`` is now the *resolved* worker count (``--jobs auto`` pins
+#:    to the host CPU count) and ``jobs_requested`` preserves the raw
+#:    request, so manifests from different hosts stay explainable.
+MANIFEST_SCHEMA = 5
 
 
 def build_manifest(
@@ -52,6 +55,7 @@ def build_manifest(
         "schema": MANIFEST_SCHEMA,
         "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "jobs": report.jobs,
+        "jobs_requested": report.jobs_requested,
         "kernel": report.kernel,
         "batch": report.batch,
         "wall_time_s": round(report.wall_time_s, 6),

@@ -1,0 +1,45 @@
+"""Multi-fabric sharding over a temporal NoC + partitioned parallel runs.
+
+The paper's fabrics are deliberately small; scaling to wide workloads
+means many fabrics stitched together by a temporal NoC (the system the
+same authors sketch in PaST-NoC).  This package provides that system
+view for any netlist built here, in three layers:
+
+* :func:`~repro.shard.partition.plan_partition` — cut a lint-clean
+  netlist into K fabric shards along wire boundaries (balanced JJ area,
+  low-traffic cuts picked with :mod:`repro.analyze` pulse bounds);
+* :func:`~repro.shard.partition.build_noc_circuit` — materialize the
+  plan as a *monolithic* NoC-augmented netlist in which every cut wire
+  runs through an explicit :class:`~repro.cells.noc.NocLink` cell, so
+  the sharded system is itself a valid, lintable, analyzable circuit;
+* :class:`~repro.shard.engine.ShardSimulator` — run each shard's sealed
+  kernel in its own process (via :mod:`repro.parallel`), conservatively
+  synchronized in time windows bounded by the compile-time minimum link
+  latency, with probed-port outputs bit-identical to a monolithic run
+  of the same NoC-augmented circuit (enforced by the ``shard-
+  differential`` oracle in :mod:`repro.verify`).
+"""
+
+from repro.cells.noc import NocLink
+from repro.shard.engine import ShardSimulator
+from repro.shard.partition import (
+    CutWire,
+    LinkSpec,
+    ShardPlan,
+    build_noc_circuit,
+    build_noc_description,
+    plan_partition,
+    shard_description,
+)
+
+__all__ = [
+    "CutWire",
+    "LinkSpec",
+    "NocLink",
+    "ShardPlan",
+    "ShardSimulator",
+    "build_noc_circuit",
+    "build_noc_description",
+    "plan_partition",
+    "shard_description",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.shard`` — same as the ``usfq-shard`` console script."""
+
+import sys
+
+from repro.shard.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -436,6 +436,88 @@ def oracle_batch_differential(spec: NetlistSpec) -> OracleResult:
                         detail=f"mode={stats.mode}")
 
 
+def oracle_shard_differential(spec: NetlistSpec) -> OracleResult:
+    """The partitioned multi-process run is bit-identical to a monolithic
+    sealed run of the same NoC-augmented circuit.
+
+    The spec's circuit is cut into two fabric shards
+    (:func:`repro.shard.partition.plan_partition`), every cut wire routed
+    through an explicit NoC link; the monolithic sealed kernel then runs
+    the augmented circuit whole while a
+    :class:`~repro.shard.engine.ShardSimulator` runs it as two worker
+    processes under conservative window synchronization.  Probed
+    timelines, event/pulse totals, the time horizon, per-cell state, and
+    per-link drop counters must all match exactly.  ``max_queue_depth``
+    is excluded — per-shard queues cannot reproduce the monolithic
+    high-water mark.  Declines tie-order-sensitive circuits (worker event
+    sequence numbers legitimately differ) and jitter channels (their RNG
+    draw order is the event order).
+    """
+    from repro.pulsesim.element import CellRole
+    from repro.shard import ShardSimulator, build_noc_circuit, plan_partition
+
+    if not spec.cells:
+        return OracleResult("shard-differential", False, True,
+                            detail="too few cells to cut")
+    if any(cell.kind in TIE_ORDER_SENSITIVE or cell.kind == "JitterChannel"
+           for cell in spec.cells):
+        return OracleResult(
+            "shard-differential", False, True,
+            detail="circuit contains event-order-sensitive cells",
+        )
+    base = build(spec)
+    plan = plan_partition(base.circuit, 2,
+                          entry_points=[(base.entry, "a")])
+
+    mono_circuit = build_noc_circuit(base.circuit, plan)
+    mono = Simulator(mono_circuit, kernel="sealed")
+    entry = mono_circuit[specmod.ENTRY_NAME]
+    for time in spec.stimulus[:3]:
+        mono.schedule_input(entry, "a", time)
+    mono.schedule_train(entry, "a", spec.stimulus[3:])
+    stats = mono.run()
+    mono_side = {
+        "recordings": {
+            tap.probe.label: list(tap.probe.times)
+            for taps in mono_circuit._taps.values()
+            for tap in taps
+        },
+        "events": stats.events_processed,
+        "pulses": stats.pulses_emitted,
+        "end_time": stats.end_time,
+        "now": mono.now,
+        "state": {
+            element.name: tuple(
+                _freeze(getattr(element, attr, None)) for attr in STATE_ATTRS
+            )
+            for element in mono_circuit.elements
+        },
+        "drops": {
+            element.name: int(getattr(element, "drops", 0))
+            for element in mono_circuit.elements
+            if CellRole.NOC in getattr(element, "ROLES", frozenset())
+        },
+    }
+
+    with ShardSimulator(base.circuit, plan, jobs=2) as sharded:
+        sharded.schedule_train(specmod.ENTRY_NAME, "a", list(spec.stimulus))
+        merged = sharded.run()
+        shard_side = {
+            "recordings": sharded.recordings(),
+            "events": merged.events_processed,
+            "pulses": merged.pulses_emitted,
+            "end_time": merged.end_time,
+            "now": sharded.now,
+            "state": sharded.state(STATE_ATTRS),
+            "drops": sharded.noc_drops(),
+        }
+    result = _compare("shard-differential", mono_side, shard_side)
+    if result.ok:
+        result.detail = (f"{plan.num_shards} shards, {len(plan.cuts)} "
+                         f"cut(s), lookahead {plan.lookahead_fs} fs")
+    return result
+
+
 #: The full matrix, in canonical execution order.
 ORACLES: Dict[str, Callable[[NetlistSpec], OracleResult]] = {
     "lint-clean": oracle_lint_clean,
@@ -449,6 +531,7 @@ ORACLES: Dict[str, Callable[[NetlistSpec], OracleResult]] = {
     "jitter-identity": oracle_jitter_identity,
     "export-import": oracle_export_import,
     "static-soundness": oracle_static_soundness,
+    "shard-differential": oracle_shard_differential,
 }
 
 

@@ -22,7 +22,10 @@ def _jtl_spec():
 
 def test_oracle_is_registered_in_the_matrix():
     assert ORACLES["static-soundness"] is oracle_static_soundness
-    assert list(ORACLES).index("static-soundness") == len(ORACLES) - 1
+    # Canonical order puts the two most expensive oracles last: the
+    # soundness sweep, then the process-spawning shard differential.
+    assert list(ORACLES).index("static-soundness") == len(ORACLES) - 2
+    assert list(ORACLES).index("shard-differential") == len(ORACLES) - 1
 
 
 def test_holds_on_generated_and_handwritten_specs():

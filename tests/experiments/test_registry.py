@@ -11,7 +11,7 @@ def test_registry_covers_every_table_and_figure():
     expected = {
         "table1", "table2", "table3", "fig02", "fig03", "fig04", "fig05", "fig07",
         "fig08", "fig09", "fig11", "fig12", "fig14", "fig16", "fig18",
-        "fig19", "fig20", "fig21", "lint", "validation",
+        "fig19", "fig20", "fig21", "lint", "shard", "validation",
     }
     assert set(EXPERIMENTS) == expected
 

@@ -210,6 +210,41 @@ def test_jj_budget_fires_alone_and_only_when_configured():
     assert hit.severity is Severity.INFO
 
 
+def test_noc_link_lookahead_fires_alone():
+    # NocLink itself rejects a zero latency at construction, so the rule's
+    # target is a custom NOC-role cell that lost its lookahead.
+    from repro.pulsesim.element import CellRole, Element
+
+    class ZeroLatencyLink(Element):
+        INPUTS = ("a",)
+        OUTPUTS = ("q",)
+        ROLES = frozenset({CellRole.BUFFER, CellRole.NOC})
+
+        def __init__(self, name):
+            super().__init__(name)
+            self.delay = 0
+            self.fifo_depth = 0
+
+        def handle(self, sim, port, time):  # pragma: no cover - not run
+            self.emit(sim, "q", time)
+
+    circuit = Circuit()
+    link = circuit.add(ZeroLatencyLink("link"))
+    circuit.probe(link, "q")
+    report = lint_circuit(circuit, entry_points=[(link, "a")])
+    assert fired(report) == {"noc-link-lookahead"}
+    assert len(report.diagnostics) == 2  # zero latency + zero-depth FIFO
+
+    # A well-formed NocLink stays silent.
+    from repro.cells import NocLink
+
+    circuit = Circuit()
+    good = circuit.add(NocLink("good"))
+    circuit.probe(good, "q")
+    report = lint_circuit(circuit, entry_points=[(good, "a")])
+    assert fired(report) == set()
+
+
 # -- catalogue coverage --------------------------------------------------------
 def test_every_registered_rule_has_an_independence_circuit():
     """A new rule must come with its minimal isolating circuit."""
@@ -224,5 +259,6 @@ def test_every_registered_rule_has_an_independence_circuit():
         "merger-collision",
         "epoch-overflow",
         "jj-budget",
+        "noc-link-lookahead",
     }
     assert {info.name for info in rule_catalogue()} == covered

@@ -109,3 +109,22 @@ def test_cached_rerun_restores_metrics(tmp_path):
     assert warm["experiments"]["table2"]["metrics"] == (
         cold["experiments"]["table2"]["metrics"]
     )
+
+
+def test_jobs_auto_is_resolved_and_recorded():
+    import os
+
+    import pytest
+
+    from repro.errors import ConfigurationError
+
+    report = run_suite(["table2"], jobs="auto")
+    manifest = build_manifest(report)
+    assert manifest["jobs"] == (os.cpu_count() or 1)
+    assert manifest["jobs_requested"] == "auto"
+
+    numeric = build_manifest(run_suite(["table2"], jobs="2"))
+    assert numeric["jobs"] == 2 and numeric["jobs_requested"] == "2"
+
+    with pytest.raises(ConfigurationError):
+        run_suite(["table2"], jobs="several")

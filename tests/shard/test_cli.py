@@ -1,0 +1,82 @@
+"""usfq-shard CLI: exit codes, JSON output, and the run-check contract."""
+
+import json
+
+import pytest
+
+from repro.shard.cli import main
+from repro.shard.partition import ShardPlan
+
+
+def test_list_blocks(capsys):
+    assert main(["--list-blocks"]) == 0
+    out = capsys.readouterr().out
+    assert "pnm" in out and "cgra-fabric" in out
+
+
+def test_no_command_is_a_usage_error(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main([])
+    assert excinfo.value.code == 2
+
+
+def test_unknown_block_exits_2(capsys):
+    assert main(["plan", "nosuchblock"]) == 2
+    assert "unknown block" in capsys.readouterr().err
+
+
+def test_too_many_shards_exits_2(capsys):
+    assert main(["plan", "pnm", "--shards", "999"]) == 2
+    assert "usfq-shard:" in capsys.readouterr().err
+
+
+def test_partition_emits_a_loadable_plan(capsys, tmp_path):
+    assert main(["partition", "pnm", "--shards", "2"]) == 0
+    plan = ShardPlan.from_json(json.loads(capsys.readouterr().out))
+    assert plan.num_shards == 2 and plan.cuts
+
+    target = tmp_path / "plan.json"
+    assert main(["partition", "pnm", "--shards", "2", "--output", str(target)]) == 0
+    on_disk = ShardPlan.from_json(json.loads(target.read_text()))
+    assert on_disk.to_json() == plan.to_json()
+
+
+def test_plan_summary_text_and_json(capsys):
+    assert main(["plan", "pnm", "--shards", "2"]) == 0
+    text = capsys.readouterr().out
+    assert "lookahead" in text and "shard 1" in text
+
+    assert main(["plan", "pnm", "--shards", "2", "--json"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["num_shards"] == 2
+    assert summary["lookahead_fs"] > 0
+    assert len(summary["jj_per_shard"]) == 2
+
+
+def test_run_checks_equivalence(capsys):
+    assert main(["run", "pnm", "--shards", "2", "--pulses", "8"]) == 0
+    assert "IDENTICAL" in capsys.readouterr().out
+
+
+def test_run_json_report(capsys):
+    assert main(
+        ["run", "pnm", "--shards", "2", "--pulses", "8", "--jobs", "2", "--json"]
+    ) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["identical"] is True
+    assert report["sharded"]["jobs"] == 2
+    assert report["sharded"]["events"] == report["monolithic"]["events"]
+
+
+def test_run_no_check_skips_the_reference(capsys):
+    assert main(
+        ["run", "pnm", "--shards", "2", "--pulses", "4", "--no-check", "--json"]
+    ) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["check"] is False
+    assert "monolithic" not in report and "identical" not in report
+
+
+def test_run_rejects_bad_jobs(capsys):
+    assert main(["run", "pnm", "--jobs", "bogus"]) == 2
+    assert "jobs" in capsys.readouterr().err

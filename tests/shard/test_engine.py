@@ -1,0 +1,151 @@
+"""repro.shard.engine: conservative-sync equivalence and the host API."""
+
+import pytest
+
+from repro.cells.interconnect import Jtl, Splitter
+from repro.cells.toggle import Tff
+from repro.errors import ConfigurationError, SimulationError
+from repro.pulsesim import Circuit, Simulator
+from repro.shard.engine import ShardSimulator
+from repro.shard.partition import LinkSpec, build_noc_circuit, plan_partition
+
+STIMULUS = [0, 500, 500, 7_000, 7_000, 31_000, 44_000, 90_000]
+
+
+def _chain():
+    """An 8-cell Jtl/Tff chain with probes sprinkled along it."""
+    circuit = Circuit("chain")
+    entry = circuit.add(Splitter("entry"))
+    previous, port = entry, "q1"
+    for index in range(7):
+        factory = Tff if index % 3 == 2 else Jtl
+        cell = circuit.add(factory(f"c{index}"))
+        circuit.connect(previous, port, cell, "a", delay=137 * (index + 1))
+        previous, port = cell, "q"
+    circuit.probe(entry, "q2")
+    circuit.probe(circuit["c3"], "q")
+    circuit.probe(previous, port)
+    return circuit
+
+
+def _monolithic_side(circuit, plan):
+    mono = build_noc_circuit(circuit, plan)
+    sim = Simulator(mono, kernel="sealed")
+    for time in STIMULUS[:3]:
+        sim.schedule_input(mono["entry"], "a", time)
+    sim.schedule_train(mono["entry"], "a", STIMULUS[3:])
+    stats = sim.run()
+    recordings = {
+        tap.probe.label: list(tap.probe.times)
+        for taps in mono._taps.values()
+        for tap in taps
+    }
+    return stats, sim.now, recordings
+
+
+def _sharded_side(circuit, plan, jobs):
+    with ShardSimulator(circuit, plan, jobs=jobs) as sharded:
+        for time in STIMULUS[:3]:
+            sharded.schedule_input("entry", "a", time)
+        sharded.schedule_train("entry", "a", STIMULUS[3:])
+        stats = sharded.run()
+        return stats, sharded.now, sharded.recordings(), sharded.windows
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+@pytest.mark.parametrize("num_shards", [2, 3])
+def test_partitioned_run_matches_monolithic(jobs, num_shards):
+    circuit = _chain()
+    plan = plan_partition(circuit, num_shards)
+    mono_stats, mono_now, mono_recordings = _monolithic_side(circuit, plan)
+    stats, now, recordings, windows = _sharded_side(_chain(), plan, jobs)
+    assert recordings == mono_recordings
+    assert stats.events_processed == mono_stats.events_processed
+    assert stats.pulses_emitted == mono_stats.pulses_emitted
+    assert stats.end_time == mono_stats.end_time
+    assert now == mono_now
+    assert windows >= 1
+
+
+def test_single_shard_runs_in_one_window():
+    circuit = _chain()
+    plan = plan_partition(circuit, 1)
+    stats, _now, recordings, windows = _sharded_side(_chain(), plan, jobs=1)
+    assert windows == 1  # no cuts: nothing bounds the horizon
+    assert stats.pulses_emitted > 0
+    assert all(recordings.values())
+
+
+def test_until_caps_the_merged_clock():
+    circuit = _chain()
+    plan = plan_partition(circuit, 2)
+    with ShardSimulator(_chain(), plan, jobs=1) as sharded:
+        sharded.schedule_train("entry", "a", STIMULUS)
+        stats = sharded.run(until=10_000)
+    assert stats.end_time == 10_000
+    assert sharded.now <= 10_000
+
+
+def test_noc_drops_are_counted_per_link():
+    circuit = _chain()
+    # A depth-1 FIFO with a huge serialization delay backs up immediately.
+    plan = plan_partition(
+        circuit, 2, link=LinkSpec(serialization_fs=200_000, fifo_depth=1)
+    )
+    with ShardSimulator(_chain(), plan, jobs=1) as sharded:
+        sharded.schedule_train("entry", "a", STIMULUS)
+        sharded.run()
+        drops = sharded.noc_drops()
+    assert set(drops) == {cut.link for cut in plan.cuts}
+    assert sum(drops.values()) > 0
+
+
+def test_stimulus_validation():
+    plan = plan_partition(_chain(), 2)
+    sharded = ShardSimulator(_chain(), plan, jobs=1)
+    try:
+        with pytest.raises(ConfigurationError):
+            sharded.schedule_input("nope", "a", 0)
+        with pytest.raises(ConfigurationError):
+            sharded.schedule_input("entry", "nope", 0)
+        with pytest.raises(SimulationError):
+            sharded.schedule_input("entry", "a", -1)
+        sharded.schedule_input("entry", "a", 0)
+        sharded.run()
+        with pytest.raises(SimulationError):
+            sharded.schedule_input("entry", "a", 1)  # single-shot engine
+        with pytest.raises(SimulationError):
+            sharded.run()
+    finally:
+        sharded.close()
+    sharded.close()  # idempotent
+
+
+def test_jobs_auto_resolves():
+    plan = plan_partition(_chain(), 2)
+    with ShardSimulator(_chain(), plan, jobs="auto") as sharded:
+        assert sharded.jobs >= 1
+    with pytest.raises(ConfigurationError):
+        ShardSimulator(_chain(), plan, jobs="many")
+
+
+def test_state_merges_across_shards():
+    circuit = _chain()
+    plan = plan_partition(circuit, 2)
+    mono = build_noc_circuit(circuit, plan)
+    sim = Simulator(mono, kernel="sealed")
+    sim.schedule_train(mono["entry"], "a", STIMULUS)
+    sim.run()
+    mono_state = {
+        element.name: getattr(element, "state", None)
+        for element in mono.elements
+        if type(element).__name__ == "Tff"
+    }
+    with ShardSimulator(_chain(), plan, jobs=1) as sharded:
+        sharded.schedule_train("entry", "a", STIMULUS)
+        sharded.run()
+        state = sharded.state(("state",))
+    tff_state = {
+        name: frozen[0] for name, frozen in state.items() if name in mono_state
+    }
+    assert tff_state == mono_state

@@ -1,0 +1,136 @@
+"""repro.shard.partition: plan shape, determinism, NoC-circuit legality."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lint.blocks import build_shipped_block
+from repro.pulsesim.export import import_netlist, netlist_description
+from repro.shard.partition import (
+    LinkSpec,
+    ShardPlan,
+    build_noc_circuit,
+    build_noc_description,
+    plan_partition,
+    shard_description,
+)
+
+
+def _pnm():
+    built = build_shipped_block("pnm")
+    for element, port in built.observed_outputs:
+        built.circuit.probe(element, port)
+    return built
+
+
+def _plan(num_shards=2, link=None):
+    built = _pnm()
+    return built, plan_partition(
+        built.circuit, num_shards, link=link, entry_points=built.entry_points
+    )
+
+
+def test_single_shard_plan_has_no_cuts():
+    built, plan = _plan(num_shards=1)
+    assert plan.num_shards == 1
+    assert plan.cuts == []
+    assert plan.lookahead_fs is None
+    assert set(plan.assignment.values()) == {0}
+    assert len(plan.assignment) == len(built.circuit.elements)
+
+
+def test_plan_covers_every_cell_with_nonempty_balanced_shards():
+    built, plan = _plan(num_shards=3)
+    assert sorted(plan.assignment) == sorted(
+        element.name for element in built.circuit.elements
+    )
+    for shard in range(3):
+        assert plan.cells_of(shard)
+    # Weight balance: no shard hoards more than ~1.5x its fair JJ share.
+    total = sum(plan.jj_by_shard)
+    assert max(plan.jj_by_shard) <= total / 3 * 1.5 + max(
+        max(1, element.jj_count) for element in built.circuit.elements
+    )
+
+
+def test_cuts_carry_positive_lookahead_and_traffic_bounds():
+    _built, plan = _plan(num_shards=2)
+    assert plan.cuts
+    assert plan.lookahead_fs is not None and plan.lookahead_fs > 0
+    for cut in plan.cuts:
+        assert cut.source_shard != cut.sink_shard
+        assert cut.hops >= 1
+        assert cut.traffic_hi >= 0
+        assert plan.link.min_latency_fs(cut.hops) + cut.delay_fs >= plan.lookahead_fs
+
+
+def test_planning_is_deterministic():
+    _b1, first = _plan(num_shards=4)
+    _b2, second = _plan(num_shards=4)
+    assert first.to_json() == second.to_json()
+
+
+def test_plan_json_round_trip():
+    _built, plan = _plan(num_shards=2, link=LinkSpec(fifo_depth=16))
+    restored = ShardPlan.from_json(json.loads(plan.dumps()))
+    assert restored.to_json() == plan.to_json()
+    assert restored.link.fifo_depth == 16
+    assert restored.lookahead_fs == plan.lookahead_fs
+
+
+def test_custom_link_spec_moves_the_lookahead():
+    _slow_built, slow = _plan(num_shards=2)
+    _fast_built, fast = _plan(
+        num_shards=2, link=LinkSpec(serialization_fs=1, hop_latency_fs=1)
+    )
+    assert fast.lookahead_fs < slow.lookahead_fs
+
+
+@pytest.mark.parametrize("bad", [0, -1, 12])  # pnm has 11 cells
+def test_invalid_shard_counts_are_rejected(bad):
+    built = _pnm()
+    with pytest.raises(ConfigurationError):
+        plan_partition(built.circuit, bad)
+
+
+def test_noc_description_is_canonical_and_importable():
+    built, plan = _plan(num_shards=2)
+    description = build_noc_description(built.circuit, plan)
+    # Canonical: importing and re-exporting is byte-stable.
+    assert netlist_description(import_netlist(description)) == description
+    kinds = [cell["type"] for cell in description["cells"]]
+    assert kinds.count("NocLink") == len(plan.cuts)
+
+
+def test_noc_circuit_inserts_links_on_every_cut():
+    built, plan = _plan(num_shards=2)
+    circuit = build_noc_circuit(built.circuit, plan)
+    for cut in plan.cuts:
+        link = circuit[cut.link]
+        assert type(link).__name__ == "NocLink"
+        assert link.delay == plan.link.min_latency_fs(cut.hops)
+    # Probes survive the transform.
+    original = {
+        tap.probe.label for taps in built.circuit._taps.values() for tap in taps
+    }
+    carried = {tap.probe.label for taps in circuit._taps.values() for tap in taps}
+    assert carried == original
+
+
+def test_shard_descriptions_tile_the_noc_circuit():
+    built, plan = _plan(num_shards=3)
+    description = build_noc_description(built.circuit, plan)
+    names = []
+    wires = 0
+    for shard in range(plan.num_shards):
+        piece = shard_description(description, plan, shard)
+        names.extend(cell["name"] for cell in piece["cells"])
+        wires += len(piece["wires"])
+        assert piece["name"].endswith(f"/shard{shard}")
+        circuit = import_netlist(piece)  # every piece is itself legal
+        assert len(circuit.elements) == len(piece["cells"])
+    assert sorted(names) == sorted(cell["name"] for cell in description["cells"])
+    # Exactly the cut-crossing wires are absent from the union of pieces
+    # (each cut contributes its link's far-side wire).
+    assert wires == len(description["wires"]) - len(plan.cuts)
