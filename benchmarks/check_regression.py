@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
 """Gate a pytest-benchmark JSON run against the committed baseline.
 
-Four always-on checks, the most machine-independent ones first, plus an
-opt-in fifth:
+Five always-on checks, the most machine-independent ones first, plus an
+opt-in sixth:
 
 1. **Kernel speedup ratio** (within the new run, so host speed cancels
    out): for every pair ``<name>_reference_kernel`` /
@@ -27,7 +27,16 @@ opt-in fifth:
    1-CPU container cannot demonstrate parallel speedup), so the floor
    only bites where it is physically meaningful.
 
-4. **Relative regression vs baseline**: medians are normalised by the
+4. **Serve coalescing floor** (``--min-serve-speedup``, default 4x,
+   also within the new run): for every pair ``<name>_serve_coalesced``
+   / ``<name>_serve_solo`` that recorded per-run request counts in
+   ``extra_info``, the micro-batching server's requests/s must be at
+   least the floor times the ``max_batch=1`` server's — the property
+   the serving layer exists for (N concurrent requests ride one batch
+   dispatch).  Skipped when the run has no ``*_serve_coalesced``
+   benchmarks.
+
+5. **Relative regression vs baseline**: medians are normalised by the
    run-wide median of new/baseline ratios, which absorbs the host being
    uniformly slower or faster than the machine that produced
    ``BENCH_baseline.json``.  Any single benchmark whose *normalised*
@@ -35,7 +44,7 @@ opt-in fifth:
    shape of change means one code path got slower, not that CI got a cold
    runner.
 
-5. **Tracing-off overhead** (``--max-trace-overhead``, measured by this
+6. **Tracing-off overhead** (``--max-trace-overhead``, measured by this
    script itself): the public ``Simulator.run()`` — whose only addition
    over the kernel loop is the is-a-trace-session-installed dispatch —
    against the sealed ``_run`` loop called directly, interleaved in one
@@ -53,12 +62,14 @@ Re-baseline (run from the repository root)::
 
     PYTHONPATH=src python -m pytest benchmarks/test_microbench_kernels.py \
         benchmarks/test_batch_kernel.py benchmarks/test_shard_kernel.py \
+        benchmarks/test_serve_latency.py \
         --benchmark-json=benchmarks/BENCH_baseline.json -q
 
 Gate a fresh run::
 
     PYTHONPATH=src python -m pytest benchmarks/test_microbench_kernels.py \
         benchmarks/test_batch_kernel.py benchmarks/test_shard_kernel.py \
+        benchmarks/test_serve_latency.py \
         --benchmark-json=bench.json -q
     python benchmarks/check_regression.py bench.json
 """
@@ -77,6 +88,8 @@ _SEALED_SUFFIX = "_sealed_kernel"
 _BATCH_SUFFIX = "_batch_kernel"
 _SHARD_MONO_SUFFIX = "_shard_mono"
 _SHARD_K_MARKER = "_shard_k"
+_SERVE_COALESCED_SUFFIX = "_serve_coalesced"
+_SERVE_SOLO_SUFFIX = "_serve_solo"
 
 
 def load_medians(path: Path) -> Dict[str, float]:
@@ -250,6 +263,58 @@ def check_shard_speedup(
             )
 
 
+def check_serve_throughput(
+    new: Dict[str, float],
+    extra: Dict[str, dict],
+    min_speedup: float,
+    failures: List[str],
+) -> None:
+    """Serving-layer floor: for every ``<name>_serve_coalesced`` /
+    ``<name>_serve_solo`` pair that recorded per-run request counts, the
+    micro-batching server's requests/s must be at least ``min_speedup``
+    times the ``max_batch=1`` server's.  Both halves come from the same
+    run on the same host with the same worker tier, so the ratio
+    isolates coalescing itself.
+    """
+    coalesced_names = [
+        name for name in sorted(new)
+        if name.endswith(_SERVE_COALESCED_SUFFIX)
+    ]
+    if not coalesced_names:
+        print("  (no *_serve_coalesced benchmarks in this run)")
+        return
+    for coalesced in coalesced_names:
+        solo = coalesced[: -len(_SERVE_COALESCED_SUFFIX)] + _SERVE_SOLO_SUFFIX
+        if solo not in new:
+            failures.append(f"{coalesced} has no {solo} counterpart")
+            continue
+        missing = [
+            n for n in (coalesced, solo)
+            if "requests" not in extra.get(n, {})
+        ]
+        if missing:
+            failures.append(
+                f"{', '.join(missing)}: no extra_info['requests'] recorded; "
+                "cannot gate serve throughput"
+            )
+            continue
+        coalesced_rate = extra[coalesced]["requests"] / new[coalesced]
+        solo_rate = extra[solo]["requests"] / new[solo]
+        speedup = coalesced_rate / solo_rate
+        base = coalesced[: -len(_SERVE_COALESCED_SUFFIX)]
+        verdict = "ok" if speedup >= min_speedup else "FAIL"
+        print(
+            f"  serve throughput {base}: "
+            f"{coalesced_rate:,.0f} vs {solo_rate:,.0f} requests/s "
+            f"({speedup:.1f}x, floor {min_speedup:.1f}x) [{verdict}]"
+        )
+        if speedup < min_speedup:
+            failures.append(
+                f"coalescing server only {speedup:.1f}x the max_batch=1 "
+                f"server's requests/s on {base} (need {min_speedup:.1f}x)"
+            )
+
+
 def measure_trace_off_overhead(pairs: int = 15) -> Tuple[float, float, float]:
     """Paired-ratio cost of the ``run()`` dispatch vs the raw sealed loop.
 
@@ -396,6 +461,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         "containers still run the benchmarks without flaking the gate)",
     )
     parser.add_argument(
+        "--min-serve-speedup",
+        type=float,
+        default=4.0,
+        metavar="X",
+        help="required coalesced-vs-solo requests/s ratio for every "
+        "*_serve_coalesced / *_serve_solo pair (default: 4.0 — well "
+        "below the ~10-18x a quiet machine shows, see results/serve; "
+        "skipped when the run contains no serve benchmarks)",
+    )
+    parser.add_argument(
         "--max-trace-overhead",
         type=float,
         default=None,
@@ -416,10 +491,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     check_batch_throughput(
         new, load_events(Path(args.run)), args.min_batch_speedup, failures
     )
+    extra = load_extra(Path(args.run))
     print("shard speedup gate:")
-    check_shard_speedup(
-        new, load_extra(Path(args.run)), args.min_shard_speedup, failures
-    )
+    check_shard_speedup(new, extra, args.min_shard_speedup, failures)
+    print("serve throughput gate:")
+    check_serve_throughput(new, extra, args.min_serve_speedup, failures)
     if args.max_trace_overhead is not None:
         print("tracing-off overhead gate:")
         check_trace_overhead(args.max_trace_overhead, failures)

@@ -138,6 +138,16 @@ class Balancer(Element):
     def hazard_events(self) -> int:
         return self._router.hazard_events
 
+    @property
+    def t_bff_fs(self) -> int:
+        """Constructor parameter, readable for ``params()`` replay."""
+        return self._router.t_bff_fs
+
+    @property
+    def coincidence_fs(self) -> int:
+        """Constructor parameter, readable for ``params()`` replay."""
+        return self._router.coincidence_fs
+
     def handle(self, sim, port, time):
         index = self._router.route(port, time)
         self.emit(sim, ("y1", "y2")[index], time + self.delay)

@@ -167,6 +167,79 @@ class DotProductUnit:
         count = self.run_counts(slots, counts)
         return count * self.length / self.epoch.n_max
 
+    def run_counts_batch(
+        self,
+        a_slot_rows: Sequence[Sequence[int]],
+        b_count_rows: Sequence[Sequence[int]],
+    ) -> np.ndarray:
+        """Many independent single-epoch dot products as lanes of one run.
+
+        Row ``i`` carries the operands :meth:`run_counts` would take for
+        request ``i``; all rows execute as lanes of a single
+        :class:`~repro.pulsesim.batch.BatchSimulator` dispatch (compiled
+        once per circuit, event mode — the DPU is stateful), and lane
+        results are bit-identical to per-row :meth:`run_counts` calls.
+        Returns the ``(n_rows,)`` output pulse counts.  This is the
+        execution shape the serving layer's micro-batcher coalesces
+        concurrent requests into; heterogeneous multi-row requests slice
+        their lanes back out with
+        :func:`repro.pulsesim.batch.lane_slices`.
+        """
+        from repro.pulsesim.batch import BatchSimulator
+
+        rows = len(a_slot_rows)
+        if rows != len(b_count_rows):
+            raise ConfigurationError(
+                f"row counts differ: {rows} vs {len(b_count_rows)}"
+            )
+        if rows == 0:
+            return np.zeros(0, dtype=np.int64)
+        for row, (a_slots, b_counts) in enumerate(
+            zip(a_slot_rows, b_count_rows)
+        ):
+            if len(a_slots) != self.length or len(b_counts) != self.length:
+                raise ConfigurationError(
+                    f"row {row}: expected {self.length} operands per side, "
+                    f"got {len(a_slots)}/{len(b_counts)}"
+                )
+        sim = BatchSimulator(self.circuit, batch=rows)
+        n_max = self.epoch.n_max
+        refclk = (
+            [t + SETUP_FS for t in self.streams.times_for_count(n_max)]
+            if self.bipolar
+            else None
+        )
+        for lane in range(self.length):
+            element, port = self.block.input(f"epoch{lane}")
+            sim.schedule_train(element, port, [0])
+            element, port = self.block.input(f"b{lane}")
+            sim.schedule_lane_trains(
+                element,
+                port,
+                [
+                    [
+                        t + SETUP_FS
+                        for t in self.streams.times_for_count(row[lane])
+                    ]
+                    for row in b_count_rows
+                ],
+            )
+            if refclk is not None:
+                element, port = self.block.input(f"refclk{lane}")
+                sim.schedule_train(element, port, refclk)
+            a_times = []
+            a_lanes = []
+            for row_index, row in enumerate(a_slot_rows):
+                if row[lane] < n_max:
+                    a_times.append(SETUP_FS + self.epoch.slot_time(row[lane]))
+                    a_lanes.append(row_index)
+            if a_times:
+                element, port = self.block.input(f"a{lane}")
+                sim.schedule_flat(element, port, a_times, a_lanes)
+        sim.run()
+        y_element, y_port = self.block.output("y")
+        return sim.port_counts(y_element, y_port)
+
     def run_epochs(
         self,
         a_slot_frames: Sequence[Sequence[int]],

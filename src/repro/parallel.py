@@ -41,6 +41,16 @@ class WorkerError(ReproError):
     failure is diagnosable without attaching to the child."""
 
 
+class WorkerCrashed(WorkerError):
+    """The worker *process* died (killed, segfaulted, exited) mid-command.
+
+    Distinct from a plain :class:`WorkerError` (the handler raised but the
+    process is fine): after a crash the actor cannot serve again until
+    :meth:`ProcessActor.restart` rebuilds it, and the command that was in
+    flight may or may not have executed — callers decide whether a retry
+    is safe."""
+
+
 def resolve_jobs(jobs: Union[int, str, None]) -> int:
     """Resolve a user-facing ``--jobs`` value to a worker count.
 
@@ -132,11 +142,17 @@ class ProcessActor:
     """
 
     def __init__(self, factory: Callable[..., Any], *args: Any, **kwargs: Any):
+        self._factory = factory
+        self._args = args
+        self._kwargs = kwargs
+        self._spawn()
+
+    def _spawn(self) -> None:
         parent_conn, child_conn = multiprocessing.Pipe()
         self._conn = parent_conn
         self._process = multiprocessing.Process(
             target=_actor_main,
-            args=(child_conn, factory, args, kwargs),
+            args=(child_conn, self._factory, self._args, self._kwargs),
             daemon=True,
         )
         self._process.start()
@@ -144,11 +160,48 @@ class ProcessActor:
         self._ready = False
         self._closed = False
 
+    def is_alive(self) -> bool:
+        """True while the worker process exists and has not exited."""
+        return not self._closed and self._process.is_alive()
+
+    def restart(self) -> None:
+        """Tear the worker down (if anything is left) and spawn a fresh one.
+
+        The replacement runs the same ``factory(*args, **kwargs)``; any
+        reply still in flight from the old process is discarded.  Safe to
+        call after :class:`WorkerCrashed`, after :meth:`close`, or on a
+        healthy actor (which is simply recycled)."""
+        self.close()
+        self._spawn()
+
     def _recv(self) -> Any:
+        # Poll in small slices so a worker that dies *without* closing the
+        # pipe (SIGKILL during a long command never flushes buffers; an
+        # inherited descriptor can keep the pipe open) surfaces as a typed
+        # crash instead of a parent blocked on recv() forever.  Buffered
+        # replies win over death detection: a worker that answered and then
+        # exited still delivers its answer.
+        while True:
+            try:
+                if self._conn.poll(0.05):
+                    break
+            except (OSError, ValueError):
+                raise WorkerCrashed(
+                    "worker pipe closed "
+                    f"(exitcode={self._process.exitcode})"
+                ) from None
+            if not self._process.is_alive() and not self._conn.poll(0):
+                raise WorkerCrashed(
+                    "worker process died before replying "
+                    f"(exitcode={self._process.exitcode})"
+                )
         try:
             status, payload = self._conn.recv()
-        except EOFError:
-            raise WorkerError(
+        except (EOFError, OSError):
+            # EOFError: clean close without a reply.  OSError (notably
+            # ConnectionResetError): the peer was killed hard and the
+            # kernel reset the socketpair.  Both mean the same thing here.
+            raise WorkerCrashed(
                 "worker process died before replying "
                 f"(exitcode={self._process.exitcode})"
             ) from None
@@ -160,7 +213,13 @@ class ProcessActor:
         """Send one command without waiting for its reply."""
         if self._closed:
             raise WorkerError("actor is closed")
-        self._conn.send((command, payload))
+        try:
+            self._conn.send((command, payload))
+        except (BrokenPipeError, OSError):
+            raise WorkerCrashed(
+                "worker process is gone; cannot submit "
+                f"(exitcode={self._process.exitcode})"
+            ) from None
 
     def result(self) -> Any:
         """Receive the reply to the oldest un-collected :meth:`submit`."""

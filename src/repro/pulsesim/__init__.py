@@ -43,7 +43,13 @@ from repro.pulsesim.schedule import (
     uniform_stream_times,
     uniform_stream_times_batch,
 )
-from repro.pulsesim.simulator import SimulationStats, Simulator, capture_stats
+from repro.pulsesim.simulator import (
+    SimulationStats,
+    Simulator,
+    active_collectors,
+    capture_stats,
+    quiet_stats,
+)
 
 __all__ = [
     "BatchProgram",
@@ -63,7 +69,9 @@ __all__ = [
     "Simulator",
     "WaveformProbe",
     "Wire",
+    "active_collectors",
     "capture_stats",
+    "quiet_stats",
     "compile_batch",
     "compile_circuit",
     "resolve_kernel",

@@ -92,6 +92,7 @@ _B_DISARM = 10  # [10, sidx]                            inverter a
 _B_TFF2 = 11  # [11, sidx, emission_q1, emission_q2]  TFF2 a
 _B_DROP = 12  # [12, fidx, taps, rows]                 DropChannel a
 _B_JITTER = 13  # [13, fidx, taps, rows]                 JitterChannel a
+_B_BAL = 14  # [14, bidx, port_bit, t_bff, coinc, em1, em2]  balancer a/b
 
 #: Analytic-mode guards: a splitter tree doubles per level, so profiles
 #: cap the per-arrival tap fanout and event count; circuits past the cap
@@ -148,6 +149,8 @@ class BatchProgram:
         state_init: uint8 initial value per unified-state row.
         n_reads / n_mergers: row counts of the NDRO-reads and merger
             (last-accept, collisions) arrays.
+        n_balancers: row count of the balancer Mealy-state arrays
+            (toggle state, last arrival, pair-open flag, hazard count).
         fault_specs: ``("drop"|"jitter", element)`` per fault index.
         generic: elements executed via per-lane clones.
         state_map: ``id(element) -> ((attr, kind, index), ...)`` mapping
@@ -166,6 +169,7 @@ class BatchProgram:
         "state_init",
         "n_reads",
         "n_mergers",
+        "n_balancers",
         "fault_specs",
         "generic",
         "state_map",
@@ -185,6 +189,7 @@ def _classify(element: Element) -> str:
     from repro.cells.logic import Inverter
     from repro.cells.storage import Dff, Dff2, Ndro
     from repro.cells.toggle import Tff, Tff2
+    from repro.core.balancer import Balancer
     from repro.pulsesim.faults import DropChannel, JitterChannel
 
     if type(element).emit is not Element.emit:
@@ -202,6 +207,7 @@ def _classify(element: Element) -> str:
         Inverter.handle: "inverter",
         DropChannel.handle: "drop",
         JitterChannel.handle: "jitter",
+        Balancer.handle: "balancer",
     }
     return table.get(handle, "generic")
 
@@ -256,6 +262,7 @@ def compile_batch(circuit: Circuit) -> BatchProgram:
     generic: List[Element] = []
     n_reads = 0
     n_mergers = 0
+    n_balancers = 0
     emit_tables: Dict[int, dict] = {}
     inports: Dict[Tuple[int, str], tuple] = {}
 
@@ -325,6 +332,25 @@ def compile_batch(circuit: Circuit) -> BatchProgram:
             op_of(element, "a")[:] = [_B_DISARM, s]
             op_of(element, "clk")[:] = [_B_INV, s, *emission(element, "q")]
             state_map[eid] = (("_armed", "bool", s),)
+        elif kind == "balancer":
+            b = n_balancers
+            n_balancers += 1
+            em1 = emission(element, "y1")
+            em2 = emission(element, "y2")
+            for bit, port in enumerate(("a", "b")):
+                op_of(element, port)[:] = [
+                    _B_BAL,
+                    b,
+                    bit,
+                    element.t_bff_fs,
+                    element.coincidence_fs,
+                    em1,
+                    em2,
+                ]
+            state_map[eid] = (
+                ("state", "bstate", b),
+                ("hazard_events", "bhaz", b),
+            )
         elif kind in ("drop", "jitter"):
             f = len(fault_specs)
             fault_specs.append((kind, element))
@@ -363,6 +389,7 @@ def compile_batch(circuit: Circuit) -> BatchProgram:
     prog.state_init = np.asarray(state_init, dtype=np.uint8)
     prog.n_reads = n_reads
     prog.n_mergers = n_mergers
+    prog.n_balancers = n_balancers
     prog.fault_specs = fault_specs
     prog.generic = generic
     prog.state_map = state_map
@@ -597,6 +624,13 @@ class BatchSimulator:
         self._reads = np.zeros((prog.n_reads, B), dtype=np.int64)
         self._mlast = np.full((prog.n_mergers, B), -1, dtype=np.int64)
         self._mcoll = np.zeros((prog.n_mergers, B), dtype=np.int64)
+        nb = prog.n_balancers
+        self._bal_state = np.zeros((nb, B), dtype=np.uint8)
+        self._bal_last_t = np.full((nb, B), -1, dtype=np.int64)
+        self._bal_last_port = np.zeros((nb, B), dtype=np.uint8)
+        self._bal_last_idx = np.zeros((nb, B), dtype=np.uint8)
+        self._bal_pair = np.zeros((nb, B), dtype=bool)
+        self._bal_haz = np.zeros((nb, B), dtype=np.int64)
         self._events = np.zeros(B, dtype=np.int64)
         self._pulses = np.zeros(B, dtype=np.int64)
         self._end = np.zeros(B, dtype=np.int64)
@@ -950,6 +984,40 @@ class BatchSimulator:
                         self._emit(t, em1[0], em1[1], em1[2], m1)
                     if m2.any():
                         self._emit(t, em2[0], em2[1], em2[2], m2)
+                elif kind == _B_BAL:
+                    # Vectorized balancer Mealy machine (repro.core.
+                    # balancer._MealyRouter.route, lane-parallel).  The
+                    # lane-restricted event order equals the scalar order
+                    # (kernel invariant), so sequential per-lane routing
+                    # decisions map 1:1 onto these masked updates.
+                    _c, b, pbit, t_bff, coinc, em1, em2 = op
+                    lt = self._bal_last_t[b]
+                    has = mask & (lt >= 0)
+                    gap = t - lt
+                    pair_hit = (
+                        has
+                        & (gap <= coinc)
+                        & (self._bal_last_port[b] != pbit)
+                        & self._bal_pair[b]
+                    )
+                    hazard = has & ~pair_hit & (gap < t_bff)
+                    st = self._bal_state[b]
+                    idx = np.where(hazard, self._bal_last_idx[b], st)
+                    if hazard.any():
+                        self._bal_haz[b] += hazard
+                    toggle = mask & ~hazard
+                    st[toggle] ^= 1
+                    normal = mask & ~pair_hit & ~hazard
+                    self._bal_pair[b][mask] = normal[mask]
+                    lt[mask] = t
+                    self._bal_last_port[b][mask] = pbit
+                    self._bal_last_idx[b][mask] = idx[mask]
+                    m1 = mask & (idx == 0)
+                    m2 = mask & (idx == 1)
+                    if m1.any():
+                        self._emit(t, em1[0], em1[1], em1[2], m1)
+                    if m2.any():
+                        self._emit(t, em2[0], em2[1], em2[2], m2)
                 elif kind == _B_DROP:
                     _c, f, taps, rows = op
                     fa = self._faults[f]
@@ -1096,6 +1164,10 @@ class BatchSimulator:
             if kind == "fault":
                 f, field = idx
                 return int(getattr(self._faults[f], field)[lane])
+            if kind == "bstate":
+                return int(self._bal_state[idx, lane])
+            if kind == "bhaz":
+                return int(self._bal_haz[idx, lane])
         return getattr(element, attr, default)
 
     @property
@@ -1104,3 +1176,33 @@ class BatchSimulator:
         return len(self._heap) + sum(
             chunk[2].size for chunk in self._raw
         )
+
+
+# -- per-request lane slicing --------------------------------------------------
+def lane_slices(lane_counts) -> List[slice]:
+    """Contiguous per-request lane ranges for a coalesced batch run.
+
+    The serving layer packs heterogeneous payloads into one
+    :class:`BatchSimulator` run: request ``i`` contributes
+    ``lane_counts[i]`` adjacent lanes (one per dot-product row, epoch,
+    Monte-Carlo sample...).  This returns one :class:`slice` per request,
+    valid into any ``(batch,)``-shaped per-lane array — ``port_counts``,
+    :class:`BatchStats` fields — so results come back out per request:
+
+        >>> lane_slices([2, 1, 3])
+        [slice(0, 2, None), slice(2, 3, None), slice(3, 6, None)]
+
+    Zero-lane requests are allowed (an empty slice keeps positions
+    aligned); negative counts raise :class:`ConfigurationError`.
+    """
+    slices: List[slice] = []
+    start = 0
+    for count in lane_counts:
+        count = int(count)
+        if count < 0:
+            raise ConfigurationError(
+                f"lane counts must be >= 0, got {count}"
+            )
+        slices.append(slice(start, start + count))
+        start += count
+    return slices

@@ -955,7 +955,7 @@ class SealedSimulator(Simulator):
             stats.wall_s += wall_delta
         end = now if until is None else (now if now > until else until)
         stats.end_time = max(stats.end_time, end)
-        for collector in _collectors:
+        for collector in _collectors.get():
             collector.events_processed += events - processed_before
             collector.pulses_emitted += pulses - pulses_before
             collector.end_time = max(collector.end_time, stats.end_time)

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import heapq
 from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Iterator, List, Optional, Tuple
@@ -65,18 +66,38 @@ class SimulationStats:
 # its per-call deltas to each collector on the stack, so a caller can
 # aggregate work done by simulators it never sees (e.g. the experiment
 # runner totalling events across all netlists an experiment builds).
-_collectors: List[SimulationStats] = []
+# Stored in a ContextVar (immutable tuple) so concurrent asyncio tasks and
+# copied-context threads each get their own stack; see active_collectors().
+_collectors: ContextVar[Tuple[SimulationStats, ...]] = ContextVar(
+    "repro_pulsesim_stats_collectors", default=()
+)
+
+
+def active_collectors() -> Tuple[SimulationStats, ...]:
+    """The ambient :func:`capture_stats` collectors, innermost last."""
+    return _collectors.get()
 
 
 @contextmanager
 def capture_stats() -> Iterator[SimulationStats]:
     """Accumulate stats from every ``Simulator.run()`` inside the block."""
     collector = SimulationStats()
-    _collectors.append(collector)
+    token = _collectors.set(_collectors.get() + (collector,))
     try:
         yield collector
     finally:
-        _collectors.remove(collector)
+        _collectors.reset(token)
+
+
+@contextmanager
+def quiet_stats() -> Iterator[None]:
+    """Hide the ambient collectors for the block (engines that re-run the
+    same work across shards/windows report merged totals exactly once)."""
+    token = _collectors.set(())
+    try:
+        yield
+    finally:
+        _collectors.reset(token)
 
 
 class Simulator:
@@ -221,7 +242,7 @@ class Simulator:
             stats.wall_s += wall_delta
         horizon = self.now if until is None else max(self.now, until)
         stats.end_time = max(stats.end_time, horizon)
-        for collector in _collectors:
+        for collector in _collectors.get():
             collector.events_processed += stats.events_processed - processed_before
             collector.pulses_emitted += stats.pulses_emitted - pulses_before
             collector.end_time = max(collector.end_time, stats.end_time)

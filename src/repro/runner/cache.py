@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional
 
-import repro
+from repro.digest import source_digest
 from repro.experiments.report import ExperimentResult
 from repro.pulsesim.simulator import SimulationStats
 from repro.runner.serialize import FORMAT_VERSION, result_from_dict, result_to_dict
@@ -26,18 +26,12 @@ from repro.trace.metrics import empty_metrics
 #: Default cache location, relative to the working directory.
 DEFAULT_CACHE_DIR = Path(".usfq-cache")
 
-
-def source_digest(root: Optional[Path] = None) -> str:
-    """Hash every ``*.py`` file under the ``repro`` package (or ``root``)."""
-    if root is None:
-        root = Path(repro.__file__).resolve().parent
-    digest = hashlib.sha256()
-    for path in sorted(root.rglob("*.py")):
-        digest.update(str(path.relative_to(root)).encode())
-        digest.update(b"\0")
-        digest.update(path.read_bytes())
-        digest.update(b"\0")
-    return digest.hexdigest()
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "CacheEntry",
+    "ResultCache",
+    "source_digest",  # hoisted to repro.digest; re-exported for callers
+]
 
 
 @dataclass

@@ -1,0 +1,5 @@
+"""``python -m repro.serve`` — same entry point as ``usfq-serve``."""
+
+from repro.serve.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,177 @@
+"""The micro-batching queue: concurrent requests become batch lanes.
+
+Requests sharing a batch key (same op + canonical config) accumulate in
+a *group*.  A group flushes — becoming one
+:meth:`~repro.serve.engine.ComputeEngine.execute_group` dispatch — when
+either trigger fires first:
+
+* **size**: the group reaches ``max_batch`` lanes, or
+* **time**: ``max_wait_us`` elapsed since the group's first request.
+
+Both triggers funnel through one ``_flush`` that atomically pops the
+group from the table, so the timer racing the size trigger (or two size
+triggers racing across awaits) can never double-dispatch: whoever pops
+the group owns it, the loser finds the table empty.  A request arriving
+while a flush is in flight starts a *new* group with its own timer —
+in-flight work never blocks admission of the next batch.
+
+Deadlines are enforced at flush time: a request whose budget expired
+while queued is ejected (its waiter gets :class:`DeadlineExceeded`, the
+service maps that to HTTP 504) *before* lanes are allocated, so expired
+work never occupies the simulator.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, ReproError
+from repro.serve.protocol import Request
+from repro.trace import MetricsRegistry
+
+
+class DeadlineExceeded(ReproError):
+    """The request's deadline expired before execution; maps to HTTP 504."""
+
+
+#: The execute hook: ``(op, config, operands_list) -> results`` awaitable.
+ExecuteFn = Callable[[str, Dict[str, Any], List[Dict[str, Any]]],
+                     Awaitable[List[Dict[str, Any]]]]
+
+_Entry = Tuple[Request, "asyncio.Future[Dict[str, Any]]", Optional[float]]
+
+
+class _Group:
+    __slots__ = ("key", "entries", "timer")
+
+    def __init__(self, key: str):
+        self.key = key
+        self.entries: List[_Entry] = []
+        self.timer: Optional[asyncio.TimerHandle] = None
+
+
+class MicroBatcher:
+    """Coalesces submissions into grouped execute dispatches."""
+
+    def __init__(
+        self,
+        execute: ExecuteFn,
+        max_batch: int = 64,
+        max_wait_us: int = 2_000,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        if max_batch < 1:
+            raise ConfigurationError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_us < 0:
+            raise ConfigurationError(
+                f"max_wait_us must be >= 0, got {max_wait_us}"
+            )
+        self._execute = execute
+        self.max_batch = max_batch
+        self.max_wait_us = max_wait_us
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._groups: Dict[str, _Group] = {}
+        self._tasks: "set[asyncio.Task[None]]" = set()
+
+    # -- submission --------------------------------------------------------------
+    async def submit(
+        self,
+        request: Request,
+        deadline_at: Optional[float] = None,
+        coalesce: bool = True,
+    ) -> Dict[str, Any]:
+        """Queue one request; resolves with its result dict.
+
+        ``deadline_at`` is an ``loop.time()`` instant; ``coalesce=False``
+        (model ops, or a ``max_batch=1`` server) dispatches immediately
+        as a group of one — same code path, zero queueing delay.
+        """
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[Dict[str, Any]]" = loop.create_future()
+        entry: _Entry = (request, future, deadline_at)
+        if not coalesce or self.max_batch == 1:
+            group = _Group(request.batch_key() + "|solo")
+            group.entries.append(entry)
+            self._dispatch(group)
+            return await future
+        key = request.batch_key()
+        group = self._groups.get(key)
+        if group is None:
+            group = _Group(key)
+            self._groups[key] = group
+            group.timer = loop.call_later(
+                self.max_wait_us / 1e6, self._flush, key
+            )
+        group.entries.append(entry)
+        if len(group.entries) >= self.max_batch:
+            self._flush(key)
+        return await future
+
+    # -- flushing ----------------------------------------------------------------
+    def _flush(self, key: str) -> None:
+        """Pop-and-dispatch; safe under timer/size races (pop is atomic)."""
+        group = self._groups.pop(key, None)
+        if group is None:
+            return  # the other trigger won the race
+        if group.timer is not None:
+            group.timer.cancel()
+            group.timer = None
+        self._dispatch(group)
+
+    def flush_all(self) -> None:
+        """Flush every open group now (drain path)."""
+        for key in list(self._groups):
+            self._flush(key)
+
+    @property
+    def pending(self) -> int:
+        """Requests queued in open (not yet dispatched) groups."""
+        return sum(len(group.entries) for group in self._groups.values())
+
+    def _dispatch(self, group: _Group) -> None:
+        task = asyncio.ensure_future(self._run(group))
+        # Keep a strong reference until done (asyncio only holds weakly).
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _run(self, group: _Group) -> None:
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        live: List[_Entry] = []
+        for request, future, deadline_at in group.entries:
+            if future.cancelled():
+                continue
+            if deadline_at is not None and now >= deadline_at:
+                self.metrics.counter("serve_deadline_evictions_total").inc()
+                future.set_exception(
+                    DeadlineExceeded(
+                        f"deadline expired {1e3 * (now - deadline_at):.1f} ms "
+                        "before the batch dispatched"
+                    )
+                )
+                continue
+            live.append((request, future, deadline_at))
+        if not live:
+            return
+        self.metrics.counter("serve_batches_total").inc()
+        self.metrics.counter("serve_batched_requests_total").inc(len(live))
+        self.metrics.histogram("serve_batch_lanes").observe(len(live))
+        first = live[0][0]
+        try:
+            results = await self._execute(
+                first.op, first.config, [request.operands for request, _, _ in live]
+            )
+            if len(results) != len(live):
+                raise ConfigurationError(
+                    f"engine returned {len(results)} results for "
+                    f"{len(live)} requests"
+                )
+        except BaseException as exc:  # noqa: BLE001 - fan the failure out
+            for _, future, _ in live:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for (_, future, _), result in zip(live, results):
+            if not future.done():
+                future.set_result(result)

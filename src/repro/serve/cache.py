@@ -1,0 +1,62 @@
+"""Content-addressed response cache.
+
+Keys come from :meth:`repro.serve.protocol.Request.cache_key`: the
+source-tree digest crossed with the canonical JSON of the request.  The
+digest makes the cache self-invalidating — edit any ``repro`` module and
+every key changes, so a restarted server can never serve results computed
+by older code (the same property :class:`repro.runner.cache.ResultCache`
+gives experiment manifests, applied to a serving hot path).
+
+Values are the fully rendered response **bytes**.  Caching the bytes (not
+the result dict) is what makes the warm path byte-identical to the cold
+path by construction — there is no second render that could diverge.
+
+The cache lives on the event-loop thread and is only touched from
+coroutines, so plain dict operations need no locking.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+
+class ResponseCache:
+    """A bounded LRU of rendered response bytes."""
+
+    def __init__(self, max_entries: int = 4096):
+        if max_entries < 0:
+            raise ConfigurationError(
+                f"max_entries must be >= 0, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, bytes]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> Optional[bytes]:
+        """The cached response, freshened to most-recently-used; or None."""
+        value = self._entries.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: str, response: bytes) -> None:
+        """Insert (or refresh) an entry, evicting the LRU tail when full."""
+        if self.max_entries == 0:
+            return
+        self._entries[key] = response
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,115 @@
+"""``usfq-serve``: boot the accelerator service from the command line.
+
+The listening line (``usfq-serve listening on http://host:port``) goes to
+stdout and is flushed immediately — with ``--port 0`` that line is how a
+spawning process (the load generator, the CI smoke job) learns the
+ephemeral port.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from typing import Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.serve.server import ServeConfig, ServeService, serve_forever
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="usfq-serve",
+        description=(
+            "Serve U-SFQ accelerator ops (DPU dot products, FIR filters, "
+            "PE-array ops) over HTTP/JSON with micro-batched execution."
+        ),
+    )
+    defaults = ServeConfig()
+    parser.add_argument("--host", default=defaults.host)
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=defaults.port,
+        help="TCP port (0 binds an ephemeral port, printed on stdout)",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=defaults.max_batch,
+        help="lanes per coalesced dispatch; 1 disables coalescing",
+    )
+    parser.add_argument(
+        "--max-wait-us",
+        type=int,
+        default=defaults.max_wait_us,
+        help="batch window after a group's first request (microseconds)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=defaults.workers,
+        help="worker processes (0 = inline execution in threads)",
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=defaults.max_pending,
+        help="admission ceiling; beyond it requests get HTTP 429",
+    )
+    parser.add_argument(
+        "--cache-entries",
+        type=int,
+        default=defaults.cache_entries,
+        help="response-cache capacity (0 disables caching)",
+    )
+    parser.add_argument(
+        "--drain-grace-s",
+        type=float,
+        default=defaults.drain_grace_s,
+        help="seconds to wait for in-flight work on shutdown",
+    )
+    return parser
+
+
+def config_from_args(args: argparse.Namespace) -> ServeConfig:
+    return ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_wait_us=args.max_wait_us,
+        workers=args.workers,
+        max_pending=args.max_pending,
+        cache_entries=args.cache_entries,
+        drain_grace_s=args.drain_grace_s,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        config = config_from_args(args)
+    except ConfigurationError as exc:
+        print(f"usfq-serve: {exc}", file=sys.stderr)
+        return 2
+
+    def ready(service: ServeService, port: int) -> None:
+        print(
+            f"usfq-serve listening on http://{config.host}:{port} "
+            f"(max_batch={config.max_batch}, "
+            f"max_wait_us={config.max_wait_us}, workers={config.workers})",
+            flush=True,
+        )
+
+    try:
+        asyncio.run(serve_forever(config, ready=ready))
+    except KeyboardInterrupt:  # pragma: no cover - direct ^C race
+        pass
+    except OSError as exc:
+        print(f"usfq-serve: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,61 @@
+"""Render a :class:`repro.trace.MetricsRegistry` as Prometheus text.
+
+The exposition format (version 0.0.4) wants cumulative ``le`` buckets;
+the registry's histograms store per-bucket counts, so the renderer
+integrates them and appends the ``+Inf`` bucket, ``_sum`` and ``_count``
+series.  Names are sanitised to the Prometheus grammar so any registry
+(including simulation-side metrics merged into the server registry) can
+be scraped as-is.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_BAD_CHAR = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _sanitise(name: str) -> str:
+    name = _BAD_CHAR.sub("_", name)
+    if not _NAME_OK.match(name):
+        name = "_" + name
+    return name
+
+
+def _format_value(value: Any) -> str:
+    if value is None:
+        return "NaN"
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def render_prometheus(snapshot: Dict[str, Any]) -> str:
+    """Render a ``MetricsRegistry.to_dict()`` snapshot (sorted, stable)."""
+    lines = []
+    for name in sorted(snapshot.get("counters", {})):
+        metric = _sanitise(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(snapshot['counters'][name])}")
+    for name in sorted(snapshot.get("gauges", {})):
+        metric = _sanitise(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(snapshot['gauges'][name])}")
+    for name in sorted(snapshot.get("histograms", {})):
+        hist = snapshot["histograms"][name]
+        metric = _sanitise(name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(hist["bounds"], hist["bucket_counts"]):
+            cumulative += count
+            lines.append(
+                f'{metric}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
+            )
+        cumulative += hist["bucket_counts"][-1]
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{metric}_sum {_format_value(hist['total'])}")
+        lines.append(f"{metric}_count {hist['count']}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,143 @@
+"""In-process server harness for tests and benchmarks.
+
+``start_server_thread`` boots a full HTTP server (real sockets, real
+event loop) on a background thread and returns a :class:`ServerHandle`
+whose ``request``/``post`` helpers speak plain ``http.client``.  Tests
+get end-to-end coverage — admission, batching, caching, draining — at
+in-process latency, with deterministic teardown (``stop()`` runs the
+same drain path a SIGTERM would).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from repro.digest import canonical_json
+from repro.errors import ReproError
+from repro.serve.server import ServeConfig, ServeService, serve_forever
+
+
+class ServerHandle:
+    """A live background server: address, HTTP helpers, clean stop."""
+
+    def __init__(self) -> None:
+        self.port: int = 0
+        self.service: Optional[ServeService] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._thread: Optional[threading.Thread] = None
+        self._failure: Optional[BaseException] = None
+
+    @property
+    def address(self) -> str:
+        return f"http://127.0.0.1:{self.port}"
+
+    # -- HTTP helpers ------------------------------------------------------------
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+        timeout: float = 30.0,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """One HTTP exchange; returns (status, headers, body)."""
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", self.port, timeout=timeout
+        )
+        try:
+            body = (
+                canonical_json(payload).encode() if payload is not None else None
+            )
+            connection.request(
+                method,
+                path,
+                body=body,
+                headers={"Content-Type": "application/json"} if body else {},
+            )
+            response = connection.getresponse()
+            data = response.read()
+            headers = {
+                name.lower(): value for name, value in response.getheaders()
+            }
+            return response.status, headers, data
+        finally:
+            connection.close()
+
+    def post_json(
+        self, path: str, payload: Dict[str, Any], timeout: float = 30.0
+    ) -> Tuple[int, Any]:
+        status, _headers, body = self.request(
+            "POST", path, payload, timeout=timeout
+        )
+        return status, json.loads(body)
+
+    def get_json(self, path: str, timeout: float = 30.0) -> Tuple[int, Any]:
+        status, _headers, body = self.request("GET", path, timeout=timeout)
+        return status, json.loads(body)
+
+    # -- lifecycle ---------------------------------------------------------------
+    def stop(self, timeout: float = 30.0) -> None:
+        """Drain and shut the server down (idempotent)."""
+        if self._thread is None or self._loop is None or self._stop is None:
+            return
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():  # pragma: no cover - hang safety net
+            raise ReproError("server thread did not stop within the timeout")
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def start_server_thread(
+    config: Optional[ServeConfig] = None, boot_timeout: float = 30.0
+) -> ServerHandle:
+    """Boot a server on a daemon thread; returns once the socket is bound."""
+    config = config if config is not None else ServeConfig(port=0)
+    handle = ServerHandle()
+    booted = threading.Event()
+
+    async def main() -> None:
+        stop = asyncio.Event()
+        handle._loop = asyncio.get_running_loop()
+        handle._stop = stop
+
+        def ready(service: ServeService, port: int) -> None:
+            handle.service = service
+            handle.port = port
+            booted.set()
+
+        # Setting ``stop`` from another thread (via call_soon_threadsafe)
+        # is the harness's SIGTERM: serve_forever drains and returns.
+        await serve_forever(
+            config, ready=ready, install_signals=False, stop_event=stop
+        )
+
+    def thread_main() -> None:
+        try:
+            asyncio.run(main())
+        except BaseException as exc:  # pragma: no cover - boot failures
+            handle._failure = exc
+        finally:
+            booted.set()
+
+    thread = threading.Thread(
+        target=thread_main, name="usfq-serve", daemon=True
+    )
+    handle._thread = thread
+    thread.start()
+    if not booted.wait(boot_timeout):
+        raise ReproError("server did not boot within the timeout")
+    if handle._failure is not None:
+        raise ReproError(f"server failed to boot: {handle._failure!r}")
+    if handle.service is None:
+        raise ReproError("server thread exited before binding a socket")
+    return handle

@@ -81,12 +81,8 @@ def _quiet_stats() -> Iterator[None]:
     the experiment runner's) is not fed once per shard per window; the
     coordinator feeds the merged totals exactly once after the run.
     """
-    saved = simulator_module._collectors
-    simulator_module._collectors = []
-    try:
+    with simulator_module.quiet_stats():
         yield
-    finally:
-        simulator_module._collectors = saved
 
 
 def _freeze(value: Any) -> Any:
@@ -407,7 +403,7 @@ class ShardSimulator:
         if until is not None:
             merged.end_time = max(merged.end_time, until)
         merged.wall_s = perf_counter() - wall_start
-        for collector in simulator_module._collectors:
+        for collector in simulator_module.active_collectors():
             collector.events_processed += merged.events_processed
             collector.pulses_emitted += merged.pulses_emitted
             collector.end_time = max(collector.end_time, merged.end_time)

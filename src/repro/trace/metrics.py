@@ -16,7 +16,8 @@ import cycle.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Optional
+from contextvars import ContextVar
+from typing import Dict, Iterator, Optional, Tuple
 
 #: Histogram bucket upper bounds: powers of two cover event cohorts and
 #: queue depths over many orders of magnitude with a handful of buckets.
@@ -186,12 +187,21 @@ def merge_metric_dicts(into: dict, other: dict) -> dict:
 
 
 #: Active registries, innermost last (mirrors ``pulsesim._collectors``).
-_active: List[MetricsRegistry] = []
+#: A :class:`~contextvars.ContextVar` holding an immutable tuple, not a
+#: module-global list: every asyncio task (and every ``contextvars.copy_
+#: context()`` thread) sees its own stack, so two concurrent request
+#: handlers under ``capture_metrics()`` cannot interleave each other's
+#: counters.  Synchronous callers are unaffected — within one context the
+#: set/reset pairs below behave exactly like push/pop.
+_active: ContextVar[Tuple[MetricsRegistry, ...]] = ContextVar(
+    "repro_trace_metrics_active", default=()
+)
 
 
 def current_registry() -> Optional[MetricsRegistry]:
     """The innermost active registry, or None outside any capture block."""
-    return _active[-1] if _active else None
+    stack = _active.get()
+    return stack[-1] if stack else None
 
 
 @contextmanager
@@ -200,8 +210,8 @@ def capture_metrics(
 ) -> Iterator[MetricsRegistry]:
     """Make ``registry`` (or a fresh one) the ambient registry for the block."""
     registry = registry if registry is not None else MetricsRegistry()
-    _active.append(registry)
+    token = _active.set(_active.get() + (registry,))
     try:
         yield registry
     finally:
-        _active.remove(registry)
+        _active.reset(token)

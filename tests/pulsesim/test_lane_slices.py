@@ -1,0 +1,40 @@
+"""lane_slices: per-request lane ranges over a coalesced batch."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pulsesim.batch import lane_slices
+
+
+def test_contiguous_slices_cover_the_batch_in_order():
+    slices = lane_slices([2, 1, 3])
+    assert slices == [slice(0, 2), slice(2, 3), slice(3, 6)]
+    lanes = np.arange(6)
+    assert lanes[slices[0]].tolist() == [0, 1]
+    assert lanes[slices[1]].tolist() == [2]
+    assert lanes[slices[2]].tolist() == [3, 4, 5]
+
+
+def test_zero_lane_requests_yield_empty_slices_without_shifting_others():
+    slices = lane_slices([0, 2, 0, 1])
+    assert slices == [slice(0, 0), slice(0, 2), slice(2, 2), slice(2, 3)]
+    lanes = np.arange(3)
+    assert lanes[slices[0]].size == 0
+    assert lanes[slices[2]].size == 0
+    assert lanes[slices[3]].tolist() == [2]
+
+
+def test_empty_input_and_negative_counts():
+    assert lane_slices([]) == []
+    with pytest.raises(ConfigurationError):
+        lane_slices([1, -1])
+
+
+def test_slices_partition_every_lane_exactly_once():
+    counts = [3, 0, 5, 1, 2]
+    slices = lane_slices(counts)
+    seen = []
+    for request_slice in slices:
+        seen.extend(range(request_slice.start, request_slice.stop))
+    assert seen == list(range(sum(counts)))

@@ -1,0 +1,60 @@
+"""capture_stats / quiet_stats must be task-local (ContextVar semantics).
+
+Two asyncio tasks running simulations concurrently must each see only
+their own runs' event counts — the old module-global collector list let
+an interleaved task inflate a neighbour's stats.
+"""
+
+import asyncio
+
+from repro.cells.interconnect import Jtl
+from repro.pulsesim import (
+    Circuit,
+    Simulator,
+    active_collectors,
+    capture_stats,
+    quiet_stats,
+)
+
+
+def _run_chain(pulses):
+    """A one-JTL circuit driven with ``pulses`` inputs: 2*pulses events."""
+    circuit = Circuit("stats_async")
+    jtl = circuit.add(Jtl("jtl"))
+    circuit.seal()
+    sim = Simulator(circuit)
+    for index in range(pulses):
+        sim.schedule_input(jtl, "a", 10_000 * (index + 1))
+    sim.run()
+    return sim.stats.events_processed
+
+
+def test_overlapping_tasks_accumulate_into_their_own_collector():
+    async def worker(pulses):
+        with capture_stats() as stats:
+            for _ in range(3):
+                await asyncio.sleep(0)  # interleave with the other task
+                _run_chain(pulses)
+            return stats.events_processed
+
+    async def main():
+        return await asyncio.gather(worker(1), worker(4))
+
+    events_small, events_large = asyncio.run(main())
+    single_small = _run_chain(1)
+    single_large = _run_chain(4)
+    assert events_small == 3 * single_small
+    assert events_large == 3 * single_large
+
+
+def test_quiet_stats_hides_ambient_collectors_for_the_block():
+    with capture_stats() as stats:
+        baseline = _run_chain(2)
+        assert stats.events_processed == baseline
+        with quiet_stats():
+            assert active_collectors() == ()
+            _run_chain(2)  # must not be observed
+        assert stats.events_processed == baseline
+        _run_chain(2)
+        assert stats.events_processed == 2 * baseline
+    assert active_collectors() == ()

@@ -1,0 +1,215 @@
+"""MicroBatcher edge cases: flush races, deadlines, failure fan-out.
+
+These tests drive the batcher directly with a recording execute hook, so
+every dispatch (its size and its operands) is observable.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.serve.batcher import DeadlineExceeded, MicroBatcher
+from repro.serve.protocol import parse_request
+
+
+def _request(a=1, b=1, length=2, bits=4):
+    return parse_request(
+        {
+            "op": "dpu.dot",
+            "config": {"bits": bits, "slot_fs": 40_000, "length": length},
+            "a_slots": [a] * length,
+            "b_counts": [b] * length,
+        }
+    )
+
+
+class _Recorder:
+    """An execute hook that answers with lane indices and logs dispatches."""
+
+    def __init__(self, gate=None, fail=False):
+        self.dispatches = []
+        self.gate = gate
+        self.fail = fail
+
+    async def __call__(self, op, config, operands_list):
+        self.dispatches.append(list(operands_list))
+        if self.gate is not None:
+            await self.gate.wait()
+        if self.fail:
+            raise RuntimeError("engine exploded")
+        return [{"count": index} for index in range(len(operands_list))]
+
+
+def test_size_trigger_flushes_exactly_at_max_batch():
+    async def main():
+        recorder = _Recorder()
+        batcher = MicroBatcher(recorder, max_batch=3, max_wait_us=10_000_000)
+        results = await asyncio.gather(
+            *(batcher.submit(_request(a=i)) for i in range(3))
+        )
+        return recorder.dispatches, results
+
+    dispatches, results = asyncio.run(main())
+    # One dispatch of 3 lanes, long before the (10 s) timer.
+    assert [len(d) for d in dispatches] == [3]
+    assert [r["count"] for r in results] == [0, 1, 2]
+
+
+def test_timer_trigger_flushes_partial_groups():
+    async def main():
+        recorder = _Recorder()
+        batcher = MicroBatcher(recorder, max_batch=64, max_wait_us=1_000)
+        results = await asyncio.gather(
+            *(batcher.submit(_request(a=i)) for i in range(2))
+        )
+        return recorder.dispatches, results
+
+    dispatches, results = asyncio.run(main())
+    assert [len(d) for d in dispatches] == [2]
+    assert [r["count"] for r in results] == [0, 1]
+
+
+def test_timer_racing_a_size_flush_cannot_double_dispatch():
+    async def main():
+        recorder = _Recorder()
+        batcher = MicroBatcher(recorder, max_batch=2, max_wait_us=500)
+        first = asyncio.ensure_future(batcher.submit(_request(a=1)))
+        await asyncio.sleep(0)
+        # The size trigger fires here; then we *also* invoke the timer
+        # callback by hand, simulating the loop delivering a stale timer.
+        second = asyncio.ensure_future(batcher.submit(_request(a=2)))
+        await asyncio.sleep(0)
+        key = _request().batch_key()
+        batcher._flush(key)  # stale trigger: group already popped
+        batcher._flush(key)
+        await asyncio.gather(first, second)
+        await asyncio.sleep(0.01)  # let any stray timer fire
+        return recorder.dispatches
+
+    dispatches = asyncio.run(main())
+    assert [len(d) for d in dispatches] == [2]
+
+
+def test_arrival_during_in_flight_flush_starts_a_new_group():
+    async def main():
+        gate = asyncio.Event()
+        recorder = _Recorder(gate=gate)
+        batcher = MicroBatcher(recorder, max_batch=2, max_wait_us=1_000)
+        blocked = [
+            asyncio.ensure_future(batcher.submit(_request(a=i)))
+            for i in range(2)
+        ]
+        # Wait until that group's dispatch is in flight (blocked on gate).
+        while not recorder.dispatches:
+            await asyncio.sleep(0)
+        late = asyncio.ensure_future(batcher.submit(_request(a=9)))
+        await asyncio.sleep(0.01)
+        assert not late.done()  # queued in a NEW group, not the old one
+        gate.set()
+        await asyncio.gather(*blocked, late)
+        return recorder.dispatches
+
+    dispatches = asyncio.run(main())
+    assert [len(d) for d in dispatches] == [2, 1]
+    assert dispatches[1][0]["a_slots"] == [9, 9]
+
+
+def test_deadline_eviction_happens_before_lanes_are_allocated():
+    async def main():
+        recorder = _Recorder()
+        batcher = MicroBatcher(recorder, max_batch=64, max_wait_us=30_000)
+        loop = asyncio.get_running_loop()
+        doomed = asyncio.ensure_future(
+            batcher.submit(_request(a=1), deadline_at=loop.time() + 0.001)
+        )
+        healthy = asyncio.ensure_future(
+            batcher.submit(_request(a=2), deadline_at=loop.time() + 30.0)
+        )
+        with pytest.raises(DeadlineExceeded):
+            await doomed
+        result = await healthy
+        return recorder.dispatches, result
+
+    dispatches, result = asyncio.run(main())
+    # The expired request never occupied a lane: the dispatch has one row.
+    assert [len(d) for d in dispatches] == [1]
+    assert dispatches[0][0]["a_slots"] == [2, 2]
+    assert result == {"count": 0}
+    # Eviction is visible in the metrics the service scrapes.
+
+
+def test_all_expired_group_dispatches_nothing():
+    async def main():
+        recorder = _Recorder()
+        batcher = MicroBatcher(recorder, max_batch=64, max_wait_us=5_000)
+        loop = asyncio.get_running_loop()
+        doomed = batcher.submit(
+            _request(a=1), deadline_at=loop.time() - 1.0
+        )
+        with pytest.raises(DeadlineExceeded):
+            await doomed
+        await asyncio.sleep(0.02)
+        return recorder.dispatches
+
+    assert asyncio.run(main()) == []
+
+
+def test_execute_failure_fans_out_to_every_waiter():
+    async def main():
+        recorder = _Recorder(fail=True)
+        batcher = MicroBatcher(recorder, max_batch=2, max_wait_us=1_000)
+        futures = [
+            asyncio.ensure_future(batcher.submit(_request(a=i)))
+            for i in range(2)
+        ]
+        done = await asyncio.gather(*futures, return_exceptions=True)
+        return done
+
+    outcomes = asyncio.run(main())
+    assert len(outcomes) == 2
+    assert all(isinstance(item, RuntimeError) for item in outcomes)
+
+
+def test_coalesce_false_dispatches_immediately_as_group_of_one():
+    async def main():
+        recorder = _Recorder()
+        batcher = MicroBatcher(recorder, max_batch=64, max_wait_us=10_000_000)
+        result = await batcher.submit(_request(a=5), coalesce=False)
+        return recorder.dispatches, result
+
+    dispatches, result = asyncio.run(main())
+    # No 10-second timer wait: the solo path dispatched straight away.
+    assert [len(d) for d in dispatches] == [1]
+    assert result == {"count": 0}
+
+
+def test_max_batch_one_never_coalesces():
+    async def main():
+        recorder = _Recorder()
+        batcher = MicroBatcher(recorder, max_batch=1, max_wait_us=10_000_000)
+        results = await asyncio.gather(
+            *(batcher.submit(_request(a=i)) for i in range(3))
+        )
+        return recorder.dispatches, results
+
+    dispatches, _results = asyncio.run(main())
+    assert [len(d) for d in dispatches] == [1, 1, 1]
+
+
+def test_flush_all_drains_open_groups():
+    async def main():
+        recorder = _Recorder()
+        batcher = MicroBatcher(recorder, max_batch=64, max_wait_us=10_000_000)
+        pending = [
+            asyncio.ensure_future(batcher.submit(_request(a=i)))
+            for i in range(2)
+        ]
+        await asyncio.sleep(0)
+        assert batcher.pending == 2
+        batcher.flush_all()
+        await asyncio.gather(*pending)
+        return batcher.pending, recorder.dispatches
+
+    pending, dispatches = asyncio.run(main())
+    assert pending == 0
+    assert [len(d) for d in dispatches] == [2]

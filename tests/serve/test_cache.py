@@ -1,0 +1,47 @@
+"""ResponseCache: LRU behaviour and hit/miss accounting."""
+
+from repro.serve.cache import ResponseCache
+
+
+def test_round_trip_and_counters():
+    cache = ResponseCache(max_entries=4)
+    assert cache.get("k") is None
+    cache.put("k", b"body")
+    assert cache.get("k") == b"body"
+    assert (cache.hits, cache.misses) == (1, 1)
+
+
+def test_lru_evicts_oldest_untouched_entry():
+    cache = ResponseCache(max_entries=2)
+    cache.put("a", b"1")
+    cache.put("b", b"2")
+    assert cache.get("a") == b"1"  # freshen a; b is now LRU
+    cache.put("c", b"3")
+    assert cache.get("b") is None
+    assert cache.get("a") == b"1"
+    assert cache.get("c") == b"3"
+    assert len(cache) == 2
+
+
+def test_put_refreshes_existing_key():
+    cache = ResponseCache(max_entries=2)
+    cache.put("a", b"1")
+    cache.put("b", b"2")
+    cache.put("a", b"1v2")  # refresh, not a new slot
+    cache.put("c", b"3")
+    assert cache.get("a") == b"1v2"
+    assert cache.get("b") is None
+
+
+def test_zero_capacity_disables_storage():
+    cache = ResponseCache(max_entries=0)
+    cache.put("a", b"1")
+    assert cache.get("a") is None
+    assert len(cache) == 0
+
+
+def test_clear():
+    cache = ResponseCache(max_entries=4)
+    cache.put("a", b"1")
+    cache.clear()
+    assert cache.get("a") is None

@@ -1,0 +1,101 @@
+"""ComputeEngine: results match the core models, circuits memoise."""
+
+import numpy as np
+import pytest
+
+from repro.core.dpu import DotProductUnit
+from repro.core.fir import BinaryFirFilter, UnaryFirFilter
+from repro.core.pe import PEArray, PEModel
+from repro.encoding.epoch import EpochSpec
+from repro.errors import ConfigurationError
+from repro.serve.engine import ComputeEngine
+
+_DPU_CONFIG = {"bipolar": False, "bits": 3, "length": 2, "slot_fs": 40_000}
+
+
+def test_dpu_group_matches_direct_batch_run():
+    engine = ComputeEngine()
+    operands = [
+        {"a_slots": [1, 2], "b_counts": [3, 4]},
+        {"a_slots": [8, 0], "b_counts": [8, 8]},
+        {"a_slots": [5, 5], "b_counts": [1, 7]},
+    ]
+    results = engine.execute_group("dpu.dot", _DPU_CONFIG, operands)
+    unit = DotProductUnit(EpochSpec(bits=3, slot_fs=40_000), length=2)
+    expected = [
+        unit.run_counts(item["a_slots"], item["b_counts"])
+        for item in operands
+    ]
+    assert [r["count"] for r in results] == expected
+    assert all(isinstance(r["count"], int) for r in results)
+
+
+def test_dpu_circuit_is_compiled_once_per_config():
+    engine = ComputeEngine(max_circuits=2)
+    engine.execute_group(
+        "dpu.dot", _DPU_CONFIG, [{"a_slots": [1, 1], "b_counts": [1, 1]}]
+    )
+    unit = engine._dpu(_DPU_CONFIG)
+    engine.execute_group(
+        "dpu.dot", _DPU_CONFIG, [{"a_slots": [2, 2], "b_counts": [2, 2]}]
+    )
+    assert engine._dpu(_DPU_CONFIG) is unit  # same compiled instance
+    # Two more configs evict the oldest (LRU capacity 2).
+    other = dict(_DPU_CONFIG, bits=4)
+    third = dict(_DPU_CONFIG, bits=5)
+    engine._dpu(other)
+    engine._dpu(third)
+    assert engine._dpu(_DPU_CONFIG) is not unit  # was evicted, recompiled
+
+
+def test_warm_precompiles():
+    engine = ComputeEngine()
+    assert engine.warm("dpu.dot", _DPU_CONFIG) is True
+    assert len(engine._dpus) == 1
+    assert engine.warm("pe.mac", {"bits": 4, "slot_fs": 40_000}) is True
+
+
+def test_fir_ops_match_the_filters():
+    engine = ComputeEngine()
+    samples = [0.1, -0.4, 0.9, 0.0]
+    coefficients = [0.5, -0.25, 0.125]
+    unary_config = {
+        "bits": 6, "coefficients": coefficients, "slot_fs": 40_000,
+    }
+    [result] = engine.execute_group(
+        "fir.unary", unary_config, [{"samples": samples}]
+    )
+    epoch = EpochSpec(bits=6, slot_fs=40_000)
+    expected = UnaryFirFilter(epoch, coefficients, seed=0).process(samples)
+    assert result["outputs"] == [float(v) for v in expected]
+
+    [result] = engine.execute_group(
+        "fir.binary", unary_config, [{"samples": samples}]
+    )
+    expected = BinaryFirFilter(6, coefficients, seed=0).process(samples)
+    assert result["outputs"] == [float(v) for v in expected]
+
+
+def test_pe_ops_match_the_models():
+    engine = ComputeEngine()
+    config = {"bits": 4, "slot_fs": 40_000}
+    epoch = EpochSpec(bits=4, slot_fs=40_000)
+    [result] = engine.execute_group(
+        "pe.mac", config, [{"values": [0.5, 0.75, 0.25]}]
+    )
+    assert result["value"] == PEModel(epoch).mac(0.5, 0.75, 0.25)
+
+    a = [[0.5, 0.25], [1.0, 0.0]]
+    b = [[0.5, 1.0], [0.25, 0.5]]
+    [result] = engine.execute_group("pe.matmul", config, [{"a": a, "b": b}])
+    expected = PEArray(epoch, rows=2, cols=2).matmul(
+        np.asarray(a), np.asarray(b)
+    )
+    assert result["values"] == [[float(v) for v in row] for row in expected]
+
+
+def test_empty_group_and_unknown_op():
+    engine = ComputeEngine()
+    assert engine.execute_group("dpu.dot", _DPU_CONFIG, []) == []
+    with pytest.raises(ConfigurationError):
+        engine.execute_group("quantum.leap", {}, [{}])

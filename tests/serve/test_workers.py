@@ -1,0 +1,105 @@
+"""ExecutionTier: inline and actor modes, crash restart + retry."""
+
+import asyncio
+import os
+import signal
+import time
+
+import pytest
+
+from repro.parallel import WorkerError
+from repro.serve.workers import ExecutionTier
+from repro.trace import MetricsRegistry
+
+_CONFIG = {"bipolar": False, "bits": 3, "length": 2, "slot_fs": 40_000}
+_OPERANDS = [{"a_slots": [1, 2], "b_counts": [3, 4]}]
+
+
+def test_inline_tier_executes_through_threads():
+    async def main():
+        tier = ExecutionTier(workers=0)
+        try:
+            return await tier.execute("dpu.dot", _CONFIG, _OPERANDS)
+        finally:
+            tier.close()
+
+    results = asyncio.run(main())
+    assert len(results) == 1 and isinstance(results[0]["count"], int)
+
+
+def test_actor_tier_matches_inline_results():
+    async def main():
+        inline = ExecutionTier(workers=0)
+        actors = ExecutionTier(workers=1)
+        try:
+            first = await inline.execute("dpu.dot", _CONFIG, _OPERANDS)
+            second = await actors.execute("dpu.dot", _CONFIG, _OPERANDS)
+            return first, second
+        finally:
+            inline.close()
+            actors.close()
+
+    first, second = asyncio.run(main())
+    assert first == second
+
+
+def test_dead_worker_is_restarted_and_the_batch_retried():
+    async def main():
+        metrics = MetricsRegistry()
+        tier = ExecutionTier(workers=1, metrics=metrics)
+        try:
+            await tier.execute("dpu.dot", _CONFIG, _OPERANDS)  # boot + warm
+            victim = tier._actors[0]._process
+            os.kill(victim.pid, signal.SIGKILL)
+            deadline = time.monotonic() + 5
+            while victim.is_alive() and time.monotonic() < deadline:
+                time.sleep(0.01)
+            # The next batch hits the corpse, restarts, retries, succeeds.
+            results = await tier.execute("dpu.dot", _CONFIG, _OPERANDS)
+            restarts = metrics.counter("serve_worker_restarts_total").value
+            return results, restarts
+        finally:
+            tier.close()
+
+    results, restarts = asyncio.run(main())
+    assert len(results) == 1 and isinstance(results[0]["count"], int)
+    assert restarts == 1
+
+
+def test_handler_errors_propagate_without_restart():
+    async def main():
+        metrics = MetricsRegistry()
+        tier = ExecutionTier(workers=1, metrics=metrics)
+        try:
+            with pytest.raises(WorkerError):
+                # length mismatch raises inside the worker's handler
+                await tier.execute(
+                    "dpu.dot", _CONFIG, [{"a_slots": [1], "b_counts": [1]}]
+                )
+            restarts = metrics.counter("serve_worker_restarts_total").value
+            results = await tier.execute("dpu.dot", _CONFIG, _OPERANDS)
+            return restarts, results
+        finally:
+            tier.close()
+
+    restarts, results = asyncio.run(main())
+    assert restarts == 0  # the process never died
+    assert len(results) == 1
+
+
+def test_warm_reaches_every_actor():
+    async def main():
+        tier = ExecutionTier(workers=2)
+        try:
+            await tier.warm("dpu.dot", _CONFIG)
+            # After warming, execution must not pay compile time twice;
+            # just prove both actors still answer.
+            return await asyncio.gather(
+                tier.execute("dpu.dot", _CONFIG, _OPERANDS),
+                tier.execute("dpu.dot", _CONFIG, _OPERANDS),
+            )
+        finally:
+            tier.close()
+
+    first, second = asyncio.run(main())
+    assert first == second

@@ -1,0 +1,69 @@
+"""Ambient metrics must be task-local, not process-global.
+
+``capture_metrics`` used to push onto a module-level list; two asyncio
+tasks interleaving at await points would then record into *each other's*
+registries.  The ContextVar migration gives every task its own stack —
+these tests are the regression harness for that property (the serving
+layer runs one capture block per in-flight request).
+"""
+
+import asyncio
+import threading
+
+from repro.trace import MetricsRegistry, capture_metrics, current_registry
+
+
+def test_overlapping_asyncio_tasks_have_isolated_registries():
+    async def worker(name, ticks, barrier):
+        with capture_metrics() as registry:
+            for _ in range(ticks):
+                # Yield mid-block so the other task runs while this
+                # capture is open — exactly the interleaving that
+                # corrupted the old global stack.
+                await barrier()
+                current_registry().counter(name).inc()
+            return registry.to_dict()["counters"]
+
+    async def main():
+        wake = asyncio.Event()
+
+        async def barrier():
+            wake.set()
+            await asyncio.sleep(0)
+
+        task_a = asyncio.ensure_future(worker("a", 3, barrier))
+        task_b = asyncio.ensure_future(worker("b", 5, barrier))
+        return await asyncio.gather(task_a, task_b)
+
+    counters_a, counters_b = asyncio.run(main())
+    assert counters_a == {"a": 3}
+    assert counters_b == {"b": 5}
+
+
+def test_nested_capture_still_behaves_like_a_stack():
+    outer_registry = MetricsRegistry()
+    with capture_metrics(outer_registry):
+        assert current_registry() is outer_registry
+        with capture_metrics() as inner:
+            assert current_registry() is inner
+            current_registry().counter("inner_hits").inc()
+        assert current_registry() is outer_registry
+        current_registry().counter("outer_hits").inc()
+    assert current_registry() is None
+    assert outer_registry.to_dict()["counters"] == {"outer_hits": 1}
+    assert inner.to_dict()["counters"] == {"inner_hits": 1}
+
+
+def test_threads_do_not_see_each_others_registry():
+    seen = {}
+
+    def probe(name):
+        # A fresh thread starts from an empty context: no ambient registry.
+        seen[name] = current_registry()
+
+    with capture_metrics():
+        thread = threading.Thread(target=probe, args=("worker",))
+        thread.start()
+        thread.join()
+        assert current_registry() is not None
+    assert seen["worker"] is None
