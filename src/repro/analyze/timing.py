@@ -23,6 +23,7 @@ from repro.lint.report import Diagnostic, Severity
 from repro.models import technology as tech
 from repro.pulsesim.element import CellRole, Element
 from repro.pulsesim.netlist import Circuit
+from repro.synth.builder import collision_pairs
 
 
 def worst_case_output_arrival(graph: CircuitGraph, element: Element,
@@ -111,24 +112,24 @@ def merger_collision_diagnostics(
         if dead_time <= 0:
             continue
         arrivals = worst_case_port_arrivals(graph, element)
-        if len(arrivals) < 2:
-            continue
-        arrivals.sort(key=lambda item: item[1])
-        for (port_a, t_a), (port_b, t_b) in zip(arrivals, arrivals[1:]):
-            skew = t_b - t_a
-            if skew < dead_time:
-                diagnostics.append(
-                    Diagnostic(
-                        rule=rule,
-                        severity=severity,
-                        message=(
-                            f"inputs {port_a} and {port_b} arrive {skew} fs "
-                            f"apart (< dead time {dead_time} fs); coincident "
-                            "pulses collide and one is lost (paper Fig 5b) — "
-                            "stagger the paths or accept the documented loss"
-                        ),
-                        element=element.name,
-                        port=port_b,
-                    )
+        # The shared legality helper is the detection half of the merger
+        # spacing discipline the verify generator and the synthesis
+        # builder construct against (repro.synth.builder).
+        for (port_a, _t_a), (port_b, _t_b), skew in collision_pairs(
+            arrivals, dead_time
+        ):
+            diagnostics.append(
+                Diagnostic(
+                    rule=rule,
+                    severity=severity,
+                    message=(
+                        f"inputs {port_a} and {port_b} arrive {skew} fs "
+                        f"apart (< dead time {dead_time} fs); coincident "
+                        "pulses collide and one is lost (paper Fig 5b) — "
+                        "stagger the paths or accept the documented loss"
+                    ),
+                    element=element.name,
+                    port=port_b,
                 )
+            )
     return diagnostics

@@ -26,3 +26,8 @@ class ConfigurationError(ReproError):
 class VerificationError(ReproError):
     """Raised by the conformance harness for malformed netlist specs,
     corpus entries, or unusable generator/oracle configurations."""
+
+
+class SynthesisError(ReproError):
+    """Raised by the synthesis frontend for malformed dataflow specs,
+    type/encoding violations, or unsatisfiable timing constraints."""

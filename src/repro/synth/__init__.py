@@ -1,0 +1,62 @@
+"""repro.synth — dataflow-spec → lint-clean U-SFQ netlist compiler.
+
+The synthesis frontend compiles a JSON-serializable
+:class:`~repro.synth.spec.DataflowSpec` (const/add/mul/delay/tap/matvec
+nodes over the paper's two unary encodings) into a sealed, delay-
+balanced netlist built from the shipped block library.  Compiled
+circuits are ordinary :class:`~repro.pulsesim.netlist.Circuit` objects:
+sealable, batchable, shardable, and servable exactly like hand-built
+ones.
+
+Layering note: :mod:`repro.synth.builder` is also imported by
+``repro.verify`` and ``repro.analyze`` (the legality-helper hoist), so
+nothing in this package may import those packages at module level —
+the lint/analyze wrappers in :mod:`repro.synth.api` import lazily.
+"""
+
+from repro.synth.api import (
+    analyze_program,
+    compile_json,
+    compile_spec,
+    lint_program,
+)
+from repro.synth.balance import MARGIN_FS, required_slot_fs
+from repro.synth.expand import PrimGraph, PrimNode, expand_spec
+from repro.synth.generator import random_spec, spec_rng
+from repro.synth.lower import CompiledProgram, OutputPort, SimOutcome
+from repro.synth.opt import OptReport, optimize_graph
+from repro.synth.refeval import OutputValue, evaluate, expected_levels
+from repro.synth.spec import (
+    DataflowSpec,
+    NodeSpec,
+    dataflow_spec,
+    spec_from_json,
+    validate_spec,
+)
+
+__all__ = [
+    "CompiledProgram",
+    "DataflowSpec",
+    "MARGIN_FS",
+    "NodeSpec",
+    "OptReport",
+    "OutputPort",
+    "OutputValue",
+    "PrimGraph",
+    "PrimNode",
+    "SimOutcome",
+    "analyze_program",
+    "compile_json",
+    "compile_spec",
+    "dataflow_spec",
+    "evaluate",
+    "expand_spec",
+    "expected_levels",
+    "lint_program",
+    "optimize_graph",
+    "random_spec",
+    "required_slot_fs",
+    "spec_from_json",
+    "spec_rng",
+    "validate_spec",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.synth`` — the synthesis frontend CLI."""
+
+import sys
+
+from repro.synth.cli import main
+
+sys.exit(main())

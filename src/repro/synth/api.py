@@ -1,0 +1,121 @@
+"""Top-level synthesis API: validate → expand → optimize → lower.
+
+``compile_spec`` is the one call users need; ``lint_program`` and
+``analyze_program`` wrap the repo's static checkers with the compiled
+program's entry points pre-wired, so callers (CLI, oracles, tests) get
+the exact same rule configuration everywhere.
+
+Imports of :mod:`repro.lint` and :mod:`repro.analyze` stay local to the
+wrapper functions: those packages import :mod:`repro.synth.builder` for
+the shared legality helpers, and module-level imports here would cycle.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import SynthesisError
+from repro.synth.expand import expand_spec
+from repro.synth.lower import CompiledProgram, lower_graph
+from repro.synth.opt import OptReport, optimize_graph
+from repro.synth.refeval import evaluate
+from repro.synth.spec import DataflowSpec, spec_from_json, validate_spec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analyze.api import Analysis
+    from repro.lint.report import Report
+
+
+def compile_spec(
+    spec: DataflowSpec,
+    optimize: bool = True,
+    padding: str = "wire",
+) -> CompiledProgram:
+    """Compile a dataflow spec to a sealed, balanced U-SFQ netlist.
+
+    The expected output levels recorded in the program always come from
+    the reference evaluation of the *unexpanded-by-opt* graph; when the
+    cell-choice pass runs, its rewritten graph is re-evaluated and must
+    agree exactly — a miscompiling optimization fails the compile rather
+    than shipping a wrong netlist.
+    """
+    validate_spec(spec)
+    graph = expand_spec(spec)
+    expected = evaluate(graph)
+    report: Optional[OptReport] = None
+    if optimize:
+        optimized, report = optimize_graph(graph)
+        check = evaluate(optimized)
+        if check != expected:
+            mismatched = sorted(
+                ref for ref in expected
+                if expected[ref] != check.get(ref)
+            )
+            raise SynthesisError(
+                "cell-choice optimization changed program semantics at"
+                f" {mismatched} — refusing to emit the netlist"
+            )
+        graph = optimized
+    program = lower_graph(
+        graph,
+        expected,
+        padding=padding,
+        optimized=report is not None,
+        elided_jj=report.jj_saved if report is not None else 0,
+    )
+    program.spec_doc = spec.to_json()
+    program.spec_key = spec.key()
+    return program
+
+
+def compile_json(
+    text: str,
+    optimize: bool = True,
+    padding: str = "wire",
+) -> CompiledProgram:
+    """Compile a spec from its JSON text."""
+    return compile_spec(spec_from_json(text), optimize=optimize,
+                        padding=padding)
+
+
+def lint_program(program: CompiledProgram) -> "Report":
+    """Lint the compiled netlist, entry points pre-wired."""
+    from repro.lint import LintConfig, lint_circuit
+
+    return lint_circuit(
+        program.circuit,
+        entry_points=program.entry_points,
+        config=LintConfig(),
+        target=f"synth:{program.name}",
+    )
+
+
+def analyze_program(
+    program: CompiledProgram,
+    proof_mode: bool = True,
+) -> "Analysis":
+    """Abstract-interpret the compiled netlist.
+
+    ``proof_mode`` analyses the one-pulse-per-entry abstraction (the
+    regime in which the interval domain can discharge merger collision
+    proofs); otherwise the program's concrete stimulus trains drive the
+    analysis and the resulting bounds cover the real run.
+    """
+    from repro.analyze import analyze_circuit
+
+    stimulus = None
+    if not proof_mode:
+        by_name = {
+            element.name: (element, port)
+            for element, port in program.entry_points
+        }
+        stimulus = {
+            by_name[name]: times
+            for name, times in program.stimulus.items()
+        }
+    return analyze_circuit(
+        program.circuit,
+        entry_points=program.entry_points,
+        stimulus=stimulus,
+        target=f"synth:{program.name}",
+    )

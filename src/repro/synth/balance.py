@@ -1,0 +1,149 @@
+"""Clock-follow-data delay balancing for the synthesis pipeline.
+
+The lowering pipeline schedules every cell input so that operand pulses
+arrive exactly when the operator's phase discipline requires (the
+"clock-follow-data" style of Aviles et al., PAPERS.md): the NDRO ladder
+``set < reset < clk`` for multipliers, and dead-time staggering for
+merger fan-in.  Two things live here:
+
+* :func:`required_slot_fs` — the slot-period recursion.  Pulse *spread*
+  (the width of the arrival window of one logical slot) is independent
+  of the slot period, so the minimal legal period can be computed in one
+  pass before any cell is placed: multipliers need the whole window of
+  slot ``b-1`` to precede the RL reset by the margin, and each merger
+  fold step needs adjacent slots' windows separated by the dead time.
+* :class:`Padder` — materialises the per-input balancing delays, either
+  as wire delays (``"wire"``, zero JJ — the netlist-level idealisation)
+  or as explicit JTL pad cells (``"jtl"``, 2 JJ each — the micro-
+  architectural costing the area model trades against).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.cells.interconnect import Jtl
+from repro.errors import SynthesisError
+from repro.models import technology as tech
+from repro.pulsesim.element import Element
+from repro.pulsesim.netlist import Circuit
+from repro.synth.expand import PrimGraph
+
+#: Ordering margin between the NDRO phase-ladder steps (set -> reset ->
+#: clk).  One margin separates epoch-set from RL-reset, and reset leads
+#: the clk window by another margin.
+MARGIN_FS = 1000
+
+PAD_MODES = ("wire", "jtl")
+
+
+def stream_spreads(graph: PrimGraph) -> Tuple[dict, int]:
+    """Arrival-window spread per stream primitive, plus the slot floor.
+
+    Returns ``(spreads, required)`` where ``spreads[prim_id]`` is the
+    worst-case width (fs) of the window in which one logical slot's
+    pulses arrive, and ``required`` is the minimal slot period satisfying
+    every multiplier margin and merger dead-time constraint.
+    """
+    dead = tech.T_MERGER_DEAD_FS
+    spreads: dict = {}
+    required = 1
+    for node in graph.nodes.values():
+        if node.op == "sconst":
+            spreads[node.id] = 0
+        elif node.op == "rconst":
+            continue
+        elif node.op == "mul":
+            spread_in = spreads[node.args[0]]
+            # The latest pulse of slot b-1 must still precede the RL
+            # reset of slot b by the margin: slot > spread + margin.
+            required = max(required, spread_in + MARGIN_FS + 1)
+            spreads[node.id] = spread_in
+        elif node.op == "add":
+            acc = spreads[node.args[0]]
+            for ref in node.args[1:]:
+                acc = acc + dead + spreads[ref]
+                # Adjacent logical slots at the merger output must stay a
+                # dead time apart: slot >= out_spread + dead.
+                required = max(required, acc + dead)
+            spreads[node.id] = acc
+        elif node.op == "delay":
+            ref = node.args[0]
+            if ref in spreads:
+                spreads[node.id] = spreads[ref]
+        else:  # pragma: no cover - expand emits only PRIM_OPS
+            raise AssertionError(f"unknown primitive op {node.op!r}")
+    return spreads, required
+
+
+def required_slot_fs(graph: PrimGraph) -> int:
+    """Minimal legal slot period for ``graph`` (fs)."""
+    return stream_spreads(graph)[1]
+
+
+def choose_slot_fs(graph: PrimGraph) -> int:
+    """Slot period to synthesize at: the BFF period, the computed floor,
+    or a validated user override from the spec."""
+    required = required_slot_fs(graph)
+    if graph.slot_fs is not None:
+        if graph.slot_fs < required:
+            raise SynthesisError(
+                f"spec slot_fs {graph.slot_fs} fs is below the minimum"
+                f" {required} fs required by this graph's timing"
+                " constraints"
+            )
+        return graph.slot_fs
+    return max(tech.T_BFF_FS, required)
+
+
+@dataclass
+class Padder:
+    """Inserts the balancing delays the lowering pipeline requests.
+
+    ``"wire"`` mode books each pad as a delay on the connecting wire;
+    ``"jtl"`` mode inserts a dedicated JTL cell (named ``pad<N>``)
+    carrying the pad as its element delay, wired with zero-delay nets,
+    so the balancing overhead shows up in the JJ count.
+    """
+
+    circuit: Circuit
+    mode: str = "wire"
+    total_fs: int = 0
+    pads: List[int] = field(default_factory=list)
+    _cells: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in PAD_MODES:
+            raise SynthesisError(
+                f"unknown padding mode {self.mode!r} (expected one of"
+                f" {PAD_MODES})"
+            )
+
+    @property
+    def jtl_cells(self) -> int:
+        return self._cells
+
+    def connect(
+        self,
+        source: Element,
+        source_port: str,
+        sink: Element,
+        sink_port: str,
+        pad_fs: int,
+    ) -> None:
+        """Wire source -> sink with ``pad_fs`` of balancing delay."""
+        if pad_fs < 0:
+            raise SynthesisError(
+                f"negative balancing pad {pad_fs} fs on"
+                f" {source.name}.{source_port} -> {sink.name}.{sink_port}"
+            )
+        self.total_fs += pad_fs
+        self.pads.append(pad_fs)
+        if self.mode == "jtl" and pad_fs > 0:
+            self._cells += 1
+            pad = self.circuit.add(Jtl(f"pad{self._cells}", delay=pad_fs))
+            self.circuit.connect(source, source_port, pad, "a")
+            self.circuit.connect(pad, "q", sink, sink_port)
+        else:
+            self.circuit.connect(source, source_port, sink, sink_port, pad_fs)

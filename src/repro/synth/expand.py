@@ -1,0 +1,160 @@
+"""Macro expansion: :class:`DataflowSpec` → primitive dataflow graph.
+
+The lowering pipeline and the optimizer both operate on a flat graph of
+five primitive operators; the ``tap`` (FIR chain) and ``matvec`` macros
+are expanded here into delay/const/mul/add primitives.  Synthesized ids
+for expansion-internal values use the ``__`` separator, which the spec
+validator forbids in user ids, so expansion can never collide with a
+user-declared node.
+
+Primitive ops:
+
+``sconst``  stream literal (``level`` pulses over the epoch)
+``rconst``  Race-Logic literal (single pulse at slot ``level``)
+``add``     stream superposition (>= 1 lanes)
+``mul``     unipolar stream x RL product (``args = [stream, rl]``)
+``delay``   shift by ``slots`` epoch slots (either encoding)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SynthesisError
+from repro.synth.spec import DataflowSpec, validate_spec
+
+PRIM_OPS = ("sconst", "rconst", "add", "mul", "delay")
+
+
+@dataclass(frozen=True)
+class PrimNode:
+    """One primitive node; ``args`` reference earlier primitive ids."""
+
+    id: str
+    op: str
+    args: Tuple[str, ...] = ()
+    level: int = 0
+    slots: int = 0
+
+    @property
+    def encoding(self) -> str:
+        return "rl" if self.op == "rconst" else "stream"
+
+
+@dataclass
+class PrimGraph:
+    """Flat primitive graph in topological (insertion) order.
+
+    ``outputs`` maps each public value ref from the source spec to the
+    primitive node that produces it; iteration order follows the spec's
+    ``outputs`` declaration.
+    """
+
+    name: str
+    bits: int
+    nodes: Dict[str, PrimNode] = field(default_factory=dict)
+    outputs: List[Tuple[str, str]] = field(default_factory=list)
+    slot_fs: Optional[int] = None
+
+    @property
+    def n_max(self) -> int:
+        return 2 ** self.bits
+
+    def node_encoding(self, prim_id: str) -> str:
+        node = self.nodes[prim_id]
+        if node.op == "delay":
+            return self.node_encoding(node.args[0])
+        return node.encoding
+
+    def emit(self, node: PrimNode) -> str:
+        if node.id in self.nodes:
+            raise SynthesisError(f"duplicate primitive id {node.id!r}")
+        self.nodes[node.id] = node
+        return node.id
+
+    def replace_node(self, node: PrimNode) -> None:
+        """Swap a node in place, preserving topological position."""
+        if node.id not in self.nodes:
+            raise SynthesisError(f"unknown primitive id {node.id!r}")
+        self.nodes[node.id] = node
+
+
+def expand_spec(spec: DataflowSpec) -> PrimGraph:
+    """Validate a spec and expand its macros into a primitive graph."""
+    validate_spec(spec)
+    graph = PrimGraph(name=spec.name, bits=spec.bits, slot_fs=spec.slot_fs)
+    # Public value ref -> primitive id carrying it.
+    refs: Dict[str, str] = {}
+
+    def tap_product(
+        base: str, source: str, index: int, weight: int, spacing: int
+    ) -> str:
+        """One FIR lane: delayed copy of ``source`` times a static weight."""
+        lane = source
+        lag = index * spacing
+        if lag:
+            lane = graph.emit(
+                PrimNode(f"{base}__d{index}", "delay", (lane,), slots=lag)
+            )
+        rl = graph.emit(
+            PrimNode(f"{base}__c{index}", "rconst", level=weight)
+        )
+        return graph.emit(
+            PrimNode(f"{base}__p{index}", "mul", (lane, rl))
+        )
+
+    for node in spec.nodes:
+        if node.op == "const":
+            op = "sconst" if node.encoding == "stream" else "rconst"
+            assert node.level is not None
+            refs[node.id] = graph.emit(
+                PrimNode(node.id, op, level=node.level)
+            )
+        elif node.op == "add":
+            args = tuple(refs[ref] for ref in node.args)
+            refs[node.id] = graph.emit(PrimNode(node.id, "add", args))
+        elif node.op == "mul":
+            args = tuple(refs[ref] for ref in node.args)
+            refs[node.id] = graph.emit(PrimNode(node.id, "mul", args))
+        elif node.op == "delay":
+            assert node.slots is not None
+            refs[node.id] = graph.emit(
+                PrimNode(node.id, "delay", (refs[node.args[0]],),
+                         slots=node.slots)
+            )
+        elif node.op == "tap":
+            source = refs[node.args[0]]
+            lanes = tuple(
+                tap_product(node.id, source, index, weight, node.spacing)
+                for index, weight in enumerate(node.taps)
+            )
+            if len(lanes) == 1:
+                # Single-tap chains reduce to their one product; keep the
+                # public id by renaming the product node.
+                prim = graph.nodes.pop(lanes[0])
+                refs[node.id] = graph.emit(replace(prim, id=node.id))
+            else:
+                refs[node.id] = graph.emit(PrimNode(node.id, "add", lanes))
+        elif node.op == "matvec":
+            sources = tuple(refs[ref] for ref in node.args)
+            for row_index, row in enumerate(node.matrix):
+                lanes = []
+                for col_index, weight in enumerate(row):
+                    rl = graph.emit(
+                        PrimNode(f"{node.id}__w{row_index}_{col_index}",
+                                 "rconst", level=weight)
+                    )
+                    lanes.append(graph.emit(
+                        PrimNode(f"{node.id}__p{row_index}_{col_index}",
+                                 "mul", (sources[col_index], rl))
+                    ))
+                refs[f"{node.id}.y{row_index}"] = graph.emit(
+                    PrimNode(f"{node.id}__y{row_index}", "add", tuple(lanes))
+                )
+        else:  # pragma: no cover - validate_spec rejects unknown ops
+            raise SynthesisError(f"unknown op {node.op!r}")
+
+    for ref in spec.outputs:
+        graph.outputs.append((ref, refs[ref]))
+    return graph

@@ -1,0 +1,162 @@
+"""Bounded random dataflow specs for the conformance suite.
+
+Mirrors the :mod:`repro.verify` generator idiom: a plain
+``random.Random`` seeded from a readable derivation string drives a
+constructive generator that can only produce *valid* specs — every
+argument references an earlier value with the right encoding, RL
+weights stay static, and the outputs are exactly the values nothing
+else consumed (so the total-observability rule holds by construction).
+
+Sizes are deliberately small (<= ``max_nodes`` user nodes, few bits):
+the acceptance suite compiles hundreds of these per run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Set
+
+from repro.synth.spec import DataflowSpec, dataflow_spec
+
+#: Epoch resolutions the generator samples; kept low so a compiled
+#: spec's stimulus stays a few dozen pulses.
+BITS_CHOICES = (2, 3, 4)
+
+#: Relative draw weights for the node kinds after the seed constants.
+_OP_WEIGHTS = (
+    ("const", 3),
+    ("add", 4),
+    ("mul", 4),
+    ("delay", 2),
+    ("tap", 2),
+    ("matvec", 1),
+)
+
+
+def spec_rng(seed: int, example: int) -> random.Random:
+    """The deterministic RNG for one (campaign seed, example) pair."""
+    return random.Random(f"usfq-synth/{seed}/{example}")
+
+
+def random_spec(
+    rng: random.Random,
+    max_nodes: int = 7,
+    name: str = "generated",
+) -> DataflowSpec:
+    """One random, always-valid spec with 2..``max_nodes`` + 2 nodes."""
+    bits = rng.choice(BITS_CHOICES)
+    n_max = 2 ** bits
+    nodes: List[Dict[str, Any]] = []
+    streams: List[str] = []  # stream-encoded refs, in definition order
+    race: List[Dict[str, Any]] = []  # {"ref": ..., "level": static value}
+    consumed: Set[str] = set()
+    counter = [0]
+
+    def fresh(prefix: str) -> str:
+        counter[0] += 1
+        return f"{prefix}{counter[0]}"
+
+    def emit_const(encoding: str) -> str:
+        ref = fresh("c")
+        level = rng.randint(0, n_max)
+        nodes.append(
+            {"id": ref, "op": "const", "encoding": encoding, "level": level}
+        )
+        if encoding == "stream":
+            streams.append(ref)
+        else:
+            race.append({"ref": ref, "level": level})
+        return ref
+
+    def pick_stream() -> str:
+        ref = rng.choice(streams)
+        consumed.add(ref)
+        return ref
+
+    def pick_race() -> Dict[str, Any]:
+        if not race:
+            emit_const("rl")
+        entry = rng.choice(race)
+        consumed.add(entry["ref"])
+        return entry
+
+    # Seed pool: always start from 1-2 stream literals.
+    for _ in range(rng.randint(1, 2)):
+        emit_const("stream")
+
+    for _ in range(rng.randint(1, max_nodes)):
+        op = rng.choices(
+            [name_ for name_, _w in _OP_WEIGHTS],
+            weights=[w for _name, w in _OP_WEIGHTS],
+        )[0]
+        if op == "const":
+            emit_const(rng.choice(("stream", "rl")))
+        elif op == "add":
+            lanes = [pick_stream() for _ in range(rng.randint(1, 3))]
+            ref = fresh("s")
+            nodes.append({"id": ref, "op": "add", "args": lanes})
+            streams.append(ref)
+        elif op == "mul":
+            a = pick_stream()
+            b = pick_race()
+            ref = fresh("p")
+            nodes.append({"id": ref, "op": "mul", "args": [a, b["ref"]]})
+            streams.append(ref)
+        elif op == "delay":
+            if race and rng.random() < 0.3:
+                entry = rng.choice(race)
+                headroom = n_max - entry["level"]
+                slots = rng.randint(0, min(3, headroom))
+                consumed.add(entry["ref"])
+                ref = fresh("d")
+                nodes.append(
+                    {"id": ref, "op": "delay", "args": [entry["ref"]],
+                     "slots": slots}
+                )
+                race.append({"ref": ref, "level": entry["level"] + slots})
+            else:
+                ref = fresh("d")
+                nodes.append(
+                    {"id": ref, "op": "delay", "args": [pick_stream()],
+                     "slots": rng.randint(0, 3)}
+                )
+                streams.append(ref)
+        elif op == "tap":
+            count = rng.randint(1, 3)
+            # (count-1)*spacing <= 4 <= n_max holds for every BITS_CHOICES.
+            spacing = rng.randint(1, 2)
+            ref = fresh("f")
+            nodes.append({
+                "id": ref,
+                "op": "tap",
+                "args": [pick_stream()],
+                "taps": [rng.randint(0, n_max) for _ in range(count)],
+                "spacing": spacing,
+            })
+            streams.append(ref)
+        elif op == "matvec":
+            width = rng.randint(1, 2)
+            rows = rng.randint(1, 2)
+            args = [pick_stream() for _ in range(width)]
+            ref = fresh("m")
+            nodes.append({
+                "id": ref,
+                "op": "matvec",
+                "args": args,
+                "matrix": [
+                    [rng.randint(0, n_max) for _ in range(width)]
+                    for _ in range(rows)
+                ],
+            })
+            streams.extend(f"{ref}.y{row}" for row in range(rows))
+
+    produced = []
+    for entry in nodes:
+        if entry["op"] == "matvec":
+            produced.extend(
+                f"{entry['id']}.y{row}" for row in range(len(entry["matrix"]))
+            )
+        else:
+            produced.append(entry["id"])
+    outputs = [ref for ref in produced if ref not in consumed]
+    return dataflow_spec(name=name, bits=bits, nodes=nodes, outputs=outputs)

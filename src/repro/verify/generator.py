@@ -36,6 +36,7 @@ from typing import Dict, List, Tuple
 
 from repro.errors import VerificationError
 from repro.pulsesim.element import CellRole
+from repro.synth.builder import space_arrivals, splitters_needed
 from repro.verify.spec import (
     ENTRY_OUTPUTS,
     CellSpec,
@@ -152,14 +153,11 @@ def _add_cell(kind: str, rng: random.Random, prof: Profile,
     dead_time = getattr(cell, "dead_time", 0)
     if cell.has_role(CellRole.MERGER) and dead_time > 0:
         # Space static worst-case arrivals >= one dead time apart so the
-        # merger-collision timing rule cannot fire.
-        order = sorted(range(len(ports)), key=lambda i: arrivals[i])
-        for earlier, later in zip(order, order[1:]):
-            skew = arrivals[later] - arrivals[earlier]
-            if skew < dead_time:
-                bump = dead_time - skew
-                delays[later] += bump
-                arrivals[later] += bump
+        # merger-collision timing rule cannot fire (shared legality
+        # helper, also used by the synthesis builder and the DRC rule).
+        for index, bump in enumerate(space_arrivals(arrivals, dead_time)):
+            delays[index] += bump
+            arrivals[index] += bump
     for slot in sources:
         pool.consume(slot)
     departure = max(arrivals) + cell.propagation_delay_fs
@@ -178,7 +176,9 @@ def generate_spec(rng: random.Random, prof: Profile) -> NetlistSpec:
         kind = _draw_kind(rng)
         # Grow the pool with explicit splitters until the cell's fan-in
         # can be served — the only legal fanout mechanism in RSFQ.
-        while len(pool.available) < len(input_ports(kind)):
+        for _ in range(
+            splitters_needed(len(pool.available), len(input_ports(kind)))
+        ):
             _add_cell("Splitter", rng, prof, pool, cells)
         _add_cell(kind, rng, prof, pool, cells)
     count = rng.randint(1, prof.max_stimulus)

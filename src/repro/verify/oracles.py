@@ -518,6 +518,57 @@ def oracle_shard_differential(spec: NetlistSpec) -> OracleResult:
     return result
 
 
+def oracle_synth_differential(spec: NetlistSpec) -> OracleResult:
+    """The synthesis frontend compiles a random dataflow spec to a
+    lint-clean netlist whose simulation decodes to the NumPy reference
+    evaluation of the spec.
+
+    The dataflow spec is derived deterministically from the netlist
+    spec's content hash, so the campaign's spec stream doubles as the
+    synthesis fuzz stream and corpus replay reproduces the exact
+    program.  Checks, in order: zero lint diagnostics (with the compiled
+    entry points declared), decoded output levels equal to the reference
+    evaluation on both kernels, and zero merger collisions (the delay
+    balancer's no-pulse-loss guarantee).
+    """
+    import random as _random
+
+    from repro.synth import compile_spec, lint_program, random_spec
+
+    rng = _random.Random(f"usfq-synth-oracle/{spec.key()}")
+    dataflow = random_spec(rng, name=f"synth_{spec.key()}")
+    program = compile_spec(dataflow)
+    report = lint_program(program)
+    if report.diagnostics:
+        worst = report.diagnostics[0]
+        return OracleResult(
+            "synth-differential", True, False,
+            detail=f"lint: {len(report.diagnostics)} diagnostics, first: "
+                   f"[{worst.rule}] {worst.message}",
+        )
+    expected = {o.ref: o.expected_level for o in program.outputs}
+    for kernel in ("reference", "sealed"):
+        outcome = program.simulate(kernel=kernel)
+        if outcome.levels != expected:
+            return OracleResult(
+                "synth-differential", True, False,
+                detail=f"{kernel}: decoded {outcome.levels}, reference "
+                       f"evaluation expects {expected}",
+            )
+        if outcome.collisions:
+            return OracleResult(
+                "synth-differential", True, False,
+                detail=f"{kernel}: {outcome.collisions} merger "
+                       "collision(s) — balancing lost pulses",
+            )
+    return OracleResult(
+        "synth-differential", True, True,
+        detail=f"{len(dataflow.nodes)} nodes -> "
+               f"{program.stats['cells']} cells, "
+               f"{program.stats['jj']} JJ",
+    )
+
+
 #: The full matrix, in canonical execution order.
 ORACLES: Dict[str, Callable[[NetlistSpec], OracleResult]] = {
     "lint-clean": oracle_lint_clean,
@@ -530,6 +581,7 @@ ORACLES: Dict[str, Callable[[NetlistSpec], OracleResult]] = {
     "drop-identity": oracle_drop_identity,
     "jitter-identity": oracle_jitter_identity,
     "export-import": oracle_export_import,
+    "synth-differential": oracle_synth_differential,
     "static-soundness": oracle_static_soundness,
     "shard-differential": oracle_shard_differential,
 }

@@ -29,6 +29,7 @@ from repro.pulsesim.element import Element
 from repro.pulsesim.export import default_cell_registry
 from repro.pulsesim.netlist import Circuit
 from repro.pulsesim.probe import PulseRecorder
+from repro.synth.builder import probe_unconsumed
 
 #: Name of the stimulus entry cell every built circuit starts with.
 ENTRY_NAME = "entry"
@@ -271,12 +272,10 @@ def build(spec: NetlistSpec) -> Built:
             circuit.connect(source, source_port, element, port,
                             delay=wire.delay)
         pool.extend((element, port) for port in element.output_names)
-    consumed = used_sources(spec)
-    probes = [
-        circuit.probe(element, port)
-        for slot, (element, port) in enumerate(pool)
-        if slot not in consumed
-    ]
+    # Shared total-observability helper (repro.synth.builder): every
+    # output no wire consumes gets a recorder, so the dangling-output
+    # design rule holds by construction.
+    probes = probe_unconsumed(circuit, pool, used_sources(spec))
     return Built(circuit=circuit, entry=entry, probes=probes, pool=pool)
 
 

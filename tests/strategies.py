@@ -9,6 +9,10 @@ Two netlist generators live in this repo, on purpose:
   circuits for the conformance harness; :func:`verify_specs` wraps it as
   a Hypothesis strategy so property tests can draw legal specs too.
 
+A third generator, :func:`repro.synth.random_spec`, draws *dataflow*
+specs (programs, not netlists) for the synthesis frontend;
+:func:`dataflow_specs` wraps it the same way.
+
 Both the kernel-differential and the trace-transparency suites use
 :func:`run_case` so "everything comparable about a run" is defined in
 exactly one place (mirroring ``repro.verify.oracles.run_built``).
@@ -22,6 +26,7 @@ from repro.cells.storage import Dff, Dff2, Ndro
 from repro.cells.toggle import Tff, Tff2
 from repro.encoding.epoch import EpochSpec
 from repro.pulsesim import Circuit, Simulator
+from repro.synth.generator import random_spec, spec_rng
 from repro.verify.generator import example_rng, generate_spec, profile
 from repro.verify.oracles import STATE_ATTRS
 
@@ -110,6 +115,16 @@ def verify_specs(draw, profile_name="smoke"):
     seed = draw(st.integers(0, 2**32 - 1))
     example = draw(st.integers(0, 9999))
     return generate_spec(example_rng(seed, example), profile(profile_name))
+
+
+@st.composite
+def dataflow_specs(draw, max_nodes=7):
+    """A valid :class:`repro.synth.DataflowSpec` via the synthesis
+    frontend's own generator, driven by a Hypothesis-drawn substream
+    index (mirrors :func:`verify_specs`)."""
+    seed = draw(st.integers(0, 2**32 - 1))
+    example = draw(st.integers(0, 9999))
+    return random_spec(spec_rng(seed, example), max_nodes=max_nodes)
 
 
 def run_case(build, stimulus, kernel, trace_factory=None):

@@ -1,0 +1,35 @@
+"""The PR's acceptance gate: 500 random dataflow specs compile with zero
+lint violations and zero conformance escapes.
+
+Analyzer *proofs* are deliberately not asserted here: the interval
+domain is incomplete for delay relabels on early adder lanes (see
+docs/synthesis.md), so random programs may earn WARNING-level "not
+proved" findings while remaining collision-free — which the simulation
+check below verifies directly on both kernels.
+"""
+
+from repro.synth import compile_spec, lint_program, random_spec, spec_rng
+
+N_SPECS = 500
+
+
+def test_500_random_specs_compile_lint_clean_with_zero_escapes():
+    lint_violations = []
+    escapes = []
+    for index in range(N_SPECS):
+        spec = random_spec(spec_rng(0, index), name=f"acc{index}")
+        program = compile_spec(spec)
+        report = lint_program(program)
+        if report.diagnostics:
+            lint_violations.append((index, report.diagnostics[0]))
+            continue
+        expected = {o.ref: o.expected_level for o in program.outputs}
+        for kernel in ("reference", "sealed"):
+            outcome = program.simulate(kernel=kernel)
+            if outcome.levels != expected:
+                escapes.append((index, kernel, outcome.levels, expected))
+            if outcome.collisions:
+                escapes.append((index, kernel, "collisions",
+                                outcome.collisions))
+    assert lint_violations == []
+    assert escapes == []

@@ -1,0 +1,102 @@
+"""Delay balancing: slot-period floors and the wire/JTL pad trade-off."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.models import technology as tech
+from repro.pulsesim import Circuit
+from repro.cells.interconnect import Jtl
+from repro.synth import MARGIN_FS, required_slot_fs
+from repro.synth.balance import Padder, choose_slot_fs, stream_spreads
+from repro.synth.expand import PrimGraph, PrimNode
+
+
+def _mul_graph(slot_fs=None):
+    graph = PrimGraph(name="t", bits=3, slot_fs=slot_fs)
+    graph.emit(PrimNode("x", "sconst", level=5))
+    graph.emit(PrimNode("w", "rconst", level=3))
+    graph.emit(PrimNode("p", "mul", ("x", "w")))
+    graph.outputs.append(("p", "p"))
+    return graph
+
+
+def _add_graph(lanes):
+    graph = PrimGraph(name="t", bits=3)
+    args = []
+    for i in range(lanes):
+        graph.emit(PrimNode(f"x{i}", "sconst", level=1))
+        args.append(f"x{i}")
+    graph.emit(PrimNode("s", "add", tuple(args)))
+    graph.outputs.append(("s", "s"))
+    return graph
+
+
+def test_mul_requires_margin_over_spread():
+    spreads, required = stream_spreads(_mul_graph())
+    assert spreads["x"] == 0
+    assert spreads["p"] == 0
+    assert required == MARGIN_FS + 1
+
+
+def test_add_fold_accumulates_spread_and_dead_time():
+    dead = tech.T_MERGER_DEAD_FS
+    spreads, required = stream_spreads(_add_graph(3))
+    # Fold: acc 0 -> dead -> 2*dead; each step needs slot >= acc + dead.
+    assert spreads["s"] == 2 * dead
+    assert required == 3 * dead
+
+
+def test_choose_slot_fs_floors_at_bff_period():
+    assert choose_slot_fs(_mul_graph()) == tech.T_BFF_FS
+
+
+def test_choose_slot_fs_respects_and_validates_override():
+    assert choose_slot_fs(_mul_graph(slot_fs=20_000)) == 20_000
+    graph = _add_graph(3)
+    graph.slot_fs = required_slot_fs(graph) - 1
+    with pytest.raises(SynthesisError, match="below the minimum"):
+        choose_slot_fs(graph)
+
+
+def test_required_slot_fs_exceeds_bff_for_wide_adds():
+    # 3-lane fold needs 15000 fs > the 12000 fs BFF period.
+    graph = _add_graph(3)
+    assert required_slot_fs(graph) == 15_000
+    assert choose_slot_fs(graph) == 15_000
+
+
+def _pad_fixture():
+    circuit = Circuit("pads")
+    a = circuit.add(Jtl("a"))
+    b = circuit.add(Jtl("b"))
+    return circuit, a, b
+
+
+def test_wire_padding_books_delay_on_the_net():
+    circuit, a, b = _pad_fixture()
+    padder = Padder(circuit, mode="wire")
+    padder.connect(a, "q", b, "a", 1_500)
+    assert padder.total_fs == 1_500
+    assert padder.jtl_cells == 0
+    assert len(circuit.elements) == 2
+
+
+def test_jtl_padding_inserts_cells_only_for_nonzero_pads():
+    circuit, a, b = _pad_fixture()
+    padder = Padder(circuit, mode="jtl")
+    padder.connect(a, "q", b, "a", 1_500)
+    assert padder.jtl_cells == 1
+    assert circuit["pad1"].delay == 1_500
+    circuit2, c, d = _pad_fixture()
+    padder2 = Padder(circuit2, mode="jtl")
+    padder2.connect(c, "q", d, "a", 0)
+    assert padder2.jtl_cells == 0
+
+
+def test_negative_pad_and_unknown_mode_rejected():
+    circuit, a, b = _pad_fixture()
+    with pytest.raises(SynthesisError, match="unknown padding mode"):
+        Padder(circuit, mode="maglev")
+    padder = Padder(circuit, mode="wire")
+    with pytest.raises(SynthesisError, match="negative"):
+        padder.connect(a, "q", b, "a", -1)

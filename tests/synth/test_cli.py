@@ -1,0 +1,76 @@
+"""usfq-synth CLI: exit codes, JSON modes, and failure surfaces."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.synth import NodeSpec  # noqa: F401  (re-export sanity)
+from repro.synth.cli import main
+
+REPO = Path(__file__).resolve().parents[2]
+SPECS = sorted(str(p) for p in (REPO / "examples" / "specs").glob("*.json"))
+FIR3 = str(REPO / "examples" / "specs" / "fir3.json")
+
+
+def test_compile_writes_the_netlist_json(tmp_path, capsys):
+    out = tmp_path / "out.json"
+    assert main(["compile", FIR3, "--json", "--out", str(out)]) == 0
+    doc = json.loads(out.read_text())
+    assert doc["format"] == "usfq-synth/1"
+    assert doc["epoch"]["slot_fs"] == doc["stats"]["slot_fs"]
+
+
+def test_compile_to_stdout_and_simulate(capsys):
+    assert main(["compile", FIR3, "--json", "--simulate"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["simulation"]["collisions"] == 0
+    assert doc["simulation"]["levels"] == {"y": 7}
+
+
+def test_check_all_examples_pass_at_warning(capsys):
+    assert main(["check", *SPECS, "--fail-on", "warning"]) == 0
+
+
+def test_check_json_report_shape(capsys):
+    assert main(["check", FIR3, "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    (entry,) = doc["results"]
+    assert entry["spec"].endswith("fir3.json")
+    assert entry["findings"] == []
+    assert entry["jj"] > 0
+
+
+def test_malformed_spec_exits_2(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{\"format\": \"usfq-dataflow/1\"}")
+    assert main(["check", str(bad)]) == 2
+    assert "usfq-synth: error:" in capsys.readouterr().err
+
+
+def test_missing_file_exits_2(capsys):
+    assert main(["compile", "/nonexistent/spec.json"]) == 2
+
+
+def test_unknown_fail_on_level_exits_2(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["check", FIR3, "--fail-on", "catastrophe"])
+    assert excinfo.value.code == 2
+
+
+def test_no_opt_and_jtl_padding_modes_compile(tmp_path):
+    out_a = tmp_path / "a.json"
+    out_b = tmp_path / "b.json"
+    assert main(["compile", FIR3, "--no-opt", "--out", str(out_a)]) == 0
+    assert main(
+        ["compile", FIR3, "--padding", "jtl", "--out", str(out_b)]
+    ) == 0
+    doc = json.loads(out_b.read_text())
+    assert doc["stats"]["pad_jtls"] > 0
+
+
+@pytest.mark.parametrize("args", [[], ["compile"], ["frobnicate", FIR3]])
+def test_usage_errors_exit_2(args, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(args)
+    assert excinfo.value.code == 2

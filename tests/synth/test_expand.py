@@ -1,0 +1,111 @@
+"""Macro expansion: tap and matvec blow down to the five primitives."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.synth import DataflowSpec, NodeSpec, expand_spec, validate_spec
+from repro.synth.expand import PRIM_OPS, PrimGraph, PrimNode
+
+
+def _spec(nodes, outputs, bits=3, slot_fs=None):
+    spec = DataflowSpec(name="t", bits=bits, nodes=tuple(nodes),
+                        outputs=tuple(outputs), slot_fs=slot_fs)
+    validate_spec(spec)
+    return spec
+
+
+def test_expand_preserves_slot_override_and_emits_prims_only():
+    spec = _spec(
+        [
+            NodeSpec(id="x", op="const", encoding="stream", level=5),
+            NodeSpec(id="w", op="const", encoding="rl", level=3),
+            NodeSpec(id="p", op="mul", args=("x", "w")),
+        ],
+        ["p"], slot_fs=20_000,
+    )
+    graph = expand_spec(spec)
+    assert graph.slot_fs == 20_000
+    assert all(node.op in PRIM_OPS for node in graph.nodes.values())
+    assert graph.outputs == [("p", "p")]
+
+
+def test_tap_expansion_names_and_structure():
+    spec = _spec(
+        [
+            NodeSpec(id="x", op="const", encoding="stream", level=5),
+            NodeSpec(id="y", op="tap", args=("x",), taps=(3, 8, 1)),
+        ],
+        ["y"],
+    )
+    graph = expand_spec(spec)
+    # Lag-0 tap takes the undelayed input; later taps get delay nodes.
+    assert "y__d0" not in graph.nodes
+    assert graph.nodes["y__d1"].op == "delay"
+    assert graph.nodes["y__d1"].slots == 1
+    assert graph.nodes["y__d2"].slots == 2
+    for i, weight in enumerate((3, 8, 1)):
+        assert graph.nodes[f"y__c{i}"].op == "rconst"
+        assert graph.nodes[f"y__c{i}"].level == weight
+        assert graph.nodes[f"y__p{i}"].op == "mul"
+    assert graph.nodes["y"].op == "add"
+    assert graph.nodes["y"].args == ("y__p0", "y__p1", "y__p2")
+
+
+def test_tap_spacing_scales_delays():
+    spec = _spec(
+        [
+            NodeSpec(id="x", op="const", encoding="stream", level=5),
+            NodeSpec(id="y", op="tap", args=("x",), taps=(3, 8), spacing=2),
+        ],
+        ["y"],
+    )
+    graph = expand_spec(spec)
+    assert graph.nodes["y__d1"].slots == 2
+
+
+def test_single_tap_collapses_to_a_plain_product():
+    spec = _spec(
+        [
+            NodeSpec(id="x", op="const", encoding="stream", level=5),
+            NodeSpec(id="y", op="tap", args=("x",), taps=(6,)),
+        ],
+        ["y"],
+    )
+    graph = expand_spec(spec)
+    assert graph.nodes["y"].op == "mul"  # renamed product, no add
+    assert not any(node.op == "add" for node in graph.nodes.values())
+
+
+def test_matvec_expansion_names_and_refs():
+    spec = _spec(
+        [
+            NodeSpec(id="x0", op="const", encoding="stream", level=6),
+            NodeSpec(id="x1", op="const", encoding="stream", level=2),
+            NodeSpec(id="mv", op="matvec", args=("x0", "x1"),
+                     matrix=((3, 5), (8, 0))),
+        ],
+        ["mv.y0", "mv.y1"],
+    )
+    graph = expand_spec(spec)
+    assert graph.nodes["mv__w0_1"].level == 5
+    assert graph.nodes["mv__p1_0"].op == "mul"
+    assert graph.nodes["mv__y0"].op in ("add", "mul")
+    assert ("mv.y0", "mv__y0") in graph.outputs
+    assert ("mv.y1", "mv__y1") in graph.outputs
+
+
+def test_node_encoding_follows_delay_chains():
+    graph = PrimGraph(name="t", bits=3)
+    graph.emit(PrimNode("w", "rconst", level=3))
+    graph.emit(PrimNode("d", "delay", ("w",), slots=1))
+    graph.emit(PrimNode("dd", "delay", ("d",), slots=1))
+    assert graph.node_encoding("dd") == "rl"
+
+
+def test_emit_rejects_duplicates_and_replace_requires_existing():
+    graph = PrimGraph(name="t", bits=3)
+    graph.emit(PrimNode("x", "sconst", level=1))
+    with pytest.raises(SynthesisError):
+        graph.emit(PrimNode("x", "sconst", level=2))
+    with pytest.raises(SynthesisError):
+        graph.replace_node(PrimNode("nope", "sconst", level=1))

@@ -1,0 +1,72 @@
+"""Golden lock: the committed example specs compile byte-identically,
+lint clean, carry analyzer proofs, and simulate to the reference levels
+on both kernels.
+
+Regenerate a golden after an intentional emission change with::
+
+    python -m repro.synth compile examples/specs/<name>.json --json \
+        --out tests/synth/golden/<name>.json
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.synth import analyze_program, compile_json, lint_program
+
+REPO = Path(__file__).resolve().parents[2]
+SPEC_DIR = REPO / "examples" / "specs"
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+NAMES = sorted(path.stem for path in SPEC_DIR.glob("*.json"))
+
+
+def _program(name):
+    return compile_json((SPEC_DIR / f"{name}.json").read_text())
+
+
+def test_the_example_corpus_is_present():
+    assert len(NAMES) >= 5
+    assert NAMES == sorted(path.stem for path in GOLDEN_DIR.glob("*.json"))
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_compile_json_is_byte_identical_to_the_golden(name):
+    got = _program(name).to_json()
+    assert got == (GOLDEN_DIR / f"{name}.json").read_text()
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_recompilation_is_deterministic(name):
+    assert _program(name).to_json() == _program(name).to_json()
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_golden_lints_clean(name):
+    report = lint_program(_program(name))
+    assert report.diagnostics == []
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_golden_passes_proof_mode_analysis(name):
+    analysis = analyze_program(_program(name))
+    stats = analysis.report.stats
+    assert stats["mergers_proved"] == stats["mergers_checked"]
+    assert analysis.report.ok
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_golden_passes_stimulus_mode_analysis(name):
+    program = _program(name)
+    analysis = analyze_program(program, proof_mode=False)
+    assert analysis.report.ok
+
+
+@pytest.mark.parametrize("name", NAMES)
+@pytest.mark.parametrize("kernel", ["reference", "sealed"])
+def test_golden_simulates_to_the_reference_levels(name, kernel):
+    program = _program(name)
+    expected = {port.ref: port.expected_level for port in program.outputs}
+    outcome = program.simulate(kernel=kernel)
+    assert outcome.levels == expected
+    assert outcome.collisions == 0

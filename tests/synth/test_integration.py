@@ -1,0 +1,134 @@
+"""Compiled programs flow through every execution tier unchanged:
+the sealed kernel, the vectorized batch kernel, the partitioned NoC
+simulator, and (via the shared quantised-product model) the serving
+layer's functional PEs."""
+
+import asyncio
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.multiplier import unipolar_product_count
+from repro.pulsesim.batch import BatchSimulator
+from repro.serve import ServeConfig, ServeService
+from repro.pulsesim import Simulator
+from repro.shard import ShardSimulator, build_noc_circuit, plan_partition
+from repro.synth import compile_json, compile_spec, dataflow_spec
+
+REPO = Path(__file__).resolve().parents[2]
+FIR3 = REPO / "examples" / "specs" / "fir3.json"
+DELAY_LINE = REPO / "examples" / "specs" / "delay_line.json"
+
+
+def _decode(output, times, slot_fs):
+    """Decode one output port from raw probe times (mirrors simulate())."""
+    if output.encoding == "stream":
+        return len(times)
+    (time,) = times
+    offset = time - output.latency_fs
+    assert offset % slot_fs == 0
+    return offset // slot_fs
+
+
+def _expected(program):
+    return {port.ref: port.expected_level for port in program.outputs}
+
+
+def test_sealed_kernel_accepts_the_compiled_circuit():
+    program = compile_json(FIR3.read_text())
+    outcome = program.simulate(kernel="sealed")
+    assert outcome.levels == _expected(program)
+    assert outcome.collisions == 0
+
+
+@pytest.mark.parametrize("path", [FIR3, DELAY_LINE])
+def test_batch_kernel_reproduces_every_lane(path):
+    batch = 3
+    program = compile_json(path.read_text())
+    circuit = program.circuit
+    by_name = {element.name: element for element in circuit.elements}
+    tap_ports = {
+        id(tap.probe): (tap.source, port)
+        for (_eid, port), taps in circuit._taps.items()
+        for tap in taps
+    }
+    sim = BatchSimulator(circuit, batch=batch)
+    for name, times in program.stimulus.items():
+        sim.schedule_lane_trains(by_name[name], "a",
+                                 [list(times)] * batch)
+    sim.run()
+    expected = _expected(program)
+    for lane in range(batch):
+        levels = {}
+        for output in program.outputs:
+            probe = program.probes[output.probe_label]
+            times = sim.port_times(*tap_ports[id(probe)], lane)
+            levels[output.ref] = _decode(output, sorted(times),
+                                         program.slot_fs)
+        assert levels == expected, f"lane {lane}"
+
+
+@pytest.mark.parametrize("num_shards", [2, 3])
+def test_shard_partitioning_of_a_compiled_netlist_is_lossless(num_shards):
+    """The shard layer's own invariant, applied to a synthesized netlist:
+    the partitioned run is bit-identical to a monolithic sealed run of
+    the same NoC-augmented circuit.  (NoC links add real latency on cut
+    wires, so the *decode* intentionally belongs to the augmented timing,
+    not the original delay-balanced schedule.)"""
+    program = compile_json(FIR3.read_text())
+    plan = plan_partition(program.circuit, num_shards,
+                          entry_points=program.entry_points)
+
+    mono_circuit = build_noc_circuit(program.circuit, plan)
+    mono_by_name = {el.name: el for el in mono_circuit.elements}
+    mono = Simulator(mono_circuit, kernel="sealed")
+    for name, times in program.stimulus.items():
+        mono.schedule_train(mono_by_name[name], "a", list(times))
+    mono.run()
+    mono_recordings = {
+        tap.probe.label: list(tap.probe.times)
+        for taps in mono_circuit._taps.values()
+        for tap in taps
+    }
+
+    with ShardSimulator(program.circuit, plan) as sharded:
+        for name, times in program.stimulus.items():
+            sharded.schedule_train(name, "a", list(times))
+        sharded.run()
+        assert sharded.recordings() == mono_recordings
+
+
+def test_serve_pe_mac_agrees_with_the_synthesized_product():
+    """The serving layer's functional PE and the synthesized multiplier
+    share one quantised-product model: a served MAC answer is exactly
+    reconstructible from the hardware decode of the compiled netlist."""
+    bits, x, w = 3, 5, 6
+    n_max = 2 ** bits
+    spec = dataflow_spec("xw", bits, [
+        {"id": "a", "op": "const", "encoding": "stream", "level": x},
+        {"id": "w", "op": "const", "encoding": "rl", "level": w},
+        {"id": "p", "op": "mul", "args": ["a", "w"]},
+    ], ["p"])
+    decoded = compile_spec(spec).simulate().levels["p"]
+    assert decoded == unipolar_product_count(x, w, n_max)
+
+    async def served():
+        service = ServeService(ServeConfig(port=0, workers=0))
+        try:
+            status, _reason, body, _headers = await service.handle(
+                "POST", "/v1/compute",
+                json.dumps({
+                    "op": "pe.mac",
+                    "config": {"bits": bits, "slot_fs": 40_000},
+                    "values": [w / n_max, x / n_max, 0.0],
+                }).encode(),
+            )
+            return status, json.loads(body)
+        finally:
+            service.close()
+
+    status, doc = asyncio.run(served())
+    assert status == 200
+    # PE semantics: (product + in3 + 1) // 2, normalised by n_max.
+    assert doc["result"]["value"] == ((decoded + 1) // 2) / n_max

@@ -1,0 +1,118 @@
+"""The cell-choice optimizer: semantics-preserving JJ reduction."""
+
+from repro.synth import evaluate, optimize_graph
+from repro.synth.expand import PrimGraph, PrimNode
+from repro.synth.opt import estimate_jj, resolve_outputs
+
+
+def _graph(bits=3):
+    return PrimGraph(name="t", bits=bits)
+
+
+def _levels(graph):
+    return {ref: v.level for ref, v in evaluate(graph).items()}
+
+
+def test_zero_delay_is_aliased_away():
+    graph = _graph()
+    graph.emit(PrimNode("x", "sconst", level=3))
+    graph.emit(PrimNode("d", "delay", ("x",), slots=0))
+    graph.outputs.append(("d", "d"))
+    optimized, report = optimize_graph(graph)
+    assert resolve_outputs(optimized)["d"] == "x"
+    assert "d" not in optimized.nodes
+    assert _levels(optimized) == _levels(graph)
+
+
+def test_full_scale_weight_elides_the_multiplier():
+    graph = _graph()
+    graph.emit(PrimNode("x", "sconst", level=8))  # ticks 0..7
+    graph.emit(PrimNode("w", "rconst", level=8))  # reset after every tick
+    graph.emit(PrimNode("p", "mul", ("x", "w")))
+    graph.outputs.append(("p", "p"))
+    optimized, report = optimize_graph(graph)
+    assert report.muls_elided == 1
+    assert resolve_outputs(optimized)["p"] == "x"
+    # DCE drops the now-unused weight constant.
+    assert "w" not in optimized.nodes
+    assert report.jj_saved > 0
+    assert _levels(optimized) == _levels(graph)
+
+
+def test_delayed_stream_defeats_mul_elision():
+    # The delay pushes ticks to slots >= the reset slot: the NDRO gates.
+    graph = _graph()
+    graph.emit(PrimNode("x", "sconst", level=4))
+    graph.emit(PrimNode("d", "delay", ("x",), slots=4))
+    graph.emit(PrimNode("w", "rconst", level=8))
+    graph.emit(PrimNode("p", "mul", ("d", "w")))
+    graph.outputs.append(("p", "p"))
+    optimized, report = optimize_graph(graph)
+    assert report.muls_elided == 0
+    assert optimized.nodes["p"].op == "mul"
+    assert _levels(optimized) == _levels(graph)
+
+
+def test_zero_operands_fold_to_silent_streams():
+    graph = _graph()
+    graph.emit(PrimNode("x", "sconst", level=0))
+    graph.emit(PrimNode("w", "rconst", level=5))
+    graph.emit(PrimNode("p", "mul", ("x", "w")))
+    graph.emit(PrimNode("y", "sconst", level=3))
+    graph.emit(PrimNode("s", "add", ("p", "y")))
+    graph.outputs.append(("s", "s"))
+    optimized, report = optimize_graph(graph)
+    assert report.zeros_folded >= 1
+    assert report.lanes_pruned == 1
+    # The add collapsed: its one live lane is y.
+    assert resolve_outputs(optimized)["s"] == "y"
+    assert _levels(optimized) == _levels(graph) == {"s": 3}
+
+
+def test_all_zero_add_folds_to_a_zero_const():
+    graph = _graph()
+    graph.emit(PrimNode("a", "sconst", level=0))
+    graph.emit(PrimNode("b", "sconst", level=0))
+    graph.emit(PrimNode("s", "add", ("a", "b")))
+    graph.outputs.append(("s", "s"))
+    optimized, _report = optimize_graph(graph)
+    assert optimized.nodes["s"].op == "sconst"
+    assert optimized.nodes["s"].level == 0
+    assert _levels(optimized) == {"s": 0}
+
+
+def test_rl_delay_tracking_keeps_static_levels_exact():
+    graph = _graph()
+    graph.emit(PrimNode("x", "sconst", level=8))
+    graph.emit(PrimNode("w", "rconst", level=6))
+    graph.emit(PrimNode("dw", "delay", ("w",), slots=2))  # effective 8
+    graph.emit(PrimNode("p", "mul", ("x", "dw")))
+    graph.outputs.append(("p", "p"))
+    optimized, report = optimize_graph(graph)
+    # top tick 7 < effective reset 8: elided through the delayed weight.
+    assert report.muls_elided == 1
+    assert _levels(optimized) == _levels(graph)
+
+
+def test_estimate_jj_counts_scale_with_structure():
+    small = _graph()
+    small.emit(PrimNode("x", "sconst", level=3))
+    small.outputs.append(("x", "x"))
+    big = _graph()
+    big.emit(PrimNode("x", "sconst", level=3))
+    big.emit(PrimNode("w", "rconst", level=2))
+    big.emit(PrimNode("p", "mul", ("x", "w")))
+    big.outputs.append(("p", "p"))
+    assert estimate_jj(big) > estimate_jj(small)
+
+
+def test_report_accounting_is_consistent():
+    graph = _graph()
+    graph.emit(PrimNode("x", "sconst", level=8))
+    graph.emit(PrimNode("w", "rconst", level=8))
+    graph.emit(PrimNode("p", "mul", ("x", "w")))
+    graph.outputs.append(("p", "p"))
+    _optimized, report = optimize_graph(graph)
+    assert report.nodes_before == 3
+    assert report.nodes_after < report.nodes_before
+    assert report.jj_saved == report.jj_before - report.jj_after

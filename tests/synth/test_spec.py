@@ -1,0 +1,184 @@
+"""DataflowSpec validation: round trips, keys, and every rejection path."""
+
+import json
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.synth import DataflowSpec, NodeSpec, dataflow_spec, spec_from_json, validate_spec
+
+
+
+def _spec(nodes, outputs, bits=3, slot_fs=None, name="t"):
+    """Build-and-validate from NodeSpec objects (dataflow_spec takes dicts)."""
+    spec = DataflowSpec(name=name, bits=bits, nodes=tuple(nodes),
+                        outputs=tuple(outputs), slot_fs=slot_fs)
+    validate_spec(spec)
+    return spec
+
+
+def _mul_chain(bits=3):
+    return [
+        NodeSpec(id="x", op="const", encoding="stream", level=5),
+        NodeSpec(id="w", op="const", encoding="rl", level=3),
+        NodeSpec(id="p", op="mul", args=("x", "w")),
+    ]
+
+
+def test_round_trip_and_key_stability():
+    spec = _spec(_mul_chain(), ["p"])
+    doc = spec.to_json()
+    again = DataflowSpec.from_json(doc)
+    assert again == spec
+    assert again.key() == spec.key()
+    # key is content-addressed: byte-identical canonical JSON.
+    assert spec_from_json(json.dumps(doc)).key() == spec.key()
+
+
+def test_dataflow_spec_dict_constructor_matches_nodespec_form():
+    via_dicts = dataflow_spec("t", 3, [
+        {"id": "x", "op": "const", "encoding": "stream", "level": 5},
+        {"id": "w", "op": "const", "encoding": "rl", "level": 3},
+        {"id": "p", "op": "mul", "args": ["x", "w"]},
+    ], ["p"])
+    assert via_dicts == _spec(_mul_chain(), ["p"])
+
+
+def test_key_changes_with_content():
+    base = _spec(_mul_chain(), ["p"])
+    bumped = _spec(
+        [
+            NodeSpec(id="x", op="const", encoding="stream", level=6),
+            NodeSpec(id="w", op="const", encoding="rl", level=3),
+            NodeSpec(id="p", op="mul", args=("x", "w")),
+        ],
+        ["p"],
+    )
+    assert base.key() != bumped.key()
+
+
+def test_n_max():
+    assert _spec(_mul_chain(), ["p"], bits=3).n_max == 8
+
+
+@pytest.mark.parametrize("bad_id", ["", "1x", "a-b", "a b", "a__b", "epoch"])
+def test_bad_node_ids_rejected(bad_id):
+    with pytest.raises(SynthesisError):
+        _spec(
+            [NodeSpec(id=bad_id, op="const", encoding="stream", level=1)],
+            [bad_id],
+        )
+
+
+def test_unknown_op_and_encoding_rejected():
+    with pytest.raises(SynthesisError):
+        _spec([NodeSpec(id="x", op="xor", args=())], ["x"])
+    with pytest.raises(SynthesisError):
+        _spec([NodeSpec(id="x", op="const", encoding="ternary", level=1)],
+              ["x"])
+
+
+def test_const_level_range():
+    with pytest.raises(SynthesisError):
+        _spec([NodeSpec(id="x", op="const", encoding="stream", level=9)],
+              ["x"], bits=3)
+    with pytest.raises(SynthesisError):
+        _spec([NodeSpec(id="x", op="const", encoding="stream", level=-1)],
+              ["x"], bits=3)
+
+
+def test_mul_argument_encodings_enforced():
+    nodes = [
+        NodeSpec(id="a", op="const", encoding="stream", level=2),
+        NodeSpec(id="b", op="const", encoding="stream", level=3),
+        NodeSpec(id="p", op="mul", args=("a", "b")),
+    ]
+    with pytest.raises(SynthesisError):
+        _spec(nodes, ["p"])
+
+
+def test_add_requires_stream_lanes():
+    nodes = [
+        NodeSpec(id="a", op="const", encoding="rl", level=2),
+        NodeSpec(id="s", op="add", args=("a",)),
+    ]
+    with pytest.raises(SynthesisError):
+        _spec(nodes, ["s"])
+
+
+def test_rl_delay_overflow_rejected():
+    nodes = [
+        NodeSpec(id="w", op="const", encoding="rl", level=7),
+        NodeSpec(id="d", op="delay", args=("w",), slots=2),
+    ]
+    with pytest.raises(SynthesisError):
+        _spec(nodes, ["d"], bits=3)  # 7 + 2 > n_max = 8
+
+
+def test_tap_shape_constraints():
+    x = NodeSpec(id="x", op="const", encoding="stream", level=3)
+    with pytest.raises(SynthesisError):
+        _spec([x, NodeSpec(id="y", op="tap", args=("x",), taps=())], ["y"])
+    with pytest.raises(SynthesisError):
+        _spec([x, NodeSpec(id="y", op="tap", args=("x",), taps=(1, 2),
+                           spacing=0)], ["y"])
+    with pytest.raises(SynthesisError):
+        # (len-1)*spacing beyond the epoch
+        _spec([x, NodeSpec(id="y", op="tap", args=("x",), taps=(1,) * 5,
+                           spacing=3)], ["y"], bits=3)
+
+
+def test_matvec_shape_and_outputs():
+    x0 = NodeSpec(id="x0", op="const", encoding="stream", level=1)
+    x1 = NodeSpec(id="x1", op="const", encoding="stream", level=2)
+    ragged = NodeSpec(id="mv", op="matvec", args=("x0", "x1"),
+                      matrix=((1, 2), (3,)))
+    with pytest.raises(SynthesisError):
+        _spec([x0, x1, ragged], ["mv.y0"])
+    good = NodeSpec(id="mv", op="matvec", args=("x0", "x1"),
+                    matrix=((1, 2), (3, 4)))
+    spec = _spec([x0, x1, good], ["mv.y0", "mv.y1"])
+    assert validate_spec(spec)["mv.y0"] == "stream"
+
+
+def test_outputs_must_be_known_unique_nonempty():
+    nodes = _mul_chain()
+    with pytest.raises(SynthesisError):
+        _spec(nodes, [])
+    with pytest.raises(SynthesisError):
+        _spec(nodes, ["p", "p"])
+    with pytest.raises(SynthesisError):
+        _spec(nodes, ["nope"])
+
+
+def test_dangling_value_is_an_error():
+    nodes = [
+        NodeSpec(id="x", op="const", encoding="stream", level=5),
+        NodeSpec(id="w", op="const", encoding="rl", level=3),
+        NodeSpec(id="p", op="mul", args=("x", "w")),
+        NodeSpec(id="q", op="const", encoding="stream", level=1),
+    ]
+    with pytest.raises(SynthesisError, match="q"):
+        _spec(nodes, ["p"])
+
+
+def test_duplicate_node_ids_rejected():
+    nodes = [
+        NodeSpec(id="x", op="const", encoding="stream", level=5),
+        NodeSpec(id="x", op="const", encoding="stream", level=2),
+    ]
+    with pytest.raises(SynthesisError):
+        _spec(nodes, ["x"])
+
+
+def test_from_json_rejects_unknown_fields_and_bad_types():
+    doc = _spec(_mul_chain(), ["p"]).to_json()
+    doc["surprise"] = 1
+    with pytest.raises(SynthesisError):
+        DataflowSpec.from_json(doc)
+    doc2 = _spec(_mul_chain(), ["p"]).to_json()
+    doc2["bits"] = True  # bool is not an int here
+    with pytest.raises(SynthesisError):
+        DataflowSpec.from_json(doc2)
+    with pytest.raises(SynthesisError):
+        spec_from_json("not json at all {")
